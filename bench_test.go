@@ -1,0 +1,202 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// runs the corresponding experiment campaign on the reduced Quick settings
+// (so `go test -bench=.` finishes in minutes) and reports the headline
+// statistic as a custom metric alongside the usual ns/op. For the
+// full-scale campaign matching EXPERIMENTS.md, use `go run ./cmd/salus-bench
+// -all`.
+package salus_test
+
+import (
+	"testing"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/experiments"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/system"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Quick())
+}
+
+// BenchmarkTable1 exercises configuration validation and rendering.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(config.Default())
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2 renders the metadata-cache configuration.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(config.Default())
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig03 regenerates the motivation slowdown (paper: 2.04x).
+func BenchmarkFig03(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["geomean slowdown (paper: 2.04)"], "slowdown-geomean")
+	}
+}
+
+// BenchmarkFig10 regenerates the headline IPC improvement (paper: +29.94%).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["geomean improvement %% (paper: 29.94)"], "improvement-%")
+	}
+}
+
+// BenchmarkFig11 regenerates the security-traffic reduction (paper: 47.79%
+// of conventional on average).
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["mean normalised traffic (paper: 0.4779)"], "traffic-ratio")
+	}
+}
+
+// BenchmarkFig12 regenerates the bandwidth-utilisation savings (paper:
+// 14.92 pp on CXL, 2.05 pp on device memory).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["mean CXL utilisation saved, pp (paper: 14.92)"], "cxl-saved-pp")
+		b.ReportMetric(res.Summary["mean device utilisation saved, pp (paper: 2.05)"], "dev-saved-pp")
+	}
+}
+
+// BenchmarkFig13 regenerates the CXL-bandwidth sensitivity sweep (paper:
+// +32.79/29.94/32.90/21.76% at 1/32, 1/16, 1/8, 1/4).
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["improvement % at 1/16"], "improvement-1/16-%")
+	}
+}
+
+// BenchmarkFig14 regenerates the footprint sensitivity sweep (paper:
+// +51.64/34.48/26.83% at 20/35/50% resident).
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["improvement % at 20%"], "improvement-20%-%")
+	}
+}
+
+// BenchmarkAblation regenerates the cumulative mechanism ablation.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		res, err := r.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["+ fine-grained dirty tracking (full Salus)"], "full-salus-%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// memory accesses per wall-clock second for one Salus run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := trace.ByName("nw")
+	cfg := experiments.Quick().Cfg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := system.Run(system.Options{
+			Cfg: cfg, Workload: w, Model: system.ModelSalus,
+			MaxAccesses: 6000, CycleLimit: 1_000_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.MemRequests), "accesses/run")
+	}
+}
+
+// BenchmarkFunctionalReadWrite measures the functional library's secure
+// read+write throughput (real AES + HMAC + tree updates per access).
+func BenchmarkFunctionalReadWrite(b *testing.B) {
+	sys, err := securemem.New(securemem.Config{
+		Geometry:    config.Default().Geometry,
+		Model:       securemem.ModelSalus,
+		TotalPages:  64,
+		DevicePages: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64((i * 4096 * 3) % (64 * 4096 / 2))
+		if err := sys.Write(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Read(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalMigration measures the cost of a page round trip
+// (migrate in + evict) under both secure models, showing the functional
+// cost asymmetry that the timing model turns into the paper's figures.
+func BenchmarkFunctionalMigration(b *testing.B) {
+	for _, model := range []securemem.Model{securemem.ModelConventional, securemem.ModelSalus} {
+		b.Run(model.String(), func(b *testing.B) {
+			sys, err := securemem.New(securemem.Config{
+				Geometry:    config.Default().Geometry,
+				Model:       model,
+				TotalPages:  4,
+				DevicePages: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate between two pages with one frame: every access
+				// is a migration plus an eviction.
+				if err := sys.Read(uint64(i%2)*4096, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Command salus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	salus-bench -fig 10            # one figure (3, 10, 11, 12, 13, 14)
+//	salus-bench -table 1           # configuration tables (1, 2)
+//	salus-bench -ablation          # cumulative mechanism ablation
+//	salus-bench -workloads         # the synthetic workload suite
+//	salus-bench -breakdown nw      # per-class traffic for one workload
+//	salus-bench -all               # everything (several minutes)
+//	salus-bench -quick -all        # reduced campaign (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/salus-sim/salus/internal/experiments"
+)
+
+func main() {
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// appMain is the testable entry point.
+func appMain(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("salus-bench", flag.ContinueOnError)
+	flag.SetOutput(stderr)
+	fig := flag.Int("fig", 0, "figure to regenerate (3, 10, 11, 12, 13, 14)")
+	table := flag.Int("table", 0, "configuration table to print (1, 2)")
+	ablation := flag.Bool("ablation", false, "run the mechanism ablation study")
+	sensitivity := flag.Bool("sensitivity", false, "run the metadata-cache capacity sweep (extension)")
+	counterOrg := flag.Bool("counters", false, "run the counter-organisation study (extension)")
+	migration := flag.Bool("migration", false, "run the migration-granularity study (extension)")
+	seeds := flag.Int("seeds", 0, "run the seed-stability study with N workload seed sets (extension)")
+	workloads := flag.Bool("workloads", false, "print the workload suite")
+	coverage := flag.Bool("coverage", false, "print per-workload channel coverage characterisation")
+	breakdown := flag.String("breakdown", "", "per-class traffic breakdown for one workload")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "use the reduced quick campaign")
+	verbose := flag.Bool("v", false, "print per-simulation progress")
+	format := flag.String("format", "text", "output format: text, json, or csv")
+	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+
+	outFormat, err := experiments.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(stderr, "salus-bench:", err)
+		return 2
+	}
+	settings := experiments.Default()
+	if *quick {
+		settings = experiments.Quick()
+	}
+	runner := experiments.NewRunner(settings)
+	if *verbose {
+		runner.Progress = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+
+	failed := false
+	emit := func(res *experiments.FigResult, err error) {
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			failed = true
+			return
+		}
+		out, err := res.Render(outFormat)
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			failed = true
+			return
+		}
+		fmt.Fprintln(stdout, out)
+	}
+
+	ran := false
+	if *table == 1 || *all {
+		emit(experiments.Table1(settings.Cfg), nil)
+		ran = true
+	}
+	if *table == 2 || *all {
+		emit(experiments.Table2(settings.Cfg), nil)
+		ran = true
+	}
+	if *workloads || *all {
+		emit(experiments.WorkloadTable(settings), nil)
+		ran = true
+	}
+	if *coverage || *all {
+		emit(experiments.ChannelCoverage(settings))
+		ran = true
+	}
+	if *fig == 3 || *all {
+		emit(runner.Fig3())
+		ran = true
+	}
+	if *fig == 10 || *all {
+		emit(runner.Fig10())
+		ran = true
+	}
+	if *fig == 11 || *all {
+		emit(runner.Fig11())
+		ran = true
+	}
+	if *fig == 12 || *all {
+		emit(runner.Fig12())
+		ran = true
+	}
+	if *fig == 13 || *all {
+		emit(runner.Fig13())
+		ran = true
+	}
+	if *fig == 14 || *all {
+		emit(runner.Fig14())
+		ran = true
+	}
+	if *ablation || *all {
+		emit(runner.Ablation())
+		ran = true
+	}
+	if *sensitivity || *all {
+		emit(runner.MetaCacheSensitivity())
+		ran = true
+	}
+	if *counterOrg || *all {
+		emit(runner.CounterOrganisation())
+		ran = true
+	}
+	if *migration || *all {
+		emit(runner.MigrationGranularity())
+		ran = true
+	}
+	if *seeds > 1 || *all {
+		n := *seeds
+		if n < 2 {
+			n = 3
+		}
+		emit(runner.SeedStability(n))
+		ran = true
+	}
+	if *breakdown != "" {
+		emit(runner.TrafficBreakdown(*breakdown))
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		return 2
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runApp(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := appMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestTables(t *testing.T) {
+	code, out, _ := runApp(t, "-table", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "CXL bandwidth") {
+		t.Errorf("out = %q", out)
+	}
+	code, out, _ = runApp(t, "-table", "2")
+	if code != 0 || !strings.Contains(out, "MAC cache") {
+		t.Errorf("table 2: exit=%d out=%q", code, out)
+	}
+}
+
+func TestWorkloadsAndCoverage(t *testing.T) {
+	code, out, _ := runApp(t, "-quick", "-workloads", "-coverage")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "Workload suite") || !strings.Contains(out, "chunks") {
+		t.Errorf("out missing sections:\n%s", out)
+	}
+}
+
+func TestQuickFigure(t *testing.T) {
+	code, out, errOut := runApp(t, "-quick", "-fig", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut)
+	}
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "geomean slowdown") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	code, out, _ := runApp(t, "-table", "1", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded["name"] != "Table I — baseline system configuration" {
+		t.Errorf("name = %v", decoded["name"])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := runApp(t); code != 2 {
+		t.Errorf("no-op invocation exit = %d, want 2 (usage)", code)
+	}
+	if code, _, _ := runApp(t, "-format", "nope", "-table", "1"); code != 2 {
+		t.Errorf("bad format exit = %d", code)
+	}
+	if code, _, errOut := runApp(t, "-quick", "-breakdown", "nosuch"); code != 1 || !strings.Contains(errOut, "unknown workload") {
+		t.Errorf("bad breakdown: code=%d stderr=%q", code, errOut)
+	}
+}

@@ -1,0 +1,97 @@
+// Command salus-sim runs one workload under one security model on the
+// simulated CXL-expanded GPU and prints the full measurement record.
+//
+// Usage:
+//
+//	salus-sim -workload nw -model salus
+//	salus-sim -workload bfs -model baseline -accesses 50000 -cxl-den 8
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/system"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+func main() {
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// appMain is the testable entry point.
+func appMain(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("salus-sim", flag.ContinueOnError)
+	flag.SetOutput(stderr)
+	workload := flag.String("workload", "nw", "workload name (see salus-bench -workloads)")
+	model := flag.String("model", "salus", "security model: none, baseline, salus")
+	accesses := flag.Int("accesses", 24000, "total memory accesses (0 = full workload)")
+	cxlDen := flag.Uint64("cxl-den", 16, "CXL bandwidth = 1/N of device bandwidth")
+	footprint := flag.Float64("resident", 0.35, "fraction of footprint resident in device memory")
+	traceFile := flag.String("trace", "", "replay a recorded trace file on every SM instead of the synthetic workload")
+	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(stderr, "salus-sim: unknown workload %q (available: %s)\n",
+			*workload, strings.Join(trace.Names(), ", "))
+		return 2
+	}
+	var m system.Model
+	switch *model {
+	case "none":
+		m = system.ModelNone
+	case "baseline":
+		m = system.ModelBaseline
+	case "salus":
+		m = system.ModelSalus
+	default:
+		fmt.Fprintf(stderr, "salus-sim: unknown model %q\n", *model)
+		return 2
+	}
+
+	cfg := config.Default().WithCXLRatio(1, *cxlDen).WithFootprintRatio(*footprint)
+	opts := system.Options{
+		Cfg:         cfg,
+		Workload:    w,
+		Model:       m,
+		MaxAccesses: *accesses,
+		CycleLimit:  10_000_000_000,
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-sim:", err)
+			return 1
+		}
+		defer f.Close()
+		data, err := io.ReadAll(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-sim:", err)
+			return 1
+		}
+		// One independent replay cursor per SM over the same recording.
+		for i := 0; i < cfg.GPU.NumSMs; i++ {
+			fs, err := trace.ReadTrace(bytes.NewReader(data), w.ComputePerMem)
+			if err != nil {
+				fmt.Fprintln(stderr, "salus-sim:", err)
+				return 1
+			}
+			opts.Streams = append(opts.Streams, fs)
+		}
+	}
+	run, err := system.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "salus-sim:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, run.String())
+	return 0
+}

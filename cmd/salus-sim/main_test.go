@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runApp(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := appMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRunSalusModel(t *testing.T) {
+	code, out, errOut := runApp(t, "-workload", "nw", "-model", "salus", "-accesses", "2000")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut)
+	}
+	for _, frag := range []string{"workload=nw", "model=salus", "ipc=", "device", "cxl"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	for _, model := range []string{"none", "baseline", "salus"} {
+		code, out, errOut := runApp(t, "-model", model, "-accesses", "1000")
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, stderr = %s", model, code, errOut)
+		}
+		if !strings.Contains(out, "model="+model) {
+			t.Errorf("%s: output = %q", model, out)
+		}
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.trace")
+	if err := os.WriteFile(path, []byte("R 0\nW 20\nR 1000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runApp(t, "-model", "salus", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut)
+	}
+	if !strings.Contains(out, "model=salus") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := runApp(t, "-workload", "nosuch"); code != 2 {
+		t.Errorf("unknown workload exit = %d", code)
+	}
+	if code, _, _ := runApp(t, "-model", "nosuch"); code != 2 {
+		t.Errorf("unknown model exit = %d", code)
+	}
+	if code, _, _ := runApp(t, "-trace", "/definitely/missing"); code != 1 {
+		t.Errorf("missing trace exit = %d", code)
+	}
+	if code, _, _ := runApp(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runApp(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := appMain(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestPrintAccesses(t *testing.T) {
+	code, out, _ := runApp(t, "-workload", "nw", "-n", "5")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 accesses
+		t.Fatalf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# workload=nw") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	code, out, _ := runApp(t, "-workload", "btree", "-summary")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, frag := range []string{"accesses:", "write fraction:", "chunks per page:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	code, out, _ := runApp(t, "-workload", "nw", "-n", "10", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "wrote 10 accesses") {
+		t.Errorf("out = %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# salus trace") {
+		t.Errorf("file = %q", data[:30])
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	code, _, errOut := runApp(t, "-workload", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown workload") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runApp(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

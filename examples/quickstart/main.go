@@ -1,0 +1,52 @@
+// Quickstart: create a Salus-protected two-tier memory, write and read
+// through it, and watch pages migrate between the CXL tier and the device
+// tier with zero relocation re-encryptions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	salus "github.com/salus-sim/salus"
+)
+
+func main() {
+	// 256 pages (1 MiB) of protected address space; the device tier holds
+	// 64 pages (25%), so the access pattern below forces migration.
+	sys, err := salus.NewDefault(256, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write a record into every page — more pages than device frames, so
+	// the page cache churns: migrations in, evictions with dirty-chunk
+	// writeback.
+	for pg := 0; pg < 256; pg++ {
+		record := fmt.Sprintf("page-%03d: secret payload", pg)
+		if err := sys.Write(uint64(pg*4096), []byte(record)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Read them all back — every byte decrypts and verifies.
+	for pg := 0; pg < 256; pg++ {
+		want := fmt.Sprintf("page-%03d: secret payload", pg)
+		buf := make([]byte, len(want))
+		if err := sys.Read(uint64(pg*4096), buf); err != nil {
+			log.Fatalf("page %d: %v", pg, err)
+		}
+		if string(buf) != want {
+			log.Fatalf("page %d: corrupt data %q", pg, buf)
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Println("all 256 pages verified through encryption + MAC + integrity tree")
+	fmt.Printf("page migrations in:          %d\n", st.PageMigrationsIn)
+	fmt.Printf("page evictions:              %d\n", st.PageEvictions)
+	fmt.Printf("relocation re-encryptions:   %d  <- Salus's headline property\n", st.RelocationReEncryptions)
+	fmt.Printf("collapse re-encryptions:     %d  (one pass per dirty chunk)\n", st.CollapseReEncryptions)
+	fmt.Printf("dirty chunks written back:   %d\n", st.DirtyChunkWritebacks)
+	fmt.Printf("clean chunks skipped:        %d  <- fine-grained dirty tracking\n", st.CleanChunksSkipped)
+	fmt.Printf("lazy MAC sector fetches:     %d  <- fetch-only-on-access\n", st.LazyMACFetches)
+}

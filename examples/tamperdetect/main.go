@@ -1,0 +1,87 @@
+// Tamper detection: mount the physical attacks from the paper's threat
+// model — snooping, spoofing, splicing, and replay — against the protected
+// memory and show that each is defeated or detected.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	salus "github.com/salus-sim/salus"
+)
+
+func main() {
+	sys, err := salus.NewDefault(32, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secret := []byte("account=4242 balance=1000000.00!") // one full sector
+	if err := sys.Write(0, secret); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Write(4096, bytes.Repeat([]byte{0xAB}, 32)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Flush(); err != nil { // everything back in the CXL tier
+		log.Fatal(err)
+	}
+
+	fmt.Println("attack 1 — bus snooping (confidentiality)")
+	raw := sys.RawHomeBytes(0, len(secret))
+	if bytes.Contains(raw, []byte("balance")) {
+		log.Fatal("FAILED: plaintext visible on the memory bus")
+	}
+	fmt.Printf("  attacker sees ciphertext only: %x...\n\n", raw[:16])
+
+	fmt.Println("attack 2 — spoofing (flip a bit of stored data)")
+	sys.CorruptHome(0)
+	err = sys.Read(0, make([]byte, 32))
+	if !errors.Is(err, salus.ErrIntegrity) {
+		log.Fatalf("FAILED: spoofing not detected (err=%v)", err)
+	}
+	fmt.Printf("  detected: %v\n\n", err)
+
+	// Repair for the next attack by rewriting the sector.
+	mustRecover(sys, 0, secret)
+
+	fmt.Println("attack 3 — splicing (move valid ciphertext to another address)")
+	sys.SpliceHome(0, 4096)
+	err = sys.Read(0, make([]byte, 32))
+	if !errors.Is(err, salus.ErrIntegrity) {
+		log.Fatalf("FAILED: splicing not detected (err=%v)", err)
+	}
+	fmt.Printf("  detected: %v\n\n", err)
+
+	mustRecover(sys, 0, secret)
+
+	fmt.Println("attack 4 — replay (restore old data, MACs, and counters)")
+	snap := sys.SnapshotHomeChunk(0) // attacker records version 1 in full
+	if err := sys.Write(0, []byte("account=4242 balance=0000000.01!")); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	sys.ReplayHomeChunk(snap) // attacker restores everything untrusted
+	err = sys.Read(0, make([]byte, 32))
+	if !errors.Is(err, salus.ErrFreshness) {
+		log.Fatalf("FAILED: replay not detected (err=%v)", err)
+	}
+	fmt.Printf("  detected: %v\n\n", err)
+
+	fmt.Println("all four physical attacks defeated or detected")
+}
+
+// mustRecover rewrites a sector after a detected attack so the demo can
+// continue (a real system would halt instead).
+func mustRecover(sys *salus.System, addr uint64, data []byte) {
+	if err := sys.Write(addr, data); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

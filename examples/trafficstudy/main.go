@@ -1,0 +1,65 @@
+// Traffic study: run one workload through the timing simulator under all
+// three security configurations and print the per-class traffic breakdown
+// and normalised IPC — a single-workload slice of the paper's Figs. 10-12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/stats"
+	"github.com/salus-sim/salus/internal/system"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "nw", "workload name")
+	accesses := flag.Int("accesses", 12000, "memory accesses to simulate")
+	flag.Parse()
+
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		log.Fatalf("unknown workload %q (available: %s)", *workload, strings.Join(trace.Names(), ", "))
+	}
+	cfg := config.Default()
+	cfg.GPU.NumSMs = 16
+	cfg.GPU.SMsPerGPC = 4
+	cfg.Memory.DeviceChannels = 8
+	cfg.GPU.L2KBPerPartition = 8
+
+	runs := map[system.Model]*stats.Run{}
+	for _, m := range []system.Model{system.ModelNone, system.ModelBaseline, system.ModelSalus} {
+		r, err := system.Run(system.Options{
+			Cfg: cfg, Workload: w, Model: m,
+			MaxAccesses: *accesses, CycleLimit: 2_000_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[m] = r
+	}
+
+	none := runs[system.ModelNone]
+	fmt.Printf("workload %s: %d accesses, %d instructions\n\n", w.Name, none.MemRequests, none.Instructions)
+	fmt.Printf("%-9s %8s %8s | %21s | %21s\n", "model", "cycles", "IPC/none", "CXL data/security B", "device data/security B")
+	for _, m := range []system.Model{system.ModelNone, system.ModelBaseline, system.ModelSalus} {
+		r := runs[m]
+		fmt.Printf("%-9s %8d %8.3f | %10d %10d | %10d %10d\n",
+			m, r.Cycles, r.IPC()/none.IPC(),
+			r.Traffic.Bytes(stats.CXL, stats.Data), r.Traffic.SecurityBytes(stats.CXL),
+			r.Traffic.Bytes(stats.Device, stats.Data), r.Traffic.SecurityBytes(stats.Device))
+	}
+
+	base, sal := runs[system.ModelBaseline], runs[system.ModelSalus]
+	fmt.Printf("\nsalus vs conventional on %s:\n", w.Name)
+	fmt.Printf("  IPC improvement:           %+.2f%%\n",
+		(float64(base.Cycles)/float64(sal.Cycles)-1)*100)
+	fmt.Printf("  security traffic:          %.1f%% of conventional\n",
+		100*float64(sal.Traffic.TotalSecurityBytes())/float64(base.Traffic.TotalSecurityBytes()))
+	fmt.Printf("  re-encryptions:            %d vs %d\n", sal.Ops.ReEncryptions, base.Ops.ReEncryptions)
+	fmt.Printf("  lazy MAC fetches:          %d\n", sal.Ops.MACFetchesLazy)
+	fmt.Printf("  chunks written back:       %d vs %d\n", sal.Ops.ChunksWrittenBack, base.Ops.ChunksWrittenBack)
+}

@@ -1,0 +1,3 @@
+module github.com/salus-sim/salus
+
+go 1.22

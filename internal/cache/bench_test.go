@@ -1,0 +1,32 @@
+package cache
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{SizeBytes: 64 * 1024, BlockSize: 128, SectorSize: 32, Ways: 8, MSHRs: 64})
+	for a := Addr(0); a < 64*1024; a += 128 {
+		c.Fill(a, 0xF, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(Addr(i%512)*128, 0x1)
+	}
+}
+
+func BenchmarkFillEvictChurn(b *testing.B) {
+	c := New(Config{SizeBytes: 8 * 1024, BlockSize: 128, SectorSize: 32, Ways: 4, MSHRs: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(Addr(i)*128, 0xF, 0)
+	}
+}
+
+func BenchmarkMSHRCycle(b *testing.B) {
+	c := New(Config{SizeBytes: 8 * 1024, BlockSize: 128, SectorSize: 32, Ways: 4, MSHRs: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := Addr(i%32) * 128
+		c.AllocateMSHR(block, 1, nil)
+		c.CompleteMSHR(block, 0)
+	}
+}

@@ -1,0 +1,211 @@
+// Package config defines the parameters of the simulated CXL-expanded GPU
+// memory system and of the security machinery. The default configuration
+// reproduces the paper's Table I (Volta-like GPU with CXL expansion at
+// 1/16th of the device bandwidth, device memory holding 35% of the
+// application footprint) and Table II (metadata caches and security engine).
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Geometry fixes the data-layout constants shared by every module.
+//
+// A 32 B sector is the memory access granularity; a 128 B block is a
+// sectored cache line (4 sectors); a 256 B chunk is the fine-grained channel
+// interleaving granularity (2 blocks); a 4 KiB page is the migration
+// granularity (16 chunks).
+type Geometry struct {
+	SectorSize int // bytes per memory access (32)
+	BlockSize  int // bytes per cache block (128)
+	ChunkSize  int // bytes per interleaving chunk (256)
+	PageSize   int // bytes per migrated page (4096)
+}
+
+// SectorsPerBlock returns BlockSize / SectorSize.
+func (g Geometry) SectorsPerBlock() int { return g.BlockSize / g.SectorSize }
+
+// SectorsPerChunk returns ChunkSize / SectorSize.
+func (g Geometry) SectorsPerChunk() int { return g.ChunkSize / g.SectorSize }
+
+// BlocksPerChunk returns ChunkSize / BlockSize.
+func (g Geometry) BlocksPerChunk() int { return g.ChunkSize / g.BlockSize }
+
+// ChunksPerPage returns PageSize / ChunkSize.
+func (g Geometry) ChunksPerPage() int { return g.PageSize / g.ChunkSize }
+
+// BlocksPerPage returns PageSize / BlockSize.
+func (g Geometry) BlocksPerPage() int { return g.PageSize / g.BlockSize }
+
+// SectorsPerPage returns PageSize / SectorSize.
+func (g Geometry) SectorsPerPage() int { return g.PageSize / g.SectorSize }
+
+// Validate checks the geometric invariants every module relies on.
+func (g Geometry) Validate() error {
+	switch {
+	case g.SectorSize <= 0 || g.BlockSize <= 0 || g.ChunkSize <= 0 || g.PageSize <= 0:
+		return errors.New("config: geometry sizes must be positive")
+	case g.BlockSize%g.SectorSize != 0:
+		return errors.New("config: block size must be a multiple of sector size")
+	case g.ChunkSize%g.BlockSize != 0:
+		return errors.New("config: chunk size must be a multiple of block size")
+	case g.PageSize%g.ChunkSize != 0:
+		return errors.New("config: page size must be a multiple of chunk size")
+	}
+	return nil
+}
+
+// GPU describes the compute side: how memory requests are generated.
+type GPU struct {
+	NumSMs         int // streaming multiprocessors
+	SMsPerGPC      int // SMs sharing one interconnect port / mapping cache
+	WarpsPerSM     int // concurrently scheduled warps per SM
+	MaxOutstanding int // in-flight memory requests per SM (MSHR-like bound)
+	NonMemIPC      int // non-memory instructions retired per SM per cycle
+
+	L2KBPerPartition int    // L2 slice capacity per memory partition
+	L2Ways           int    // L2 associativity
+	L2MSHRs          int    // L2 outstanding misses per slice
+	L2Latency        uint64 // L2 hit latency, cycles
+	XbarLatency      uint64 // interconnect traversal latency, cycles
+}
+
+// GPCs returns the number of graphics processing clusters.
+func (g GPU) GPCs() int { return (g.NumSMs + g.SMsPerGPC - 1) / g.SMsPerGPC }
+
+// Memory describes the two memory tiers.
+type Memory struct {
+	DeviceChannels       int    // HBM/GDDR channels (memory partitions)
+	DeviceBytesPerCycle  uint64 // per-channel service bandwidth
+	DeviceLatency        uint64 // fixed access latency per channel request, cycles
+	CXLRatioNum          uint64 // CXL aggregate BW = Num/Den × device aggregate BW
+	CXLRatioDen          uint64
+	CXLLatency           uint64  // link + media latency, cycles
+	DeviceFootprintRatio float64 // fraction of application footprint resident in device memory
+}
+
+// DeviceAggregateBytesPerCycle returns the total device-memory bandwidth.
+func (m Memory) DeviceAggregateBytesPerCycle() uint64 {
+	return uint64(m.DeviceChannels) * m.DeviceBytesPerCycle
+}
+
+// CXLBytesPerCycleRational returns the CXL link bandwidth as a rational
+// number of bytes per cycle (num/den), preserving exact ratios like 1/16.
+func (m Memory) CXLBytesPerCycleRational() (num, den uint64) {
+	return m.DeviceAggregateBytesPerCycle() * m.CXLRatioNum, m.CXLRatioDen
+}
+
+// Security describes the metadata caches and the security engine (Table II).
+type Security struct {
+	MACBits             int    // MAC length in bits (56, per Gueron's analysis)
+	MACLatency          uint64 // MAC generation/verification latency, cycles
+	AESLatency          uint64 // OTP generation latency (hidden off critical path for reads)
+	CounterCacheKB      int    // per-partition counter cache capacity
+	MACCacheKB          int    // per-partition MAC cache capacity
+	BMTCacheKB          int    // per-partition BMT node cache capacity
+	MetaCacheWays       int    // associativity of metadata caches
+	MetaCacheMSHRs      int    // MSHRs shared by the metadata caches
+	MappingCacheEntries int    // per-GPC CXL-to-GPU mapping cache entries
+	DirtyBufferEntries  int    // control-logic dirty-bitmask buffer entries
+}
+
+// Config aggregates everything needed to instantiate a system.
+type Config struct {
+	Geometry Geometry
+	GPU      GPU
+	Memory   Memory
+	Security Security
+}
+
+// Default returns the paper's baseline configuration (Tables I and II).
+func Default() Config {
+	return Config{
+		Geometry: Geometry{
+			SectorSize: 32,
+			BlockSize:  128,
+			ChunkSize:  256,
+			PageSize:   4096,
+		},
+		GPU: GPU{
+			NumSMs:         80, // Volta-like
+			SMsPerGPC:      14, // 6 GPCs
+			WarpsPerSM:     24,
+			MaxOutstanding: 48,
+			NonMemIPC:      1,
+
+			// L2 slices are scaled with the (scaled-down) workload
+			// footprints so memory pressure matches the paper's regime.
+			L2KBPerPartition: 32,
+			L2Ways:           8,
+			L2MSHRs:          64,
+			L2Latency:        30,
+			XbarLatency:      15,
+		},
+		Memory: Memory{
+			DeviceChannels:       16,
+			DeviceBytesPerCycle:  32, // one sector per cycle per channel
+			DeviceLatency:        200,
+			CXLRatioNum:          1,
+			CXLRatioDen:          16, // PCIe 5.0 x16-comparable aggregate
+			CXLLatency:           600,
+			DeviceFootprintRatio: 0.35,
+		},
+		Security: Security{
+			MACBits:             56,
+			MACLatency:          40,
+			AESLatency:          40,
+			CounterCacheKB:      8,
+			MACCacheKB:          2, // 2 kB per memory partition (Table II)
+			BMTCacheKB:          8,
+			MetaCacheWays:       4,
+			MetaCacheMSHRs:      256,
+			MappingCacheEntries: 128,
+			DirtyBufferEntries:  32,
+		},
+	}
+}
+
+// Validate checks cross-field invariants. It returns the first problem found.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.GPU.NumSMs <= 0 || c.GPU.SMsPerGPC <= 0 || c.GPU.WarpsPerSM <= 0:
+		return errors.New("config: GPU dimensions must be positive")
+	case c.GPU.MaxOutstanding <= 0:
+		return errors.New("config: MaxOutstanding must be positive")
+	case c.Memory.DeviceChannels <= 0:
+		return errors.New("config: need at least one device channel")
+	case c.Memory.DeviceBytesPerCycle == 0:
+		return errors.New("config: device bandwidth must be positive")
+	case c.Memory.CXLRatioNum == 0 || c.Memory.CXLRatioDen == 0:
+		return errors.New("config: CXL bandwidth ratio must be positive")
+	case c.Memory.DeviceFootprintRatio <= 0 || c.Memory.DeviceFootprintRatio > 1:
+		return fmt.Errorf("config: device footprint ratio %v outside (0,1]", c.Memory.DeviceFootprintRatio)
+	case c.Security.MACBits <= 0 || c.Security.MACBits > 64:
+		return fmt.Errorf("config: MAC bits %d outside (0,64]", c.Security.MACBits)
+	case c.Security.MappingCacheEntries <= 0:
+		return errors.New("config: mapping cache must have entries")
+	}
+	if c.Geometry.PageSize/c.Geometry.ChunkSize > c.Memory.DeviceChannels &&
+		c.Memory.DeviceChannels&(c.Memory.DeviceChannels-1) != 0 {
+		return errors.New("config: device channel count must be a power of two when pages span more chunks than channels")
+	}
+	return nil
+}
+
+// WithCXLRatio returns a copy with the CXL bandwidth ratio replaced
+// (used by the Fig. 13 sensitivity sweep).
+func (c Config) WithCXLRatio(num, den uint64) Config {
+	c.Memory.CXLRatioNum, c.Memory.CXLRatioDen = num, den
+	return c
+}
+
+// WithFootprintRatio returns a copy with the device-memory-to-footprint
+// ratio replaced (used by the Fig. 14 sensitivity sweep).
+func (c Config) WithFootprintRatio(r float64) Config {
+	c.Memory.DeviceFootprintRatio = r
+	return c
+}

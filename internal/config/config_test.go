@@ -1,0 +1,114 @@
+package config
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := Default().Geometry
+	if got := g.SectorsPerBlock(); got != 4 {
+		t.Errorf("SectorsPerBlock = %d, want 4", got)
+	}
+	if got := g.SectorsPerChunk(); got != 8 {
+		t.Errorf("SectorsPerChunk = %d, want 8", got)
+	}
+	if got := g.BlocksPerChunk(); got != 2 {
+		t.Errorf("BlocksPerChunk = %d, want 2", got)
+	}
+	if got := g.ChunksPerPage(); got != 16 {
+		t.Errorf("ChunksPerPage = %d, want 16", got)
+	}
+	if got := g.BlocksPerPage(); got != 32 {
+		t.Errorf("BlocksPerPage = %d, want 32", got)
+	}
+	if got := g.SectorsPerPage(); got != 128 {
+		t.Errorf("SectorsPerPage = %d, want 128", got)
+	}
+}
+
+func TestGeometryValidateRejectsBadSizes(t *testing.T) {
+	cases := []Geometry{
+		{SectorSize: 0, BlockSize: 128, ChunkSize: 256, PageSize: 4096},
+		{SectorSize: 32, BlockSize: 100, ChunkSize: 256, PageSize: 4096}, // block not multiple of sector
+		{SectorSize: 32, BlockSize: 128, ChunkSize: 200, PageSize: 4096}, // chunk not multiple of block
+		{SectorSize: 32, BlockSize: 128, ChunkSize: 256, PageSize: 1000}, // page not multiple of chunk
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestCXLBandwidthRatio(t *testing.T) {
+	c := Default()
+	num, den := c.Memory.CXLBytesPerCycleRational()
+	// 16 channels × 32 B/cycle = 512 B/cycle aggregate; 1/16th = 32 B/cycle.
+	if float64(num)/float64(den) != 32 {
+		t.Errorf("CXL bandwidth = %d/%d, want 32 B/cycle", num, den)
+	}
+}
+
+func TestWithCXLRatio(t *testing.T) {
+	c := Default().WithCXLRatio(1, 4)
+	if c.Memory.CXLRatioNum != 1 || c.Memory.CXLRatioDen != 4 {
+		t.Errorf("ratio = %d/%d, want 1/4", c.Memory.CXLRatioNum, c.Memory.CXLRatioDen)
+	}
+	// Original preset untouched (value semantics).
+	if d := Default(); d.Memory.CXLRatioDen != 16 {
+		t.Error("Default() mutated by WithCXLRatio")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+}
+
+func TestWithFootprintRatio(t *testing.T) {
+	c := Default().WithFootprintRatio(0.2)
+	if c.Memory.DeviceFootprintRatio != 0.2 {
+		t.Errorf("ratio = %v, want 0.2", c.Memory.DeviceFootprintRatio)
+	}
+	bad := Default().WithFootprintRatio(0)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted footprint ratio 0")
+	}
+	bad = Default().WithFootprintRatio(1.5)
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted footprint ratio > 1")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.GPU.NumSMs = 0 },
+		func(c *Config) { c.GPU.MaxOutstanding = 0 },
+		func(c *Config) { c.Memory.DeviceChannels = 0 },
+		func(c *Config) { c.Memory.DeviceBytesPerCycle = 0 },
+		func(c *Config) { c.Memory.CXLRatioDen = 0 },
+		func(c *Config) { c.Security.MACBits = 65 },
+		func(c *Config) { c.Security.MappingCacheEntries = 0 },
+	}
+	for i, mut := range mutations {
+		c := Default()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestGPCs(t *testing.T) {
+	g := GPU{NumSMs: 80, SMsPerGPC: 14}
+	if got := g.GPCs(); got != 6 {
+		t.Errorf("GPCs = %d, want 6", got)
+	}
+	g = GPU{NumSMs: 84, SMsPerGPC: 14}
+	if got := g.GPCs(); got != 6 {
+		t.Errorf("GPCs = %d, want 6", got)
+	}
+}

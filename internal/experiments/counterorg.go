@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/metrics"
+	"github.com/salus-sim/salus/internal/secsim"
+	"github.com/salus-sim/salus/internal/stats"
+	"github.com/salus-sim/salus/internal/system"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+// CounterOrganisation is an extension study grounded in the paper's
+// background (§II-A1): it compares three counter organisations for the
+// location-coupled model — SGX-style monolithic 64-bit counters, the
+// split-counter design of prior GPU work, and Salus — on normalised IPC
+// and total security traffic. Monolithic counters multiply the counter
+// footprint by 8, deepening the trees and inflating every migration's
+// metadata bill; split counters were the state of the art Salus starts
+// from.
+func (r *Runner) CounterOrganisation() (*FigResult, error) {
+	cfg := r.Settings.Cfg
+	none, err := r.suiteRuns(system.ModelNone, vPlain, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type variantRun struct {
+		label string
+		runs  []*stats.Run
+	}
+	var rows []variantRun
+
+	mono := variantRun{label: "conventional, monolithic counters (SGX-style)"}
+	for _, w := range r.Settings.Workloads {
+		run, err := r.runMono(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mono.runs = append(mono.runs, run)
+	}
+	rows = append(rows, mono)
+
+	split, err := r.suiteRuns(system.ModelBaseline, vPlain, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, variantRun{label: "conventional, split counters (PSSM-style)", runs: split})
+
+	sal, err := r.suiteRuns(system.ModelSalus, vPlain, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, variantRun{label: "salus (interleaving-friendly + collapsed)", runs: sal})
+
+	res := &FigResult{Name: "Extension — counter organisation study", Summary: map[string]float64{}}
+	res.Table.Header = []string{"organisation", "geomean IPC vs no-security", "security MB"}
+	for _, row := range rows {
+		var norm []float64
+		var secBytes float64
+		for i, run := range row.runs {
+			norm = append(norm, run.IPC()/none[i].IPC())
+			secBytes += float64(run.Traffic.TotalSecurityBytes())
+		}
+		gm, err := metrics.Geomean(norm)
+		if err != nil {
+			return nil, err
+		}
+		res.Table.AddRow(row.label, fmt.Sprintf("%.3f", gm), fmt.Sprintf("%.2f", secBytes/(1<<20)))
+		res.Summary[row.label] = gm
+	}
+	return res, nil
+}
+
+// runMono runs one workload under the monolithic-counter baseline.
+func (r *Runner) runMono(w trace.Params, cfg config.Config) (*stats.Run, error) {
+	key := runKey{workload: w.Name, model: system.ModelBaseline, variant: vPlain,
+		cxlNum: cfg.Memory.CXLRatioNum, cxlDen: cfg.Memory.CXLRatioDen,
+		ratio: cfg.Memory.DeviceFootprintRatio, tag: "mono"}
+	if got, ok := r.cache[key]; ok {
+		return got, nil
+	}
+	out, err := system.Run(system.Options{
+		Cfg:          cfg,
+		Workload:     w,
+		Model:        system.ModelBaseline,
+		MaxAccesses:  r.Settings.MaxAccesses,
+		CycleLimit:   r.Settings.CycleLimit,
+		TuneBaseline: func(b *secsim.Baseline) { b.SetMonolithicCounters(true) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/mono: %w", w.Name, err)
+	}
+	r.cache[key] = out
+	return out, nil
+}

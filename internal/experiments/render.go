@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Format selects how FigResults are rendered for output.
+type Format int
+
+const (
+	// Text renders aligned human-readable tables (the default).
+	Text Format = iota
+	// JSON renders one self-describing JSON document per result.
+	JSON
+	// CSV renders the table rows as comma-separated values with a header,
+	// plus summary rows prefixed with "#" — convenient for plotting.
+	CSV
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return Text, nil
+	case "json":
+		return JSON, nil
+	case "csv":
+		return CSV, nil
+	}
+	return Text, fmt.Errorf("experiments: unknown format %q (want text, json, or csv)", s)
+}
+
+// jsonResult is the wire form of a FigResult.
+type jsonResult struct {
+	Name    string             `json:"name"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// Render serialises the result in the requested format.
+func (f *FigResult) Render(format Format) (string, error) {
+	switch format {
+	case Text:
+		return f.String(), nil
+	case JSON:
+		out, err := json.MarshalIndent(jsonResult{
+			Name:    f.Name,
+			Columns: f.Table.Header,
+			Rows:    f.Table.Rows,
+			Summary: f.Summary,
+		}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(out) + "\n", nil
+	case CSV:
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s\n", f.Name)
+		b.WriteString(csvRow(f.Table.Header))
+		for _, row := range f.Table.Rows {
+			b.WriteString(csvRow(row))
+		}
+		for _, k := range sortedKeys(f.Summary) {
+			fmt.Fprintf(&b, "# %s,%g\n", csvEscape(k), f.Summary[k])
+		}
+		return b.String(), nil
+	}
+	return "", fmt.Errorf("experiments: unknown format %d", format)
+}
+
+func csvRow(cells []string) string {
+	escaped := make([]string, len(cells))
+	for i, c := range cells {
+		escaped[i] = csvEscape(c)
+	}
+	return strings.Join(escaped, ",") + "\n"
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

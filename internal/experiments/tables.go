@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/stats"
+	"github.com/salus-sim/salus/internal/system"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+// Table1 renders the baseline system configuration (the paper's Table I):
+// the Volta-like GPU, the two memory tiers, and their bandwidth relation.
+func Table1(cfg config.Config) *FigResult {
+	res := &FigResult{Name: "Table I — baseline system configuration", Summary: map[string]float64{}}
+	res.Table.Header = []string{"parameter", "value"}
+	num, den := cfg.Memory.CXLBytesPerCycleRational()
+	rows := [][2]string{
+		{"SMs", fmt.Sprintf("%d (%d GPCs of %d)", cfg.GPU.NumSMs, cfg.GPU.GPCs(), cfg.GPU.SMsPerGPC)},
+		{"warps per SM", fmt.Sprintf("%d", cfg.GPU.WarpsPerSM)},
+		{"max outstanding per SM", fmt.Sprintf("%d", cfg.GPU.MaxOutstanding)},
+		{"L2 per partition", fmt.Sprintf("%d KiB, %d-way, %d MSHRs, %d-cycle hit", cfg.GPU.L2KBPerPartition, cfg.GPU.L2Ways, cfg.GPU.L2MSHRs, cfg.GPU.L2Latency)},
+		{"device memory channels", fmt.Sprintf("%d", cfg.Memory.DeviceChannels)},
+		{"device bandwidth", fmt.Sprintf("%d B/cycle/channel (%d B/cycle aggregate)", cfg.Memory.DeviceBytesPerCycle, cfg.Memory.DeviceAggregateBytesPerCycle())},
+		{"device latency", fmt.Sprintf("%d cycles", cfg.Memory.DeviceLatency)},
+		{"CXL bandwidth", fmt.Sprintf("%d/%d of device aggregate (%.1f B/cycle)", cfg.Memory.CXLRatioNum, cfg.Memory.CXLRatioDen, float64(num)/float64(den))},
+		{"CXL latency", fmt.Sprintf("%d cycles", cfg.Memory.CXLLatency)},
+		{"device memory holds", fmt.Sprintf("%.0f%% of application footprint", cfg.Memory.DeviceFootprintRatio*100)},
+		{"interleaving granularity", fmt.Sprintf("%d B chunks", cfg.Geometry.ChunkSize)},
+		{"page size", fmt.Sprintf("%d B", cfg.Geometry.PageSize)},
+	}
+	for _, row := range rows {
+		res.Table.AddRow(row[0], row[1])
+	}
+	return res
+}
+
+// Table2 renders the metadata caches and security configuration (the
+// paper's Table II).
+func Table2(cfg config.Config) *FigResult {
+	res := &FigResult{Name: "Table II — metadata caches and security configuration", Summary: map[string]float64{}}
+	res.Table.Header = []string{"parameter", "value"}
+	sec := cfg.Security
+	rows := [][2]string{
+		{"MAC cache", fmt.Sprintf("%d KiB per memory partition", sec.MACCacheKB)},
+		{"counter cache", fmt.Sprintf("%d KiB per partition, %d-way sectored", sec.CounterCacheKB, sec.MetaCacheWays)},
+		{"BMT cache", fmt.Sprintf("%d KiB per partition", sec.BMTCacheKB)},
+		{"metadata MSHRs", fmt.Sprintf("%d, allocate-on-fill", sec.MetaCacheMSHRs)},
+		{"MAC length", fmt.Sprintf("%d bits", sec.MACBits)},
+		{"MAC latency", fmt.Sprintf("%d cycles", sec.MACLatency)},
+		{"encryption engine", fmt.Sprintf("1 pipelined AES per partition, %d-cycle latency", sec.AESLatency)},
+		{"mapping cache", fmt.Sprintf("%d entries per GPC", sec.MappingCacheEntries)},
+		{"dirty-bitmask buffer", fmt.Sprintf("%d entries", sec.DirtyBufferEntries)},
+	}
+	for _, row := range rows {
+		res.Table.AddRow(row[0], row[1])
+	}
+	return res
+}
+
+// WorkloadTable summarises the synthetic workload suite, the stand-in for
+// the paper's benchmark selection.
+func WorkloadTable(s Settings) *FigResult {
+	res := &FigResult{Name: "Workload suite (synthetic stand-ins)", Summary: map[string]float64{}}
+	res.Table.Header = []string{"workload", "footprint", "coverage", "writes", "compute/mem", "pattern"}
+	for _, w := range s.Workloads {
+		res.Table.AddRow(w.Name,
+			fmt.Sprintf("%d MiB", w.FootprintBytes>>20),
+			fmt.Sprintf("%.2f", w.PageCoverage),
+			fmt.Sprintf("%.2f", w.WriteFraction),
+			fmt.Sprintf("%d", w.ComputePerMem),
+			w.Pattern.String())
+	}
+	return res
+}
+
+// TrafficBreakdown reports per-class traffic for one workload under every
+// model — the debugging view behind Figs. 11 and 12.
+func (r *Runner) TrafficBreakdown(workload string) (*FigResult, error) {
+	var w, ok = findWorkload(r.Settings, workload)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	res := &FigResult{Name: "Traffic breakdown — " + workload, Summary: map[string]float64{}}
+	res.Table.Header = []string{"model", "tier", "data B", "counter B", "mac B", "bmt B", "mapping B"}
+	for _, m := range []system.Model{system.ModelNone, system.ModelBaseline, system.ModelSalus} {
+		run, err := r.run(w, m, vPlain, r.Settings.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tier := range []stats.Tier{stats.Device, stats.CXL} {
+			res.Table.AddRow(m.String(), tier.String(),
+				fmt.Sprintf("%d", run.Traffic.Bytes(tier, stats.Data)),
+				fmt.Sprintf("%d", run.Traffic.Bytes(tier, stats.Counter)),
+				fmt.Sprintf("%d", run.Traffic.Bytes(tier, stats.MAC)),
+				fmt.Sprintf("%d", run.Traffic.Bytes(tier, stats.BMT)),
+				fmt.Sprintf("%d", run.Traffic.Bytes(tier, stats.Mapping)))
+		}
+	}
+	return res, nil
+}
+
+func findWorkload(s Settings, name string) (w trace.Params, ok bool) {
+	for _, p := range s.Workloads {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return w, false
+}

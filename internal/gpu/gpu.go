@@ -1,0 +1,177 @@
+// Package gpu models the compute side of the simulated system: streaming
+// multiprocessors that turn workload streams into timed memory requests.
+//
+// Each SM owns one instruction issue pipe (a bandwidth server retiring
+// NonMemIPC instructions per cycle) shared by its warp lanes. A lane
+// repeatedly retires its compute batch, then issues the next memory
+// access. Loads block the lane until the reply returns; stores are posted
+// but hold an outstanding-request slot so a store-heavy lane cannot run
+// unboundedly ahead of the memory system. Instructions retired and the
+// finish cycle give the IPC the experiments report.
+package gpu
+
+import (
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/sim"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+// Issuer sends one memory access into the memory system and calls done at
+// completion time.
+type Issuer func(gpc int, addr uint64, write bool, done func())
+
+// Stream is the access source an SM executes: either a synthetic
+// generator (*trace.Stream) or a replayed file (*trace.FileStream).
+type Stream interface {
+	Next() (trace.Access, bool)
+	ComputePerMem() int
+}
+
+// GPU is the collection of SMs executing one workload.
+type GPU struct {
+	eng    *sim.Engine
+	cfg    config.GPU
+	issuer Issuer
+
+	sms      []*sm
+	active   int // SMs still executing
+	instrs   uint64
+	memReqs  uint64
+	finish   sim.Cycle
+	onFinish func()
+	started  bool
+}
+
+type sm struct {
+	g           *GPU
+	id, gpc     int
+	issue       *sim.Server
+	stream      Stream
+	computeCost uint64
+
+	lanes       int // live lanes
+	outstanding int
+	slotWaiters []func()
+	exhausted   bool
+}
+
+// New builds a GPU whose SM i executes streams[i]. The issuer delivers
+// memory accesses to the memory system.
+func New(eng *sim.Engine, cfg config.GPU, streams []Stream, issuer Issuer) *GPU {
+	g := &GPU{eng: eng, cfg: cfg, issuer: issuer}
+	for i, st := range streams {
+		g.sms = append(g.sms, &sm{
+			g:           g,
+			id:          i,
+			gpc:         i / cfg.SMsPerGPC,
+			issue:       sim.NewServer(eng, 1, uint64(cfg.NonMemIPC), 0),
+			stream:      st,
+			computeCost: uint64(st.ComputePerMem() + 1),
+		})
+	}
+	return g
+}
+
+// Start launches every SM at the current simulation time. onFinish runs
+// once when the last SM drains. Start may be called once.
+func (g *GPU) Start(onFinish func()) {
+	if g.started {
+		panic("gpu: Start called twice")
+	}
+	g.started = true
+	g.onFinish = onFinish
+	g.active = len(g.sms)
+	if g.active == 0 {
+		g.finish = g.eng.Now()
+		if onFinish != nil {
+			onFinish()
+		}
+		return
+	}
+	for _, s := range g.sms {
+		s.lanes = g.cfg.WarpsPerSM
+		for l := 0; l < g.cfg.WarpsPerSM; l++ {
+			s.laneStep()
+		}
+	}
+}
+
+// Instructions returns the instructions retired so far.
+func (g *GPU) Instructions() uint64 { return g.instrs }
+
+// MemRequests returns the memory accesses issued so far.
+func (g *GPU) MemRequests() uint64 { return g.memReqs }
+
+// FinishCycle returns the cycle at which the last SM drained (valid after
+// onFinish has run).
+func (g *GPU) FinishCycle() sim.Cycle { return g.finish }
+
+// Done reports whether all SMs have drained.
+func (g *GPU) Done() bool { return g.started && g.active == 0 }
+
+// laneStep advances one warp lane: retire the compute batch plus the
+// memory instruction through the issue pipe, then perform the access.
+func (s *sm) laneStep() {
+	acc, ok := s.stream.Next()
+	if !ok {
+		s.laneDone()
+		return
+	}
+	s.issue.Submit(s.computeCost, func() {
+		s.g.instrs += s.computeCost
+		s.acquireSlot(func() {
+			s.g.memReqs++
+			write := acc.Write
+			s.g.issuer(s.gpc, acc.Addr, write, func() {
+				s.releaseSlot()
+				if !write {
+					s.laneStep()
+				}
+			})
+			if write {
+				// Posted store: the lane proceeds without waiting.
+				s.laneStep()
+			}
+		})
+	})
+}
+
+func (s *sm) acquireSlot(fn func()) {
+	if s.outstanding < s.g.cfg.MaxOutstanding {
+		s.outstanding++
+		fn()
+		return
+	}
+	s.slotWaiters = append(s.slotWaiters, fn)
+}
+
+func (s *sm) releaseSlot() {
+	if len(s.slotWaiters) > 0 {
+		fn := s.slotWaiters[0]
+		s.slotWaiters = s.slotWaiters[1:]
+		fn()
+		return
+	}
+	s.outstanding--
+	s.maybeFinish()
+}
+
+func (s *sm) laneDone() {
+	s.lanes--
+	s.exhausted = s.lanes == 0
+	s.maybeFinish()
+}
+
+func (s *sm) maybeFinish() {
+	if !s.exhausted || s.outstanding != 0 || s.lanes != 0 {
+		return
+	}
+	s.exhausted = false // fire once
+	s.g.active--
+	if s.g.active == 0 {
+		s.g.finish = s.g.eng.Now()
+		if s.g.onFinish != nil {
+			s.g.onFinish()
+		}
+	}
+}

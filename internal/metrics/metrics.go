@@ -1,0 +1,87 @@
+// Package metrics provides the aggregation helpers the paper's methodology
+// uses: normalisation against a reference run and geometric means across
+// workloads.
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// Geomean returns the geometric mean of xs. It returns an error when xs is
+// empty or contains a non-positive value (geometric means are undefined
+// there, and a silent zero would corrupt a result table).
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("metrics: geomean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("metrics: geomean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeomean is Geomean for call sites with statically valid inputs.
+func MustGeomean(xs []float64) float64 {
+	g, err := Geomean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Normalize returns value/reference, guarding the zero reference.
+func Normalize(value, reference float64) (float64, error) {
+	if reference == 0 {
+		return 0, errors.New("metrics: normalise against zero reference")
+	}
+	return value / reference, nil
+}
+
+// ImprovementPct converts a ratio new/old into a percentage improvement of
+// new over old: 1.30 -> +30%.
+func ImprovementPct(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum of xs. It panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,32 @@
+package secsim
+
+// None is the no-security configuration: data moves unprotected, and the
+// only eviction policy difference from the secure models is that, like a
+// conventional GPU (whose page tables carry no dirty bit), whole pages are
+// written back.
+type None struct{}
+
+// NewNone returns the no-security engine.
+func NewNone() *None { return &None{} }
+
+// Name implements Engine.
+func (*None) Name() string { return "none" }
+
+// OnRead implements Engine: no security work.
+func (*None) OnRead(homeAddr, devAddr uint64, done func()) { done() }
+
+// OnWrite implements Engine: no security work.
+func (*None) OnWrite(homeAddr, devAddr uint64, done func()) { done() }
+
+// OnMigrateIn implements Engine: no security work.
+func (*None) OnMigrateIn(homePage, frame int, done func()) { done() }
+
+// OnChunkFill implements Engine: no security work.
+func (*None) OnChunkFill(homePage, frame, chunk int, done func()) { done() }
+
+// OnEvict implements Engine: no security work.
+func (*None) OnEvict(homePage, frame int, dirty, present uint64, done func()) { done() }
+
+// FineGrainedWriteback implements Engine: conventional GPUs write back
+// whole pages.
+func (*None) FineGrainedWriteback() bool { return false }

@@ -1,0 +1,215 @@
+package securemem
+
+import "fmt"
+
+// Read copies len(buf) bytes starting at addr into buf, transparently
+// migrating the page to the device tier, decrypting, and verifying
+// integrity and freshness. It returns ErrIntegrity/ErrFreshness when an
+// attack is detected.
+func (s *System) Read(addr uint64, buf []byte) error {
+	if addr+uint64(len(buf)) > s.Size() {
+		return ErrOutOfRange
+	}
+	s.stats.Reads++
+	ss := uint64(s.geo.SectorSize)
+	for off := uint64(0); off < uint64(len(buf)); {
+		secBase := (addr + off) / ss * ss
+		inSec := addr + off - secBase
+		n := ss - inSec
+		if rem := uint64(len(buf)) - off; n > rem {
+			n = rem
+		}
+		var sector [32]byte
+		if err := s.accessSector(secBase, sector[:], false, nil); err != nil {
+			return err
+		}
+		copy(buf[off:off+n], sector[inSec:inSec+n])
+		off += n
+	}
+	return nil
+}
+
+// Write stores data at addr with read-modify-write at sector granularity.
+// Each written sector gets a fresh counter, new ciphertext, and a new MAC.
+func (s *System) Write(addr uint64, data []byte) error {
+	if addr+uint64(len(data)) > s.Size() {
+		return ErrOutOfRange
+	}
+	s.stats.Writes++
+	ss := uint64(s.geo.SectorSize)
+	for off := uint64(0); off < uint64(len(data)); {
+		secBase := (addr + off) / ss * ss
+		inSec := addr + off - secBase
+		n := ss - inSec
+		if rem := uint64(len(data)) - off; n > rem {
+			n = rem
+		}
+		var sector [32]byte
+		if inSec != 0 || n != ss {
+			// Partial sector: fetch current plaintext first.
+			if err := s.accessSector(secBase, sector[:], false, nil); err != nil {
+				return err
+			}
+		}
+		copy(sector[inSec:inSec+n], data[off:off+n])
+		if err := s.accessSector(secBase, sector[:], true, sector[:]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// accessSector performs one sector-granular access on the device tier,
+// migrating the page in first when needed. For reads, out receives the
+// plaintext. For writes, in is the full new plaintext of the sector.
+func (s *System) accessSector(addr uint64, out []byte, isWrite bool, in []byte) error {
+	page := int(addr) / s.geo.PageSize
+	fi := s.pageTable[page]
+	if fi < 0 {
+		var err error
+		fi, err = s.migrateIn(page)
+		if err != nil {
+			return err
+		}
+	}
+	f := &s.frames[fi]
+	s.lruClock++
+	f.lru = s.lruClock
+
+	devAddr := uint64(fi*s.geo.PageSize) + addr%uint64(s.geo.PageSize)
+	switch s.cfg.Model {
+	case ModelNone:
+		if isWrite {
+			copy(s.devData[devAddr:devAddr+32], in)
+			f.dirty |= 1 << uint(s.chunkInPage(addr))
+		} else {
+			copy(out, s.devData[devAddr:devAddr+32])
+		}
+		return nil
+	case ModelSalus:
+		return s.salusAccess(addr, devAddr, fi, out, isWrite, in)
+	case ModelConventional:
+		return s.convAccess(addr, devAddr, fi, out, isWrite, in)
+	}
+	return fmt.Errorf("securemem: unknown model %d", s.cfg.Model)
+}
+
+func (s *System) chunkInPage(addr uint64) int {
+	return int(addr%uint64(s.geo.PageSize)) / s.geo.ChunkSize
+}
+
+func (s *System) blockInPage(addr uint64) int {
+	return int(addr%uint64(s.geo.PageSize)) / s.geo.BlockSize
+}
+
+// migrateIn copies a home page into a device frame, evicting a victim when
+// no frame is free. Under Salus the ciphertext moves verbatim; under the
+// conventional model every sector is decrypted with home-tier metadata and
+// re-encrypted with device-tier metadata.
+func (s *System) migrateIn(page int) (int, error) {
+	fi := -1
+	for i := range s.frames {
+		if s.frames[i].homePage < 0 {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		fi = s.victimFrame()
+		if err := s.evict(fi); err != nil {
+			return -1, err
+		}
+	}
+	// Split chunks (direct CXL writes) must be checkpointed back to the
+	// collapsed representation before their ciphertext can move verbatim.
+	if s.cfg.Model == ModelSalus {
+		if err := s.checkpointPage(page); err != nil {
+			return -1, err
+		}
+	}
+	s.stats.PageMigrationsIn++
+	f := &s.frames[fi]
+	*f = frame{homePage: page}
+	s.pageTable[page] = fi
+	s.lruClock++
+	f.lru = s.lruClock
+
+	src := s.cxlData[page*s.geo.PageSize : (page+1)*s.geo.PageSize]
+	dst := s.devData[fi*s.geo.PageSize : (fi+1)*s.geo.PageSize]
+	switch s.cfg.Model {
+	case ModelNone, ModelSalus:
+		// Ciphertext (or plaintext for ModelNone) moves verbatim: the
+		// unified model needs no re-encryption on relocation. Device
+		// counter groups and MAC sectors arrive lazily on first access.
+		copy(dst, src)
+	case ModelConventional:
+		if err := s.convMigrateIn(page, fi, src, dst); err != nil {
+			return -1, err
+		}
+	}
+	return fi, nil
+}
+
+// victimFrame returns the LRU frame index.
+func (s *System) victimFrame() int {
+	best := 0
+	for i := 1; i < len(s.frames); i++ {
+		if s.frames[i].lru < s.frames[best].lru {
+			best = i
+		}
+	}
+	return best
+}
+
+// evict writes a frame back to the home tier per the active model and
+// frees it.
+func (s *System) evict(fi int) error {
+	f := &s.frames[fi]
+	if f.homePage < 0 {
+		return nil
+	}
+	s.stats.PageEvictions++
+	var err error
+	switch s.cfg.Model {
+	case ModelNone:
+		err = s.noneEvict(fi)
+	case ModelSalus:
+		err = s.salusEvict(fi)
+	case ModelConventional:
+		err = s.convEvict(fi)
+	}
+	if err != nil {
+		return err
+	}
+	s.pageTable[f.homePage] = -1
+	f.homePage = -1
+	f.dirty, f.macIn, f.ctrIn = 0, 0, 0
+	return nil
+}
+
+// noneEvict copies dirty chunks back for the unprotected model.
+func (s *System) noneEvict(fi int) error {
+	f := &s.frames[fi]
+	page := f.homePage
+	cs := s.geo.ChunkSize
+	for c := 0; c < s.geo.ChunksPerPage(); c++ {
+		if f.dirty&(1<<uint(c)) == 0 {
+			continue
+		}
+		srcOff := fi*s.geo.PageSize + c*cs
+		dstOff := page*s.geo.PageSize + c*cs
+		copy(s.cxlData[dstOff:dstOff+cs], s.devData[srcOff:srcOff+cs])
+	}
+	return nil
+}
+
+// Flush evicts every resident page, as at kernel completion.
+func (s *System) Flush() error {
+	for fi := range s.frames {
+		if err := s.evict(fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package securemem
+
+import "sync"
+
+// Concurrent wraps a System with a mutex so multiple goroutines can share
+// it. The underlying System is single-threaded by design (the hardware it
+// models serialises security operations per memory controller); this
+// wrapper gives library users a safe default without putting lock overhead
+// on the single-threaded fast path.
+type Concurrent struct {
+	mu  sync.Mutex
+	sys *System
+}
+
+// NewConcurrent builds a protected memory safe for concurrent use.
+func NewConcurrent(cfg Config) (*Concurrent, error) {
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{sys: sys}, nil
+}
+
+// Read is a goroutine-safe System.Read.
+func (c *Concurrent) Read(addr uint64, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Read(addr, buf)
+}
+
+// Write is a goroutine-safe System.Write.
+func (c *Concurrent) Write(addr uint64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Write(addr, data)
+}
+
+// WriteThrough is a goroutine-safe System.WriteThrough.
+func (c *Concurrent) WriteThrough(addr uint64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.WriteThrough(addr, data)
+}
+
+// ReadThrough is a goroutine-safe System.ReadThrough.
+func (c *Concurrent) ReadThrough(addr uint64, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.ReadThrough(addr, buf)
+}
+
+// Flush is a goroutine-safe System.Flush.
+func (c *Concurrent) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Flush()
+}
+
+// Stats is a goroutine-safe System.Stats.
+func (c *Concurrent) Stats() OpStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Stats()
+}
+
+// Size returns the home address-space size in bytes.
+func (c *Concurrent) Size() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Size()
+}
+
+// Model returns the active protection model.
+func (c *Concurrent) Model() Model {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Model()
+}
+
+// Unwrap returns the underlying System for single-threaded phases. The
+// caller must guarantee no concurrent use while holding it.
+func (c *Concurrent) Unwrap() *System { return c.sys }

@@ -1,0 +1,117 @@
+package securemem
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentParallelAccess(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry:    testGeo(),
+		Model:       ModelSalus,
+		TotalPages:  32,
+		DevicePages: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const opsEach = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns a disjoint page range.
+			base := uint64(g * 4 * 4096)
+			for i := 0; i < opsEach; i++ {
+				payload := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				addr := base + uint64(i%3)*4096
+				if err := c.Write(addr, payload); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, len(payload))
+				if err := c.Read(addr, got); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("g%d: got %q want %q", g, got, payload)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.Stats().PageMigrationsIn == 0 {
+		t.Error("no migrations under concurrent load")
+	}
+	if c.Size() != 32*4096 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if c.Model() != ModelSalus {
+		t.Error("model wrong")
+	}
+	if c.Unwrap() == nil {
+		t.Error("Unwrap nil")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDirectPath(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry:    testGeo(),
+		Model:       ModelSalus,
+		TotalPages:  16,
+		DevicePages: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			addr := uint64((8 + g) * 4096) // pages never touched via cache
+			for i := 0; i < 50; i++ {
+				v := []byte{byte(g), byte(i)}
+				if err := c.WriteThrough(addr, v); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, 2)
+				if err := c.ReadThrough(addr, got); err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != byte(g) || got[1] != byte(i) {
+					errs <- fmt.Errorf("g%d i%d: got %v", g, i, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNewConcurrentValidation(t *testing.T) {
+	if _, err := NewConcurrent(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

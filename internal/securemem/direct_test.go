@@ -1,0 +1,243 @@
+package securemem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriteThroughRoundTrip(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 2)
+	data := []byte("streamed directly into CXL tier!")
+	if err := s.WriteThrough(4096, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadThrough(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+	// The page never became resident.
+	if s.IsResident(4096) {
+		t.Error("WriteThrough migrated the page")
+	}
+	// And the data is also visible through the cached path.
+	got2 := make([]byte, len(data))
+	if err := s.Read(4096, got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatalf("cached read got %q, want %q", got2, data)
+	}
+}
+
+func TestWriteThroughPartialSector(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 2)
+	if err := s.WriteThrough(10, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteThrough(30, []byte("defgh")); err != nil { // straddles sectors
+		t.Fatal(err)
+	}
+	buf := make([]byte, 40)
+	if err := s.ReadThrough(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[10:13]) != "abc" || string(buf[30:35]) != "defgh" {
+		t.Errorf("partial direct writes corrupted: %q", buf)
+	}
+}
+
+func TestWriteThroughModelAndRangeChecks(t *testing.T) {
+	conv := newSys(t, ModelConventional, 4, 2)
+	if err := conv.WriteThrough(0, []byte("x")); err == nil {
+		t.Error("WriteThrough accepted under conventional model")
+	}
+	if err := conv.ReadThrough(0, make([]byte, 1)); err == nil {
+		t.Error("ReadThrough accepted under conventional model")
+	}
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.WriteThrough(s.Size(), []byte("x")); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range WriteThrough: %v", err)
+	}
+	if err := s.ReadThrough(s.Size()-1, make([]byte, 2)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range ReadThrough: %v", err)
+	}
+}
+
+func TestWriteThroughRefusesResidentPage(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.Read(0, make([]byte, 1)); err != nil { // migrates page 0 in
+		t.Fatal(err)
+	}
+	if err := s.WriteThrough(0, []byte("x")); err == nil {
+		t.Error("WriteThrough accepted for a resident page")
+	}
+	if err := s.ReadThrough(0, make([]byte, 1)); err == nil {
+		t.Error("ReadThrough accepted for a resident page")
+	}
+}
+
+func TestSplitStateCheckpointOnMigration(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 2)
+	// Several direct writes put chunk 0 of page 1 in split state.
+	for i := 0; i < 5; i++ {
+		if err := s.WriteThrough(4096, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunk := 4096 / s.geo.ChunkSize
+	if !s.splitDirty[chunk] {
+		t.Fatal("chunk not in split state after direct writes")
+	}
+	// Migrating the page (via a cached read) checkpoints the chunk.
+	got := make([]byte, 1)
+	if err := s.Read(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 {
+		t.Errorf("read %d, want 4", got[0])
+	}
+	if s.splitDirty[chunk] {
+		t.Error("split state survived migration")
+	}
+	if s.Stats().CollapseReEncryptions == 0 {
+		t.Error("checkpoint performed no collapse re-encryption")
+	}
+}
+
+func TestCheckpointChunkExplicit(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 2)
+	if err := s.WriteThrough(0, []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointChunk(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.splitDirty[0] {
+		t.Error("chunk still split after checkpoint")
+	}
+	// Data still reads back correctly through both paths.
+	got := make([]byte, 5)
+	if err := s.ReadThrough(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "dirty" {
+		t.Errorf("got %q", got)
+	}
+	// Checkpointing a clean chunk is a no-op.
+	if err := s.CheckpointChunk(8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointChunk(s.Size()); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range checkpoint: %v", err)
+	}
+	conv := newSys(t, ModelConventional, 4, 2)
+	if err := conv.CheckpointChunk(0); err == nil {
+		t.Error("CheckpointChunk accepted under conventional model")
+	}
+}
+
+func TestDirectWriteMinorOverflow(t *testing.T) {
+	// Force a 16-bit minor overflow with a tiny loop is impractical
+	// (65535 writes); instead pre-load the minor near its cap and write
+	// twice more.
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.WriteThrough(0, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().OverflowReEncryptions
+	// Drive the first sector's minor to the cap behind the scenes, then
+	// re-sync the split tree so freshness still holds.
+	s.cxlSplit[0].Minors[0] = 65535
+	if err := s.splitTree.Update(0, s.cxlSplit[0].Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Full-sector write: no read-modify-write, so the forged minor is only
+	// consumed as the "old pair" of the overflow re-encryption sweep.
+	full := bytes.Repeat([]byte("boom!!!!"), 4)
+	if err := s.WriteThrough(0, full); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().OverflowReEncryptions - before; got != 8 {
+		t.Errorf("overflow re-encryptions = %d, want 8 (whole chunk)", got)
+	}
+	// Everything still verifies and decrypts.
+	got := make([]byte, 32)
+	if err := s.ReadThrough(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDirectPathTamperDetected(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.WriteThrough(0, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.CorruptHome(0)
+	err := s.ReadThrough(0, make([]byte, 7))
+	if !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered direct read: %v", err)
+	}
+}
+
+func TestDirectPathReplayDetected(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.WriteThrough(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker snapshots the untrusted split counter block, data, and MACs.
+	oldSplit := s.cxlSplit[0]
+	oldData := append([]byte(nil), s.cxlData[:256]...)
+	oldMACs := make([]maclibSector, 2)
+	for b := 0; b < 2; b++ {
+		oldMACs[b] = maclibSector{macs: s.macSectors[b].MACs, major: s.macSectors[b].Major}
+	}
+	if err := s.WriteThrough(0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// Replay everything untrusted.
+	s.cxlSplit[0] = oldSplit
+	copy(s.cxlData[:256], oldData)
+	for b := 0; b < 2; b++ {
+		s.macSectors[b].MACs = oldMACs[b].macs
+		s.macSectors[b].Major = oldMACs[b].major
+	}
+	err := s.ReadThrough(0, make([]byte, 2))
+	if !errors.Is(err, ErrFreshness) {
+		t.Errorf("replayed direct read: %v", err)
+	}
+}
+
+func TestMixedDirectAndCachedTraffic(t *testing.T) {
+	// Interleave direct and cached accesses across pages and verify the
+	// final state end-to-end.
+	s := newSys(t, ModelSalus, 16, 4)
+	for pg := 0; pg < 16; pg++ {
+		addr := uint64(pg * 4096)
+		v := []byte{byte(pg), byte(pg + 1)}
+		var err error
+		if pg%2 == 0 && !s.IsResident(addr) {
+			err = s.WriteThrough(addr, v)
+		} else {
+			err = s.Write(addr, v)
+		}
+		if err != nil {
+			t.Fatalf("page %d: %v", pg, err)
+		}
+	}
+	for pg := 0; pg < 16; pg++ {
+		got := make([]byte, 2)
+		if err := s.Read(uint64(pg*4096), got); err != nil {
+			t.Fatalf("page %d: %v", pg, err)
+		}
+		if got[0] != byte(pg) || got[1] != byte(pg+1) {
+			t.Fatalf("page %d: got %v", pg, got)
+		}
+	}
+}

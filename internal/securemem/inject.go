@@ -1,0 +1,122 @@
+package securemem
+
+import "github.com/salus-sim/salus/internal/security/counters"
+
+// Attack-injection surface. These methods model an attacker with physical
+// access to the untrusted memories: they mutate stored state directly,
+// bypassing the trusted access path, so tests and examples can demonstrate
+// that the protection models detect snooping-resistance, spoofing,
+// splicing, and replay.
+
+// RawHomeBytes returns a copy of the stored home-tier bytes at addr
+// (ciphertext under the secure models). An attacker snooping the bus sees
+// exactly this.
+func (s *System) RawHomeBytes(addr uint64, n int) []byte {
+	if addr+uint64(n) > s.Size() {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, s.cxlData[addr:addr+uint64(n)])
+	return out
+}
+
+// CorruptHome flips a bit of the stored home-tier data (spoofing attack on
+// the expansion memory). A subsequent read of a non-resident page detects
+// it via MAC verification.
+func (s *System) CorruptHome(addr uint64) {
+	if addr < s.Size() {
+		s.cxlData[addr] ^= 0x01
+	}
+}
+
+// CorruptDevice flips a bit of the device-tier frame backing addr's page,
+// if resident (spoofing attack on the device memory).
+func (s *System) CorruptDevice(addr uint64) bool {
+	page := int(addr) / s.geo.PageSize
+	if addr >= s.Size() || s.pageTable[page] < 0 {
+		return false
+	}
+	fi := s.pageTable[page]
+	off := uint64(fi*s.geo.PageSize) + addr%uint64(s.geo.PageSize)
+	s.devData[off] ^= 0x01
+	return true
+}
+
+// SpliceHome overwrites the stored bytes of dst's sector with those of
+// src's sector (splicing attack: relocating valid ciphertext). Detected
+// because the MAC binds the home address.
+func (s *System) SpliceHome(dst, src uint64) {
+	ss := uint64(s.geo.SectorSize)
+	d := dst / ss * ss
+	c := src / ss * ss
+	if d+ss > s.Size() || c+ss > s.Size() {
+		return
+	}
+	copy(s.cxlData[d:d+ss], s.cxlData[c:c+ss])
+}
+
+// ChunkSnapshot captures everything an attacker would record to later
+// replay a home-tier chunk: ciphertext, MAC sectors, and the collapsed
+// counter state.
+type ChunkSnapshot struct {
+	homeChunk int
+	data      []byte
+	macs      []maclibSector
+	collapsed counters.CollapsedSector
+	convCtrs  counters.ConventionalSector
+	convMACs  []uint64
+}
+
+type maclibSector struct {
+	macs  [4]uint64
+	major uint32
+}
+
+// SnapshotHomeChunk records the full untrusted state of the chunk holding
+// addr, for a later replay attempt.
+func (s *System) SnapshotHomeChunk(addr uint64) ChunkSnapshot {
+	cs := s.geo.ChunkSize
+	chunk := int(addr) / cs
+	snap := ChunkSnapshot{homeChunk: chunk}
+	snap.data = append(snap.data, s.cxlData[chunk*cs:(chunk+1)*cs]...)
+	switch s.cfg.Model {
+	case ModelSalus:
+		for b := 0; b < s.geo.BlocksPerChunk(); b++ {
+			idx := chunk*s.geo.BlocksPerChunk() + b
+			snap.macs = append(snap.macs, maclibSector{macs: s.macSectors[idx].MACs, major: s.macSectors[idx].Major})
+		}
+		snap.collapsed = s.collapsed[chunk/counters.CollapsedMajors]
+	case ModelConventional:
+		firstSec := chunk * s.geo.SectorsPerChunk()
+		snap.convCtrs = s.convCXLCtrs[firstSec/counters.ConvMinors]
+		for k := 0; k < s.geo.SectorsPerChunk(); k++ {
+			snap.convMACs = append(snap.convMACs, s.convCXLMACs[firstSec+k])
+		}
+	}
+	return snap
+}
+
+// ReplayHomeChunk restores a previously captured chunk snapshot into the
+// untrusted stores WITHOUT updating the integrity trees — exactly what a
+// physical replay attack can and cannot touch. The trees live in (or are
+// rooted in) the TCB, so a later read fails freshness verification.
+func (s *System) ReplayHomeChunk(snap ChunkSnapshot) {
+	cs := s.geo.ChunkSize
+	chunk := snap.homeChunk
+	copy(s.cxlData[chunk*cs:(chunk+1)*cs], snap.data)
+	switch s.cfg.Model {
+	case ModelSalus:
+		for b, m := range snap.macs {
+			idx := chunk*s.geo.BlocksPerChunk() + b
+			s.macSectors[idx].MACs = m.macs
+			s.macSectors[idx].Major = m.major
+		}
+		s.collapsed[chunk/counters.CollapsedMajors] = snap.collapsed
+	case ModelConventional:
+		firstSec := chunk * s.geo.SectorsPerChunk()
+		s.convCXLCtrs[firstSec/counters.ConvMinors] = snap.convCtrs
+		for k, m := range snap.convMACs {
+			s.convCXLMACs[firstSec+k] = m
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package securemem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestReferenceModelEquivalence drives each protection model with long
+// random operation sequences (reads, cached writes, direct writes,
+// checkpoints, flushes) and checks every read against a plain in-memory
+// reference. This is the strongest end-to-end invariant the library has:
+// no sequence of migrations, evictions, collapses, overflows, or split
+// transitions may ever lose or corrupt data.
+func TestReferenceModelEquivalence(t *testing.T) {
+	const (
+		totalPages  = 12
+		devicePages = 3
+		steps       = 1500
+	)
+	for _, model := range allModels {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			s, err := New(Config{
+				Geometry:    testGeo(),
+				Model:       model,
+				TotalPages:  totalPages,
+				DevicePages: devicePages,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make([]byte, s.Size())
+			rng := rand.New(rand.NewSource(int64(model) + 99))
+
+			for step := 0; step < steps; step++ {
+				addr := uint64(rng.Intn(int(s.Size()) - 64))
+				n := rng.Intn(64) + 1
+				switch op := rng.Intn(10); {
+				case op < 4: // read
+					got := make([]byte, n)
+					if err := s.Read(addr, got); err != nil {
+						t.Fatalf("step %d: read(%d,%d): %v", step, addr, n, err)
+					}
+					if !bytes.Equal(got, ref[addr:addr+uint64(n)]) {
+						t.Fatalf("step %d: read(%d,%d) = %x, want %x", step, addr, n, got, ref[addr:addr+uint64(n)])
+					}
+				case op < 8: // cached write
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := s.Write(addr, data); err != nil {
+						t.Fatalf("step %d: write(%d,%d): %v", step, addr, n, err)
+					}
+					copy(ref[addr:], data)
+				case op == 8 && model == ModelSalus: // direct write when non-resident
+					if s.IsResident(addr) || s.IsResident(addr+uint64(n)-1) {
+						continue
+					}
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := s.WriteThrough(addr, data); err != nil {
+						t.Fatalf("step %d: writeThrough(%d,%d): %v", step, addr, n, err)
+					}
+					copy(ref[addr:], data)
+				default: // occasional checkpoint or flush
+					if rng.Intn(4) == 0 {
+						if err := s.Flush(); err != nil {
+							t.Fatalf("step %d: flush: %v", step, err)
+						}
+					} else if model == ModelSalus {
+						if err := s.CheckpointChunk(addr); err != nil {
+							t.Fatalf("step %d: checkpoint: %v", step, err)
+						}
+					}
+				}
+			}
+			// Final sweep: every byte must match the reference.
+			got := make([]byte, 256)
+			for off := uint64(0); off < s.Size(); off += 256 {
+				if err := s.Read(off, got); err != nil {
+					t.Fatalf("final read at %d: %v", off, err)
+				}
+				if !bytes.Equal(got, ref[off:off+256]) {
+					t.Fatalf("final state diverged at %d", off)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package securemem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestReKeyPreservesData(t *testing.T) {
+	for _, model := range []Model{ModelConventional, ModelSalus} {
+		s := newSys(t, model, 8, 2)
+		want := map[uint64][]byte{
+			100:   []byte("alpha"),
+			4096:  []byte("beta"),
+			28000: []byte("gamma"),
+		}
+		for addr, data := range want {
+			if err := s.Write(addr, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oldRaw := s.RawHomeBytes(0, 4096)
+		if err := s.ReKey([]byte("fedcba9876543210"), []byte("new-mac-key")); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		// Data still reads back.
+		for addr, data := range want {
+			got := make([]byte, len(data))
+			if err := s.Read(addr, got); err != nil {
+				t.Fatalf("%v: read %d after rekey: %v", model, addr, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v: addr %d = %q, want %q", model, addr, got, data)
+			}
+		}
+		// The at-rest ciphertext changed (fresh pads).
+		if bytes.Equal(oldRaw, s.RawHomeBytes(0, 4096)) {
+			t.Errorf("%v: ciphertext unchanged by rekey", model)
+		}
+		if s.Stats().KeyRotations != 1 {
+			t.Errorf("%v: rotations = %d", model, s.Stats().KeyRotations)
+		}
+	}
+}
+
+func TestReKeyWithSplitState(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 2)
+	if err := s.WriteThrough(0, []byte("direct-write before rekey")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReKey([]byte("fedcba9876543210"), []byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 25)
+	if err := s.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "direct-write before rekey" {
+		t.Errorf("got %q", got)
+	}
+	// Split state was cleared: new direct writes start fresh.
+	if err := s.WriteThrough(4096, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReKeyInvalidInputs(t *testing.T) {
+	s := newSys(t, ModelNone, 4, 2)
+	if err := s.ReKey([]byte("0123456789abcdef"), []byte("k")); err == nil {
+		t.Error("ReKey on unencrypted model accepted")
+	}
+	s2 := newSys(t, ModelSalus, 4, 2)
+	if err := s2.ReKey([]byte("short"), []byte("k")); err == nil {
+		t.Error("short key accepted")
+	}
+	// Failed rekey leaves the system usable under the old keys.
+	if err := s2.Write(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Read(0, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReKeyDetectsPriorTampering(t *testing.T) {
+	// Tampered at-rest data cannot be laundered through a rekey: the sweep
+	// verifies every sector first.
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.Write(0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.CorruptHome(0)
+	if err := s.ReKey([]byte("fedcba9876543210"), []byte("k2")); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("rekey over tampered data: %v", err)
+	}
+}
+
+func TestOldSnapshotUselessAfterReKey(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	if err := s.Write(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	image, _, err := s.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReKey([]byte("fedcba9876543210"), []byte("k2")); err != nil {
+		t.Fatal(err)
+	}
+	_, newRoot, err := s.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-rekey image fails against the post-rekey root.
+	if _, err := Resume(salusCfg(4, 2), image, newRoot); err == nil {
+		t.Error("stale pre-rekey image accepted")
+	}
+}

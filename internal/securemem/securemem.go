@@ -1,0 +1,363 @@
+// Package securemem is the functional core of the Salus reproduction: a
+// two-tier (GPU-device + CXL-expansion) protected memory with transparent
+// page migration, implemented with real cryptography.
+//
+// Both tiers are untrusted: data is stored as counter-mode ciphertext,
+// every sector carries a truncated keyed MAC, and counter blocks are
+// covered by per-tier Bonsai Merkle Trees whose roots are TCB state. Three
+// protection models are selectable:
+//
+//   - ModelNone: no protection (the paper's normalisation baseline).
+//   - ModelConventional: metadata bound to the *physical* location, as in
+//     prior GPU security work — every page migration decrypts with the
+//     source tier's metadata and re-encrypts with the destination's.
+//   - ModelSalus: the paper's unified model — security computations always
+//     use the CXL (home) address, ciphertext migrates verbatim, MAC sectors
+//     carry the collapsed major counter and are fetched on first access,
+//     and only dirty chunks are written back on eviction.
+//
+// The operation counters exposed by Stats let callers observe the paper's
+// central claims directly (e.g. zero relocation re-encryptions under
+// Salus).
+package securemem
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/security/bmt"
+	"github.com/salus-sim/salus/internal/security/counters"
+	"github.com/salus-sim/salus/internal/security/cryptoeng"
+	"github.com/salus-sim/salus/internal/security/maclib"
+)
+
+// Model selects the protection scheme.
+type Model int
+
+const (
+	// ModelNone stores plaintext with no metadata.
+	ModelNone Model = iota
+	// ModelConventional binds metadata to physical locations.
+	ModelConventional
+	// ModelSalus is the paper's relocation-friendly unified model.
+	ModelSalus
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ModelNone:
+		return "none"
+	case ModelConventional:
+		return "conventional"
+	case ModelSalus:
+		return "salus"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Sentinel errors. Integrity and freshness failures indicate an attack (or
+// corruption) was detected; they are returned, never masked.
+var (
+	ErrOutOfRange = errors.New("securemem: address out of range")
+	ErrIntegrity  = errors.New("securemem: MAC verification failed (tampered or spliced data)")
+	ErrFreshness  = errors.New("securemem: integrity tree verification failed (replayed metadata)")
+)
+
+// Config sizes a System.
+type Config struct {
+	Geometry    config.Geometry
+	Model       Model
+	TotalPages  int // size of the CXL (home) address space, in pages
+	DevicePages int // device-tier capacity, in pages
+	AESKey      []byte
+	MACKey      []byte
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Geometry.SectorSize != cryptoeng.SectorSize:
+		return fmt.Errorf("securemem: sector size must be %d bytes", cryptoeng.SectorSize)
+	case c.TotalPages <= 0:
+		return errors.New("securemem: TotalPages must be positive")
+	case c.DevicePages <= 0:
+		return errors.New("securemem: DevicePages must be positive")
+	case c.DevicePages > c.TotalPages:
+		return errors.New("securemem: device tier larger than home space")
+	}
+	return nil
+}
+
+// OpStats counts the operations the paper's analysis cares about.
+type OpStats struct {
+	Reads  uint64
+	Writes uint64
+
+	PageMigrationsIn uint64 // CXL -> device page copies
+	PageEvictions    uint64 // device -> CXL
+
+	// RelocationReEncryptions counts sectors decrypted+re-encrypted purely
+	// because data changed physical location. Salus's headline property is
+	// that this stays zero on migration-in and is limited to one collapse
+	// pass per dirty chunk on eviction.
+	RelocationReEncryptions uint64
+	CollapseReEncryptions   uint64 // sectors re-encrypted by counter collapse
+	OverflowReEncryptions   uint64 // sectors re-encrypted by minor-counter overflow
+
+	LazyMACFetches       uint64 // MAC sectors fetched on first access (Salus)
+	DirtyChunkWritebacks uint64
+	CleanChunksSkipped   uint64 // chunks not written back thanks to dirty tracking
+	FullPageWritebacks   uint64 // conventional model page-granularity writebacks
+
+	MACVerifies uint64
+	BMTVerifies uint64
+	BMTUpdates  uint64
+
+	KeyRotations uint64 // completed ReKey sweeps
+}
+
+// frame describes one device-tier page frame.
+type frame struct {
+	homePage int // index of the resident page, -1 when free
+	lru      uint64
+	dirty    uint64 // per-chunk dirty bitmask (fine-grained tracking)
+	macIn    uint64 // per-block mask: MAC sector fetched (Salus fetch-on-access)
+	ctrIn    uint64 // per-chunk mask: device counter group initialised
+}
+
+// System is a two-tier protected memory.
+type System struct {
+	cfg Config
+	geo config.Geometry
+	eng *cryptoeng.Engine
+
+	cxlData []byte // home-tier store (ciphertext, or plaintext for ModelNone)
+	devData []byte // device-tier store
+
+	frames    []frame
+	pageTable []int // home page -> frame index, -1 if not resident
+	lruClock  uint64
+
+	// Salus metadata (home-indexed).
+	macSectors []maclib.Sector            // one per home 128 B block
+	collapsed  []counters.CollapsedSector // one per 8 home chunks
+	cxlTree    *bmt.Tree                  // over collapsed sectors
+	devGroups  []counters.IFGroup         // one per device-frame chunk
+	devTree    *bmt.Tree                  // over device IF counter sectors
+	cxlSplit   []counters.CXLSplitSector  // Fig. 6 state, allocated on first WriteThrough
+	splitDirty []bool                     // chunks currently in split state
+	splitTree  *bmt.Tree                  // freshness over split sectors (one leaf per chunk)
+
+	// Conventional metadata (location-indexed, one set per tier).
+	convCXLCtrs []counters.ConventionalSector // per 1 KiB of home space
+	convDevCtrs []counters.ConventionalSector // per 1 KiB of device space
+	convCXLMACs []uint64                      // per home sector
+	convDevMACs []uint64                      // per device sector
+	convCXLTree *bmt.Tree
+	convDevTree *bmt.Tree
+
+	stats OpStats
+}
+
+// New builds a System. All pages start zero-filled and resident only in the
+// home tier, already encrypted under the initial counters for the secure
+// models.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AESKey == nil {
+		cfg.AESKey = []byte("salus-default-k!")
+	}
+	if cfg.MACKey == nil {
+		cfg.MACKey = []byte("salus-default-mac-key")
+	}
+	eng, err := cryptoeng.New(cfg.AESKey, cfg.MACKey, maclib.MACBits)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	s := &System{
+		cfg:       cfg,
+		geo:       g,
+		eng:       eng,
+		cxlData:   make([]byte, cfg.TotalPages*g.PageSize),
+		devData:   make([]byte, cfg.DevicePages*g.PageSize),
+		frames:    make([]frame, cfg.DevicePages),
+		pageTable: make([]int, cfg.TotalPages),
+	}
+	for i := range s.frames {
+		s.frames[i].homePage = -1
+	}
+	for i := range s.pageTable {
+		s.pageTable[i] = -1
+	}
+	// Size of the trusted-node caches that accelerate repeated tree
+	// verifications (models the hardware BMT caches).
+	const trustCacheEntries = 4096
+	switch cfg.Model {
+	case ModelNone:
+		// Plaintext; nothing else to set up.
+	case ModelSalus:
+		homeBlocks := cfg.TotalPages * g.BlocksPerPage()
+		homeChunks := cfg.TotalPages * g.ChunksPerPage()
+		s.macSectors = make([]maclib.Sector, homeBlocks)
+		s.collapsed = make([]counters.CollapsedSector, (homeChunks+counters.CollapsedMajors-1)/counters.CollapsedMajors)
+		s.cxlTree, err = bmt.New(eng, len(s.collapsed))
+		if err != nil {
+			return nil, err
+		}
+		devChunks := cfg.DevicePages * g.ChunksPerPage()
+		s.devGroups = make([]counters.IFGroup, devChunks)
+		s.devTree, err = bmt.New(eng, (devChunks+counters.GroupsPerSector-1)/counters.GroupsPerSector)
+		if err != nil {
+			return nil, err
+		}
+		s.cxlTree.SetTrustCache(trustCacheEntries)
+		s.devTree.SetTrustCache(trustCacheEntries)
+		if err := s.initialEncrypt(); err != nil {
+			return nil, err
+		}
+	case ModelConventional:
+		homeSectors := cfg.TotalPages * g.SectorsPerPage()
+		devSectors := cfg.DevicePages * g.SectorsPerPage()
+		s.convCXLCtrs = make([]counters.ConventionalSector, (homeSectors+counters.ConvMinors-1)/counters.ConvMinors)
+		s.convDevCtrs = make([]counters.ConventionalSector, (devSectors+counters.ConvMinors-1)/counters.ConvMinors)
+		s.convCXLMACs = make([]uint64, homeSectors)
+		s.convDevMACs = make([]uint64, devSectors)
+		s.convCXLTree, err = bmt.New(eng, len(s.convCXLCtrs))
+		if err != nil {
+			return nil, err
+		}
+		s.convDevTree, err = bmt.New(eng, len(s.convDevCtrs))
+		if err != nil {
+			return nil, err
+		}
+		s.convCXLTree.SetTrustCache(trustCacheEntries)
+		s.convDevTree.SetTrustCache(trustCacheEntries)
+		if err := s.initialEncrypt(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("securemem: unknown model %d", cfg.Model)
+	}
+	return s, nil
+}
+
+// initialEncrypt converts the zero-filled home store into valid ciphertext
+// under the initial (zero) counters, with matching MACs, so that the very
+// first read of any sector verifies.
+func (s *System) initialEncrypt() error {
+	ss := s.geo.SectorSize
+	nSectors := len(s.cxlData) / ss
+	buf := make([]byte, ss)
+	for sec := 0; sec < nSectors; sec++ {
+		addr := uint64(sec * ss)
+		major, minor := s.homeCounterPair(addr)
+		ct := s.cxlData[sec*ss : (sec+1)*ss]
+		if err := s.eng.EncryptSector(buf, ct, addr, major, minor); err != nil {
+			return err
+		}
+		copy(ct, buf)
+		mac := s.eng.MAC(ct, addr, major, minor)
+		if err := s.storeHomeMAC(addr, mac); err != nil {
+			return err
+		}
+	}
+	return s.rebuildHomeTrees()
+}
+
+// homeCounterPair returns the current (major, minor) for a home-tier
+// sector under the active model.
+func (s *System) homeCounterPair(addr uint64) (major, minor uint64) {
+	switch s.cfg.Model {
+	case ModelSalus:
+		chunk := int(addr) / s.geo.ChunkSize
+		sector := s.collapsed[chunk/counters.CollapsedMajors]
+		return uint64(sector.Majors[chunk%counters.CollapsedMajors]), 0
+	case ModelConventional:
+		secIdx := int(addr) / s.geo.SectorSize
+		cs := s.convCXLCtrs[secIdx/counters.ConvMinors]
+		return cs.Pair(secIdx % counters.ConvMinors)
+	}
+	return 0, 0
+}
+
+// storeHomeMAC records the MAC of a home-tier sector.
+func (s *System) storeHomeMAC(addr, mac uint64) error {
+	switch s.cfg.Model {
+	case ModelSalus:
+		block := int(addr) / s.geo.BlockSize
+		secInBlock := (int(addr) % s.geo.BlockSize) / s.geo.SectorSize
+		return s.macSectors[block].SetMAC(secInBlock, mac)
+	case ModelConventional:
+		s.convCXLMACs[int(addr)/s.geo.SectorSize] = mac
+	}
+	return nil
+}
+
+// homeMAC returns the stored MAC of a home-tier sector.
+func (s *System) homeMAC(addr uint64) uint64 {
+	switch s.cfg.Model {
+	case ModelSalus:
+		block := int(addr) / s.geo.BlockSize
+		secInBlock := (int(addr) % s.geo.BlockSize) / s.geo.SectorSize
+		return s.macSectors[block].MACs[secInBlock]
+	case ModelConventional:
+		return s.convCXLMACs[int(addr)/s.geo.SectorSize]
+	}
+	return 0
+}
+
+// rebuildHomeTrees refreshes the home-tier integrity trees after bulk
+// initialisation.
+func (s *System) rebuildHomeTrees() error {
+	switch s.cfg.Model {
+	case ModelSalus:
+		for i := range s.collapsed {
+			if err := s.cxlTree.Update(i, s.collapsed[i].Encode()); err != nil {
+				return err
+			}
+		}
+	case ModelConventional:
+		for i := range s.convCXLCtrs {
+			if err := s.convCXLTree.Update(i, s.convCXLCtrs[i].Encode()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the home address-space size in bytes.
+func (s *System) Size() uint64 { return uint64(len(s.cxlData)) }
+
+// Model returns the active protection model.
+func (s *System) Model() Model { return s.cfg.Model }
+
+// Stats returns a copy of the operation counters.
+func (s *System) Stats() OpStats { return s.stats }
+
+// ResidentPages returns how many pages currently sit in the device tier.
+func (s *System) ResidentPages() int {
+	n := 0
+	for _, f := range s.frames {
+		if f.homePage >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsResident reports whether the page containing addr is in the device tier.
+func (s *System) IsResident(addr uint64) bool {
+	if addr >= s.Size() {
+		return false
+	}
+	return s.pageTable[int(addr)/s.geo.PageSize] >= 0
+}

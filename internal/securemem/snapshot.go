@@ -1,0 +1,171 @@
+package securemem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/salus-sim/salus/internal/security/counters"
+	"github.com/salus-sim/salus/internal/security/maclib"
+)
+
+// Suspend/resume support. A suspended System is split into two artifacts:
+//
+//   - an untrusted image: everything that lives in (or could live in)
+//     off-chip memory — ciphertext, MAC sectors, counter blocks. It can be
+//     written to any storage; tampering with it is detected on resume.
+//   - a trusted root: the TCB state (keys stay with the caller; the root
+//     digests of the integrity trees travel here). It must be kept in
+//     trusted storage, exactly like the on-chip root register it models.
+//
+// Resume reconstructs a System from the configuration, keys, image, and
+// root. A mismatched or replayed image fails verification either at
+// Resume (tree roots) or at first access (MACs).
+
+// snapshotMagic identifies the image format.
+var snapshotMagic = []byte("SALUSIMG1")
+
+// TrustedRoot is the TCB state of a suspended system.
+type TrustedRoot struct {
+	CXLRoot   [32]byte
+	SplitRoot [32]byte // zero when the split state was never used
+	HasSplit  bool
+}
+
+// Suspend flushes the device tier and serialises the untrusted state. It
+// returns the image and the trusted root. Only ModelSalus systems support
+// suspend (the conventional model's device-tier metadata cannot outlive
+// the device contents it is bound to).
+func (s *System) Suspend() (image []byte, root TrustedRoot, err error) {
+	if s.cfg.Model != ModelSalus {
+		return nil, root, errors.New("securemem: Suspend requires ModelSalus")
+	}
+	// Everything must be home: flush the device tier.
+	if err := s.Flush(); err != nil {
+		return nil, root, err
+	}
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic)
+	w64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w64(uint64(s.cfg.TotalPages))
+	w64(uint64(s.cfg.DevicePages))
+	buf.Write(s.cxlData)
+	for i := range s.macSectors {
+		img := s.macSectors[i].Encode()
+		buf.Write(img[:])
+	}
+	for i := range s.collapsed {
+		img := s.collapsed[i].Encode()
+		buf.Write(img[:])
+	}
+	if s.cxlSplit != nil {
+		w64(1)
+		for i := range s.cxlSplit {
+			img := s.cxlSplit[i].Encode()
+			buf.Write(img[:])
+		}
+		for _, d := range s.splitDirty {
+			if d {
+				buf.WriteByte(1)
+			} else {
+				buf.WriteByte(0)
+			}
+		}
+		root.SplitRoot = s.splitTree.Root()
+		root.HasSplit = true
+	} else {
+		w64(0)
+	}
+	root.CXLRoot = s.cxlTree.Root()
+	return buf.Bytes(), root, nil
+}
+
+// Resume reconstructs a suspended system. cfg and the keys must match the
+// suspended system's; the image is untrusted and is verified against the
+// trusted root before use.
+func Resume(cfg Config, image []byte, root TrustedRoot) (*System, error) {
+	if cfg.Model != ModelSalus {
+		return nil, errors.New("securemem: Resume requires ModelSalus")
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(image)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
+		return nil, errors.New("securemem: not a salus image")
+	}
+	var total, device, hasSplit uint64
+	rd64 := func(v *uint64) error { return binary.Read(r, binary.LittleEndian, v) }
+	if err := rd64(&total); err != nil {
+		return nil, err
+	}
+	if err := rd64(&device); err != nil {
+		return nil, err
+	}
+	if int(total) != cfg.TotalPages || int(device) != cfg.DevicePages {
+		return nil, fmt.Errorf("securemem: image geometry %d/%d does not match config %d/%d",
+			total, device, cfg.TotalPages, cfg.DevicePages)
+	}
+	if _, err := io.ReadFull(r, s.cxlData); err != nil {
+		return nil, fmt.Errorf("securemem: truncated data section: %v", err)
+	}
+	var sector [32]byte
+	for i := range s.macSectors {
+		if _, err := io.ReadFull(r, sector[:]); err != nil {
+			return nil, fmt.Errorf("securemem: truncated MAC section: %v", err)
+		}
+		s.macSectors[i] = maclib.Decode(sector)
+	}
+	for i := range s.collapsed {
+		if _, err := io.ReadFull(r, sector[:]); err != nil {
+			return nil, fmt.Errorf("securemem: truncated counter section: %v", err)
+		}
+		s.collapsed[i] = counters.DecodeCollapsed(sector)
+		if err := s.cxlTree.Update(i, sector); err != nil {
+			return nil, err
+		}
+	}
+	if err := rd64(&hasSplit); err != nil {
+		return nil, err
+	}
+	if hasSplit == 1 {
+		if err := s.ensureSplitState(); err != nil {
+			return nil, err
+		}
+		for i := range s.cxlSplit {
+			if _, err := io.ReadFull(r, sector[:]); err != nil {
+				return nil, fmt.Errorf("securemem: truncated split section: %v", err)
+			}
+			s.cxlSplit[i] = counters.DecodeCXLSplit(sector)
+			if err := s.splitTree.Update(i, sector); err != nil {
+				return nil, err
+			}
+		}
+		dirt := make([]byte, len(s.splitDirty))
+		if _, err := io.ReadFull(r, dirt); err != nil {
+			return nil, fmt.Errorf("securemem: truncated split-dirty section: %v", err)
+		}
+		for i, b := range dirt {
+			s.splitDirty[i] = b == 1
+		}
+	}
+	// Verify the rebuilt trees against the trusted root. A tampered or
+	// replayed counter section produces a different root and is rejected
+	// here; tampered data or MAC sections are caught by MAC verification
+	// on first access.
+	if s.cxlTree.Root() != root.CXLRoot {
+		return nil, fmt.Errorf("%w: counter image does not match trusted root", ErrFreshness)
+	}
+	if root.HasSplit {
+		if s.splitTree == nil || s.splitTree.Root() != root.SplitRoot {
+			return nil, fmt.Errorf("%w: split-counter image does not match trusted root", ErrFreshness)
+		}
+	} else if hasSplit == 1 {
+		return nil, fmt.Errorf("%w: image carries split state the trusted root does not know", ErrFreshness)
+	}
+	return s, nil
+}

@@ -1,0 +1,46 @@
+package bmt
+
+import (
+	"testing"
+
+	"github.com/salus-sim/salus/internal/security/cryptoeng"
+)
+
+func benchTree(b *testing.B, leaves int) *Tree {
+	b.Helper()
+	e := cryptoeng.MustNew([]byte("0123456789abcdef"), []byte("mac"), 56)
+	t, err := New(e, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func BenchmarkUpdate4K(b *testing.B) {
+	t := benchTree(b, 4096)
+	var d [LeafBytes]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d[0] = byte(i)
+		if err := t.Update(i%4096, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify4K(b *testing.B) {
+	t := benchTree(b, 4096)
+	leaf, _ := t.Leaf(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Verify(7, leaf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild64K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTree(b, 65536)
+	}
+}

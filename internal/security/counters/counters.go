@@ -1,0 +1,288 @@
+// Package counters implements the bit-exact encryption-counter block
+// layouts the paper compares:
+//
+//   - ConventionalSector: the GPU split-counter design of prior work
+//     (PSSM): one 64-bit major counter shared by 32 6-bit minor counters in
+//     a 32-byte counter sector, covering 32 data sectors (1 KiB). Because
+//     the shared major spans four interleaving chunks, chunks from
+//     different CXL pages that land contiguously in one device partition
+//     would have to share (and so re-encrypt to unify) majors — the problem
+//     §IV-A identifies.
+//
+//   - IFGroup / IFSector: Salus's interleaving-friendly split counters
+//     (Fig. 4). One 32-bit major is shared by exactly the 8 minors of one
+//     256 B chunk, and a 32-bit CXL tag identifies which CXL page the chunk
+//     belongs to, enabling fetch-only-on-access. Two groups fit in one
+//     32-byte counter sector.
+//
+//   - CollapsedSector: the CXL-side representation (§IV-A2): minors are
+//     collapsed to zero, leaving one 32-bit major per chunk; eight majors
+//     pack into one 32-byte sector covering 2 KiB of data, which is what
+//     the compact CXL-side BMT is built over.
+//
+//   - CXLSplitSector: the CXL-side split design with doubled (16-bit)
+//     minors (Fig. 6), used when CXL-resident data is written in place so
+//     that minor overflows — each forcing a re-encryption sweep — stay
+//     rare.
+package counters
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Layout constants shared with the rest of the system.
+const (
+	SectorBytes = 32 // counter sector size
+
+	// Conventional layout.
+	ConvMinors    = 32 // minors per conventional sector
+	ConvMinorBits = 6
+	ConvMinorMax  = 1<<ConvMinorBits - 1
+
+	// Interleaving-friendly layout.
+	IFMinors        = 8 // minors per group = sectors per 256 B chunk
+	IFMinorBits     = 8
+	IFMinorMax      = 1<<IFMinorBits - 1
+	GroupsPerSector = 2
+
+	// Collapsed layout.
+	CollapsedMajors = 8 // 32-bit majors per 32 B sector
+
+	// CXL split layout (doubled minors).
+	CXLMinorBits = 16
+	CXLMinorMax  = 1<<CXLMinorBits - 1
+)
+
+// ConventionalSector is the prior-work GPU split-counter block.
+type ConventionalSector struct {
+	Major  uint64
+	Minors [ConvMinors]uint8 // values limited to 6 bits
+}
+
+// Inc increments minor i. When the minor would exceed its 6-bit range the
+// sector overflows: the major is incremented, every minor resets to zero,
+// and the caller must re-encrypt all data the sector covers. It reports
+// whether that overflow happened.
+func (s *ConventionalSector) Inc(i int) (overflow bool) {
+	if s.Minors[i] < ConvMinorMax {
+		s.Minors[i]++
+		return false
+	}
+	s.Major++
+	s.Minors = [ConvMinors]uint8{}
+	return true
+}
+
+// Pair returns the (major, minor) pair for data sector i, as used in the IV.
+func (s *ConventionalSector) Pair(i int) (major, minor uint64) {
+	return s.Major, uint64(s.Minors[i])
+}
+
+// Encode packs the sector into its 32-byte memory image:
+// [8 B major][32 × 6-bit minors = 24 B].
+func (s *ConventionalSector) Encode() [SectorBytes]byte {
+	var out [SectorBytes]byte
+	binary.LittleEndian.PutUint64(out[0:8], s.Major)
+	packBits(out[8:], s.Minors[:], ConvMinorBits)
+	return out
+}
+
+// DecodeConventional unpacks a 32-byte image.
+func DecodeConventional(img [SectorBytes]byte) ConventionalSector {
+	var s ConventionalSector
+	s.Major = binary.LittleEndian.Uint64(img[0:8])
+	unpackBits(img[8:], s.Minors[:], ConvMinorBits)
+	return s
+}
+
+// IFGroup is one interleaving-friendly counter group: the counters of one
+// 256 B chunk resident in device memory.
+type IFGroup struct {
+	CXLTag uint32 // identifies the CXL page the chunk belongs to
+	Major  uint32
+	Minors [IFMinors]uint8
+}
+
+// Inc increments minor i with the same overflow contract as
+// ConventionalSector.Inc, but the blast radius is one chunk.
+func (g *IFGroup) Inc(i int) (overflow bool) {
+	if g.Minors[i] < IFMinorMax {
+		g.Minors[i]++
+		return false
+	}
+	g.Major++
+	g.Minors = [IFMinors]uint8{}
+	return true
+}
+
+// Pair returns the (major, minor) pair for sector i of the chunk.
+func (g *IFGroup) Pair(i int) (major, minor uint64) {
+	return uint64(g.Major), uint64(g.Minors[i])
+}
+
+// Collapse implements the eviction-side checkpoint (§IV-A2): if any minor
+// is non-zero the major is incremented and all minors reset, requiring one
+// re-encryption of the chunk; otherwise the group is already collapsed.
+// It returns the collapsed major and whether re-encryption is needed.
+func (g *IFGroup) Collapse() (major uint32, reencrypt bool) {
+	for _, m := range g.Minors {
+		if m != 0 {
+			g.Major++
+			g.Minors = [IFMinors]uint8{}
+			return g.Major, true
+		}
+	}
+	return g.Major, false
+}
+
+// FillFromCollapsed installs a major arriving from the CXL side (embedded
+// in a MAC sector) and resets the minors, as happens on page transfer.
+func (g *IFGroup) FillFromCollapsed(cxlTag, major uint32) {
+	g.CXLTag = cxlTag
+	g.Major = major
+	g.Minors = [IFMinors]uint8{}
+}
+
+// IFSector packs two chunk groups into one 32-byte counter sector
+// (Fig. 4): per group [4 B CXL tag][4 B major][8 × 1 B minors] = 16 B.
+type IFSector struct {
+	Groups [GroupsPerSector]IFGroup
+}
+
+// Encode packs the sector into its 32-byte memory image.
+func (s *IFSector) Encode() [SectorBytes]byte {
+	var out [SectorBytes]byte
+	for gi, g := range s.Groups {
+		base := gi * 16
+		binary.LittleEndian.PutUint32(out[base:base+4], g.CXLTag)
+		binary.LittleEndian.PutUint32(out[base+4:base+8], g.Major)
+		copy(out[base+8:base+16], g.Minors[:])
+	}
+	return out
+}
+
+// DecodeIF unpacks a 32-byte image.
+func DecodeIF(img [SectorBytes]byte) IFSector {
+	var s IFSector
+	for gi := range s.Groups {
+		base := gi * 16
+		s.Groups[gi].CXLTag = binary.LittleEndian.Uint32(img[base : base+4])
+		s.Groups[gi].Major = binary.LittleEndian.Uint32(img[base+4 : base+8])
+		copy(s.Groups[gi].Minors[:], img[base+8:base+16])
+	}
+	return s
+}
+
+// CollapsedSector is the CXL-side compact representation: eight 32-bit
+// majors, one per chunk, covering 2 KiB of data per 32-byte sector. The
+// CXL-side BMT is built over an array of these.
+type CollapsedSector struct {
+	Majors [CollapsedMajors]uint32
+}
+
+// Encode packs the sector into its 32-byte memory image.
+func (s *CollapsedSector) Encode() [SectorBytes]byte {
+	var out [SectorBytes]byte
+	for i, m := range s.Majors {
+		binary.LittleEndian.PutUint32(out[i*4:(i+1)*4], m)
+	}
+	return out
+}
+
+// DecodeCollapsed unpacks a 32-byte image.
+func DecodeCollapsed(img [SectorBytes]byte) CollapsedSector {
+	var s CollapsedSector
+	for i := range s.Majors {
+		s.Majors[i] = binary.LittleEndian.Uint32(img[i*4 : (i+1)*4])
+	}
+	return s
+}
+
+// CXLSplitSector is the Fig. 6 layout for one chunk written in place on the
+// CXL side: a 32-bit major and eight doubled (16-bit) minors, packed as
+// [4 B major][16 B minors][12 B reserved] in a 32-byte sector.
+type CXLSplitSector struct {
+	Major  uint32
+	Minors [IFMinors]uint16
+}
+
+// Inc increments minor i; on 16-bit overflow the major increments, minors
+// reset, and the chunk must be re-encrypted.
+func (s *CXLSplitSector) Inc(i int) (overflow bool) {
+	if s.Minors[i] < CXLMinorMax {
+		s.Minors[i]++
+		return false
+	}
+	s.Major++
+	s.Minors = [IFMinors]uint16{}
+	return true
+}
+
+// Pair returns the (major, minor) pair for sector i of the chunk.
+func (s *CXLSplitSector) Pair(i int) (major, minor uint64) {
+	return uint64(s.Major), uint64(s.Minors[i])
+}
+
+// Collapse checkpoints the chunk as in IFGroup.Collapse.
+func (s *CXLSplitSector) Collapse() (major uint32, reencrypt bool) {
+	for _, m := range s.Minors {
+		if m != 0 {
+			s.Major++
+			s.Minors = [IFMinors]uint16{}
+			return s.Major, true
+		}
+	}
+	return s.Major, false
+}
+
+// Encode packs the sector into its 32-byte memory image.
+func (s *CXLSplitSector) Encode() [SectorBytes]byte {
+	var out [SectorBytes]byte
+	binary.LittleEndian.PutUint32(out[0:4], s.Major)
+	for i, m := range s.Minors {
+		binary.LittleEndian.PutUint16(out[4+i*2:6+i*2], m)
+	}
+	return out
+}
+
+// DecodeCXLSplit unpacks a 32-byte image.
+func DecodeCXLSplit(img [SectorBytes]byte) CXLSplitSector {
+	var s CXLSplitSector
+	s.Major = binary.LittleEndian.Uint32(img[0:4])
+	for i := range s.Minors {
+		s.Minors[i] = binary.LittleEndian.Uint16(img[4+i*2 : 6+i*2])
+	}
+	return s
+}
+
+// packBits packs values (each narrower than 8 bits) densely into dst.
+func packBits(dst []byte, values []uint8, bits int) {
+	bitPos := 0
+	for _, v := range values {
+		if int(v) > 1<<uint(bits)-1 {
+			panic(fmt.Sprintf("counters: value %d exceeds %d bits", v, bits))
+		}
+		for b := 0; b < bits; b++ {
+			if v&(1<<uint(b)) != 0 {
+				dst[bitPos/8] |= 1 << uint(bitPos%8)
+			}
+			bitPos++
+		}
+	}
+}
+
+// unpackBits is the inverse of packBits.
+func unpackBits(src []byte, values []uint8, bits int) {
+	bitPos := 0
+	for i := range values {
+		var v uint8
+		for b := 0; b < bits; b++ {
+			if src[bitPos/8]&(1<<uint(bitPos%8)) != 0 {
+				v |= 1 << uint(b)
+			}
+			bitPos++
+		}
+		values[i] = v
+	}
+}

@@ -1,0 +1,214 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConventionalIncAndOverflow(t *testing.T) {
+	var s ConventionalSector
+	for i := 0; i < ConvMinorMax; i++ {
+		if s.Inc(5) {
+			t.Fatalf("overflow at increment %d", i)
+		}
+	}
+	if s.Minors[5] != ConvMinorMax {
+		t.Fatalf("minor = %d, want %d", s.Minors[5], ConvMinorMax)
+	}
+	s.Minors[7] = 3
+	if !s.Inc(5) {
+		t.Fatal("no overflow at max")
+	}
+	if s.Major != 1 {
+		t.Errorf("major = %d, want 1", s.Major)
+	}
+	for i, m := range s.Minors {
+		if m != 0 {
+			t.Errorf("minor %d = %d after overflow, want 0", i, m)
+		}
+	}
+}
+
+func TestConventionalPair(t *testing.T) {
+	var s ConventionalSector
+	s.Major = 9
+	s.Minors[3] = 4
+	maj, min := s.Pair(3)
+	if maj != 9 || min != 4 {
+		t.Errorf("Pair = (%d,%d), want (9,4)", maj, min)
+	}
+}
+
+func TestConventionalEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(major uint64, minorsRaw [ConvMinors]uint8) bool {
+		var s ConventionalSector
+		s.Major = major
+		for i, m := range minorsRaw {
+			s.Minors[i] = m & ConvMinorMax
+		}
+		got := DecodeConventional(s.Encode())
+		return got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConventionalEncodePanicsOnWideMinor(t *testing.T) {
+	var s ConventionalSector
+	s.Minors[0] = ConvMinorMax + 1
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode accepted out-of-range minor")
+		}
+	}()
+	s.Encode()
+}
+
+func TestIFGroupIncOverflowIsolated(t *testing.T) {
+	var s IFSector
+	g := &s.Groups[0]
+	g.Minors[2] = IFMinorMax
+	s.Groups[1].Major = 77
+	s.Groups[1].Minors[0] = 5
+	if !g.Inc(2) {
+		t.Fatal("no overflow at max")
+	}
+	if g.Major != 1 {
+		t.Errorf("group 0 major = %d, want 1", g.Major)
+	}
+	// Overflow in one chunk's group must not disturb the other chunk.
+	if s.Groups[1].Major != 77 || s.Groups[1].Minors[0] != 5 {
+		t.Error("overflow leaked into sibling group")
+	}
+}
+
+func TestIFGroupCollapse(t *testing.T) {
+	g := IFGroup{Major: 10}
+	// Already collapsed: no re-encryption.
+	maj, reenc := g.Collapse()
+	if maj != 10 || reenc {
+		t.Errorf("clean collapse = (%d,%v), want (10,false)", maj, reenc)
+	}
+	g.Minors[4] = 2
+	maj, reenc = g.Collapse()
+	if maj != 11 || !reenc {
+		t.Errorf("dirty collapse = (%d,%v), want (11,true)", maj, reenc)
+	}
+	for _, m := range g.Minors {
+		if m != 0 {
+			t.Error("minors not reset by collapse")
+		}
+	}
+}
+
+func TestIFGroupFillFromCollapsed(t *testing.T) {
+	g := IFGroup{CXLTag: 1, Major: 5, Minors: [IFMinors]uint8{1, 2, 3}}
+	g.FillFromCollapsed(42, 99)
+	if g.CXLTag != 42 || g.Major != 99 {
+		t.Errorf("fill = %+v", g)
+	}
+	for _, m := range g.Minors {
+		if m != 0 {
+			t.Error("minors not reset on fill")
+		}
+	}
+}
+
+func TestIFSectorEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(tags [2]uint32, majors [2]uint32, minors [2][IFMinors]uint8) bool {
+		var s IFSector
+		for i := range s.Groups {
+			s.Groups[i] = IFGroup{CXLTag: tags[i], Major: majors[i], Minors: minors[i]}
+		}
+		return DecodeIF(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollapsedSectorRoundTrip(t *testing.T) {
+	f := func(majors [CollapsedMajors]uint32) bool {
+		s := CollapsedSector{Majors: majors}
+		return DecodeCollapsed(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCXLSplitIncOverflow(t *testing.T) {
+	var s CXLSplitSector
+	s.Minors[0] = CXLMinorMax
+	if !s.Inc(0) {
+		t.Fatal("no overflow at 16-bit max")
+	}
+	if s.Major != 1 {
+		t.Errorf("major = %d, want 1", s.Major)
+	}
+	if s.Inc(1) {
+		t.Error("fresh minor overflowed")
+	}
+	if maj, min := s.Pair(1); maj != 1 || min != 1 {
+		t.Errorf("Pair = (%d,%d), want (1,1)", maj, min)
+	}
+}
+
+func TestCXLSplitCollapse(t *testing.T) {
+	s := CXLSplitSector{Major: 3}
+	if maj, reenc := s.Collapse(); maj != 3 || reenc {
+		t.Error("clean collapse changed state")
+	}
+	s.Minors[7] = 1
+	if maj, reenc := s.Collapse(); maj != 4 || !reenc {
+		t.Error("dirty collapse wrong")
+	}
+}
+
+func TestCXLSplitRoundTrip(t *testing.T) {
+	f := func(major uint32, minors [IFMinors]uint16) bool {
+		s := CXLSplitSector{Major: major, Minors: minors}
+		return DecodeCXLSplit(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutWidths(t *testing.T) {
+	// The whole design rests on these blocks fitting in a 32-byte sector.
+	// Conventional: 8 B major + 32×6 bits = 8 + 24 = 32 B.
+	if 8+ConvMinors*ConvMinorBits/8 != SectorBytes {
+		t.Error("conventional layout does not fill a sector")
+	}
+	// IF: 2 groups × (4 tag + 4 major + 8 minors) = 32 B.
+	if GroupsPerSector*(4+4+IFMinors) != SectorBytes {
+		t.Error("interleaving-friendly layout does not fill a sector")
+	}
+	// Collapsed: 8 × 4 B majors = 32 B.
+	if CollapsedMajors*4 != SectorBytes {
+		t.Error("collapsed layout does not fill a sector")
+	}
+	// CXL split: 4 + 16 = 20 B fits with 12 B reserved.
+	if 4+IFMinors*2 > SectorBytes {
+		t.Error("CXL split layout exceeds a sector")
+	}
+}
+
+func TestEncodeImagesDiffer(t *testing.T) {
+	// Distinct states must encode to distinct images (injective on the
+	// covered ranges) — spot check a few nearby states.
+	a := IFSector{}
+	b := IFSector{}
+	b.Groups[1].Minors[7] = 1
+	if a.Encode() == b.Encode() {
+		t.Error("distinct IF sectors encode identically")
+	}
+	c := CollapsedSector{}
+	d := CollapsedSector{}
+	d.Majors[7] = 1
+	if c.Encode() == d.Encode() {
+		t.Error("distinct collapsed sectors encode identically")
+	}
+}

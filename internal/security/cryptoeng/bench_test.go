@@ -1,0 +1,48 @@
+package cryptoeng
+
+import "testing"
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	return MustNew([]byte("0123456789abcdef"), []byte("mac-key"), 56)
+}
+
+func BenchmarkPad(b *testing.B) {
+	e := benchEngine(b)
+	b.SetBytes(SectorSize)
+	for i := 0; i < b.N; i++ {
+		_ = e.Pad(uint64(i)*32, 1, 2)
+	}
+}
+
+func BenchmarkEncryptSector(b *testing.B) {
+	e := benchEngine(b)
+	src := make([]byte, SectorSize)
+	dst := make([]byte, SectorSize)
+	b.SetBytes(SectorSize)
+	for i := 0; i < b.N; i++ {
+		if err := e.EncryptSector(dst, src, uint64(i)*32, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMAC(b *testing.B) {
+	e := benchEngine(b)
+	ct := make([]byte, SectorSize)
+	b.SetBytes(SectorSize)
+	for i := 0; i < b.N; i++ {
+		_ = e.MAC(ct, uint64(i)*32, 1, 0)
+	}
+}
+
+func BenchmarkVerifyMAC(b *testing.B) {
+	e := benchEngine(b)
+	ct := make([]byte, SectorSize)
+	mac := e.MAC(ct, 0, 1, 0)
+	for i := 0; i < b.N; i++ {
+		if !e.VerifyMAC(ct, 0, 1, 0, mac) {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package cryptoeng implements the cryptographic primitives of the security
+// model: counter-mode encryption (CME) with AES-128 one-time pads, and
+// truncated keyed MACs.
+//
+// The initialisation vector binds each pad to a unique (address, major,
+// minor) triple. Under Salus the address component is always the block's
+// CXL (home) address, which is what keeps pads unique even though device-
+// memory locations are reused by different pages over time (§IV-B,
+// "Security Impact"). MACs are keyed hashes over the ciphertext, the home
+// address, and the counter pair, truncated to a configurable width (56 bits
+// by default, per Gueron's analysis cited by the paper).
+package cryptoeng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SectorSize is the memory access granularity the engine encrypts at.
+const SectorSize = 32
+
+// Engine holds the keys of one trusted processor (the GPU chip TCB).
+type Engine struct {
+	block   cipher.Block
+	macKey  [32]byte
+	macBits int
+}
+
+// New creates an engine from a 16-byte AES key and a MAC key. macBits
+// selects the truncated MAC width in (0, 64].
+func New(aesKey, macKey []byte, macBits int) (*Engine, error) {
+	if len(aesKey) != 16 {
+		return nil, fmt.Errorf("cryptoeng: AES key must be 16 bytes, got %d", len(aesKey))
+	}
+	if len(macKey) == 0 {
+		return nil, errors.New("cryptoeng: empty MAC key")
+	}
+	if macBits <= 0 || macBits > 64 {
+		return nil, fmt.Errorf("cryptoeng: MAC width %d outside (0,64]", macBits)
+	}
+	b, err := aes.NewCipher(aesKey)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{block: b, macBits: macBits}
+	e.macKey = sha256.Sum256(macKey)
+	return e, nil
+}
+
+// MustNew is New for statically valid keys; it panics on error.
+func MustNew(aesKey, macKey []byte, macBits int) *Engine {
+	e, err := New(aesKey, macKey, macBits)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MACBits returns the configured MAC width.
+func (e *Engine) MACBits() int { return e.macBits }
+
+// Pad generates the one-time pad for a sector identified by its home
+// address and counter pair. The pad is the AES encryption of the spatio-
+// temporal IV; it can be precomputed before data arrives, which is why CME
+// keeps decryption off the read critical path.
+func (e *Engine) Pad(homeAddr uint64, major uint64, minor uint64) [SectorSize]byte {
+	var pad [SectorSize]byte
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[0:8], homeAddr)
+	binary.LittleEndian.PutUint32(iv[8:12], uint32(major))
+	binary.LittleEndian.PutUint16(iv[12:14], uint16(minor))
+	// Two AES blocks per 32 B sector, distinguished by the last IV byte.
+	for blk := 0; blk < SectorSize/16; blk++ {
+		iv[15] = byte(blk)
+		e.block.Encrypt(pad[blk*16:(blk+1)*16], iv[:])
+	}
+	return pad
+}
+
+// EncryptSector applies the pad for (homeAddr, major, minor) to a 32-byte
+// plaintext, producing the ciphertext in place of a fresh slice. Decryption
+// is the same operation (XOR with the same pad).
+func (e *Engine) EncryptSector(dst, src []byte, homeAddr, major, minor uint64) error {
+	if len(src) != SectorSize || len(dst) != SectorSize {
+		return fmt.Errorf("cryptoeng: sector must be %d bytes, got src=%d dst=%d", SectorSize, len(src), len(dst))
+	}
+	pad := e.Pad(homeAddr, major, minor)
+	for i := range pad {
+		dst[i] = src[i] ^ pad[i]
+	}
+	return nil
+}
+
+// DecryptSector is the inverse of EncryptSector (identical XOR).
+func (e *Engine) DecryptSector(dst, src []byte, homeAddr, major, minor uint64) error {
+	return e.EncryptSector(dst, src, homeAddr, major, minor)
+}
+
+// MAC computes the truncated keyed MAC over a ciphertext sector bound to
+// its home address and counters. Binding the address defeats splicing
+// (relocating a valid ciphertext); binding the counters, together with the
+// integrity tree over counters, defeats replay.
+func (e *Engine) MAC(ciphertext []byte, homeAddr, major, minor uint64) uint64 {
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], homeAddr)
+	binary.LittleEndian.PutUint64(hdr[8:16], major)
+	binary.LittleEndian.PutUint64(hdr[16:24], minor)
+	mac.Write(hdr[:])
+	mac.Write(ciphertext)
+	sum := mac.Sum(nil)
+	v := binary.LittleEndian.Uint64(sum[:8])
+	if e.macBits == 64 {
+		return v
+	}
+	return v & ((1 << uint(e.macBits)) - 1)
+}
+
+// VerifyMAC recomputes and compares in constant time over the truncated
+// width. It reports whether the MAC matches.
+func (e *Engine) VerifyMAC(ciphertext []byte, homeAddr, major, minor, want uint64) bool {
+	got := e.MAC(ciphertext, homeAddr, major, minor)
+	return hmac.Equal(u64le(got), u64le(want))
+}
+
+// HashNode computes a 32-byte keyed hash used for integrity-tree nodes.
+func (e *Engine) HashNode(children []byte, level, index int) [32]byte {
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(level))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(index))
+	mac.Write(hdr[:])
+	mac.Write(children)
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+func u64le(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

@@ -1,0 +1,178 @@
+package cryptoeng
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New([]byte("0123456789abcdef"), []byte("mac-key"), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]byte("short"), []byte("k"), 56); err == nil {
+		t.Error("short AES key accepted")
+	}
+	if _, err := New([]byte("0123456789abcdef"), nil, 56); err == nil {
+		t.Error("empty MAC key accepted")
+	}
+	if _, err := New([]byte("0123456789abcdef"), []byte("k"), 0); err == nil {
+		t.Error("0 MAC bits accepted")
+	}
+	if _, err := New([]byte("0123456789abcdef"), []byte("k"), 65); err == nil {
+		t.Error("65 MAC bits accepted")
+	}
+	if _, err := New([]byte("0123456789abcdef"), []byte("k"), 64); err != nil {
+		t.Errorf("64 MAC bits rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad key did not panic")
+		}
+	}()
+	MustNew(nil, nil, 56)
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	f := func(data [SectorSize]byte, addr, major uint64, minor uint8) bool {
+		var ct, pt [SectorSize]byte
+		if err := e.EncryptSector(ct[:], data[:], addr, major, uint64(minor)); err != nil {
+			return false
+		}
+		if err := e.DecryptSector(pt[:], ct[:], addr, major, uint64(minor)); err != nil {
+			return false
+		}
+		return pt == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	e := testEngine(t)
+	src := make([]byte, SectorSize)
+	dst := make([]byte, SectorSize)
+	if err := e.EncryptSector(dst, src, 0x1000, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(dst, src) {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestPadUniqueness(t *testing.T) {
+	e := testEngine(t)
+	base := e.Pad(0x1000, 5, 3)
+	if e.Pad(0x1020, 5, 3) == base {
+		t.Error("pad identical across addresses (spatial reuse)")
+	}
+	if e.Pad(0x1000, 6, 3) == base {
+		t.Error("pad identical across majors (temporal reuse)")
+	}
+	if e.Pad(0x1000, 5, 4) == base {
+		t.Error("pad identical across minors (temporal reuse)")
+	}
+	if e.Pad(0x1000, 5, 3) != base {
+		t.Error("pad not deterministic")
+	}
+	// Pad halves must differ (distinct AES blocks).
+	if bytes.Equal(base[:16], base[16:]) {
+		t.Error("pad halves identical")
+	}
+}
+
+func TestEncryptSectorSizeChecks(t *testing.T) {
+	e := testEngine(t)
+	if err := e.EncryptSector(make([]byte, 31), make([]byte, SectorSize), 0, 0, 0); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := e.EncryptSector(make([]byte, SectorSize), make([]byte, 33), 0, 0, 0); err == nil {
+		t.Error("long src accepted")
+	}
+}
+
+func TestMACWidth(t *testing.T) {
+	e := testEngine(t)
+	ct := make([]byte, SectorSize)
+	m := e.MAC(ct, 1, 2, 3)
+	if m >= 1<<56 {
+		t.Errorf("56-bit MAC %x exceeds width", m)
+	}
+	if e.MACBits() != 56 {
+		t.Errorf("MACBits = %d", e.MACBits())
+	}
+	e64 := MustNew([]byte("0123456789abcdef"), []byte("k"), 64)
+	_ = e64.MAC(ct, 1, 2, 3) // must not panic on full-width mask
+}
+
+func TestMACDetectsTampering(t *testing.T) {
+	e := testEngine(t)
+	ct := []byte("abcdefghijklmnopqrstuvwxyz012345")
+	m := e.MAC(ct, 0x40, 7, 1)
+	if !e.VerifyMAC(ct, 0x40, 7, 1, m) {
+		t.Fatal("genuine MAC rejected")
+	}
+	tampered := append([]byte(nil), ct...)
+	tampered[5] ^= 1
+	if e.VerifyMAC(tampered, 0x40, 7, 1, m) {
+		t.Error("tampered ciphertext accepted (spoofing)")
+	}
+	if e.VerifyMAC(ct, 0x60, 7, 1, m) {
+		t.Error("relocated ciphertext accepted (splicing)")
+	}
+	if e.VerifyMAC(ct, 0x40, 6, 1, m) {
+		t.Error("stale major accepted (replay)")
+	}
+	if e.VerifyMAC(ct, 0x40, 7, 0, m) {
+		t.Error("stale minor accepted (replay)")
+	}
+}
+
+func TestMACDeterministic(t *testing.T) {
+	e := testEngine(t)
+	f := func(data [SectorSize]byte, addr, major, minor uint64) bool {
+		return e.MAC(data[:], addr, major, minor) == e.MAC(data[:], addr, major, minor)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashNodeBinding(t *testing.T) {
+	e := testEngine(t)
+	children := make([]byte, 64)
+	h := e.HashNode(children, 1, 2)
+	if e.HashNode(children, 1, 3) == h {
+		t.Error("hash ignores index")
+	}
+	if e.HashNode(children, 2, 2) == h {
+		t.Error("hash ignores level")
+	}
+	children[0] = 1
+	if e.HashNode(children, 1, 2) == h {
+		t.Error("hash ignores children")
+	}
+}
+
+func TestDifferentKeysDifferentOutputs(t *testing.T) {
+	e1 := MustNew([]byte("0123456789abcdef"), []byte("k1"), 56)
+	e2 := MustNew([]byte("fedcba9876543210"), []byte("k2"), 56)
+	if e1.Pad(1, 2, 3) == e2.Pad(1, 2, 3) {
+		t.Error("pads equal under different AES keys")
+	}
+	ct := make([]byte, SectorSize)
+	if e1.MAC(ct, 1, 2, 3) == e2.MAC(ct, 1, 2, 3) {
+		t.Error("MACs equal under different MAC keys")
+	}
+}

@@ -1,0 +1,77 @@
+// Package maclib implements the MAC sector layout (Fig. 5 of the paper).
+//
+// One 32-byte MAC sector protects one 128-byte data block: four 56-bit MACs
+// (one per 32-byte data sector) occupy 28 bytes, and the remaining 4 bytes
+// hold the block's collapsed 32-bit major counter when the sector travels
+// between memories. Embedding the major in the MAC sector is what lets
+// Salus eliminate counter-block traffic between the two memories entirely:
+// only MAC sectors move, counters are reconstructed at the destination
+// (majors from the embedded field, minors zero).
+package maclib
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Layout constants.
+const (
+	SectorBytes   = 32 // MAC sector size
+	MACsPerSector = 4  // one per 32 B data sector of a 128 B block
+	MACBits       = 56
+	macMask       = 1<<MACBits - 1
+)
+
+// Sector is a decoded MAC sector.
+type Sector struct {
+	MACs  [MACsPerSector]uint64 // 56-bit values
+	Major uint32                // embedded collapsed major (transfer format)
+}
+
+// SetMAC stores a 56-bit MAC for data sector i. Values wider than 56 bits
+// are rejected so a silent truncation can never weaken verification.
+func (s *Sector) SetMAC(i int, mac uint64) error {
+	if mac > macMask {
+		return fmt.Errorf("maclib: MAC %#x exceeds %d bits", mac, MACBits)
+	}
+	s.MACs[i] = mac
+	return nil
+}
+
+// Encode packs the sector into its 32-byte memory image:
+// [4 × 7 B MACs = 28 B][4 B embedded major].
+func (s *Sector) Encode() [SectorBytes]byte {
+	var out [SectorBytes]byte
+	for i, m := range s.MACs {
+		if m > macMask {
+			panic(fmt.Sprintf("maclib: MAC %d = %#x exceeds %d bits", i, m, MACBits))
+		}
+		putUint56(out[i*7:(i+1)*7], m)
+	}
+	binary.LittleEndian.PutUint32(out[28:32], s.Major)
+	return out
+}
+
+// Decode unpacks a 32-byte image.
+func Decode(img [SectorBytes]byte) Sector {
+	var s Sector
+	for i := range s.MACs {
+		s.MACs[i] = getUint56(img[i*7 : (i+1)*7])
+	}
+	s.Major = binary.LittleEndian.Uint32(img[28:32])
+	return s
+}
+
+func putUint56(dst []byte, v uint64) {
+	for i := 0; i < 7; i++ {
+		dst[i] = byte(v >> uint(8*i))
+	}
+}
+
+func getUint56(src []byte) uint64 {
+	var v uint64
+	for i := 0; i < 7; i++ {
+		v |= uint64(src[i]) << uint(8*i)
+	}
+	return v
+}

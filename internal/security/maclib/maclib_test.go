@@ -1,0 +1,85 @@
+package maclib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetMACRejectsWideValues(t *testing.T) {
+	var s Sector
+	if err := s.SetMAC(0, 1<<56); err == nil {
+		t.Error("57-bit MAC accepted")
+	}
+	if err := s.SetMAC(0, 1<<56-1); err != nil {
+		t.Errorf("max 56-bit MAC rejected: %v", err)
+	}
+	if s.MACs[0] != 1<<56-1 {
+		t.Error("MAC not stored")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw [MACsPerSector]uint64, major uint32) bool {
+		var s Sector
+		for i, m := range raw {
+			s.MACs[i] = m & (1<<MACBits - 1)
+		}
+		s.Major = major
+		return Decode(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanicsOnWideMAC(t *testing.T) {
+	var s Sector
+	s.MACs[2] = 1 << 60
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode accepted out-of-range MAC")
+		}
+	}()
+	s.Encode()
+}
+
+func TestLayoutExactlyFillsSector(t *testing.T) {
+	if MACsPerSector*7+4 != SectorBytes {
+		t.Fatalf("layout = %d bytes, want %d", MACsPerSector*7+4, SectorBytes)
+	}
+}
+
+func TestMACsDoNotOverlap(t *testing.T) {
+	// Setting one MAC must not disturb neighbours or the major in the
+	// encoded image.
+	var base Sector
+	base.Major = 0xDEADBEEF
+	for i := 0; i < MACsPerSector; i++ {
+		s := base
+		s.MACs[i] = 1<<56 - 1
+		img := s.Encode()
+		got := Decode(img)
+		if got.Major != base.Major {
+			t.Errorf("MAC %d overwrote major", i)
+		}
+		for j := 0; j < MACsPerSector; j++ {
+			want := uint64(0)
+			if j == i {
+				want = 1<<56 - 1
+			}
+			if got.MACs[j] != want {
+				t.Errorf("MAC %d write changed MAC %d to %#x", i, j, got.MACs[j])
+			}
+		}
+	}
+}
+
+func TestUint56Helpers(t *testing.T) {
+	buf := make([]byte, 7)
+	for _, v := range []uint64{0, 1, 0xFF, 0xFFFFFFFFFFFFFF, 0xA5A5A5A5A5A5A5 & (1<<56 - 1)} {
+		putUint56(buf, v)
+		if got := getUint56(buf); got != v {
+			t.Errorf("roundtrip %#x -> %#x", v, got)
+		}
+	}
+}

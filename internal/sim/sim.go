@@ -1,0 +1,145 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a future-event list ordered by (time, sequence).
+// Components schedule callbacks at absolute or relative cycle times; the
+// engine dispatches them in order. Ties are broken by insertion order so a
+// run is fully reproducible.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Event is a scheduled callback.
+type Event struct {
+	when Cycle
+	seq  uint64
+	fn   func()
+
+	index int // heap index, -1 when not queued
+}
+
+// When returns the cycle at which the event fires.
+func (e *Event) When() Cycle { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past (or
+// at the current cycle) runs the callback at the current cycle, after all
+// already-queued events for this cycle. It returns the event so it can be
+// cancelled.
+func (e *Engine) At(when Cycle, fn func()) *Event {
+	if when < e.now {
+		when = e.now
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was cancelled is a no-op. It reports whether the event was removed.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.events) || e.events[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&e.events, ev.index)
+	return true
+}
+
+// Step dispatches the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or the time limit is
+// exceeded. A limit of 0 means no limit. It returns the cycle at which the
+// run stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	for len(e.events) > 0 {
+		if limit != 0 && e.events[0].when > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil dispatches events while cond() is true and events remain, up to
+// the optional time limit (0 = none). It returns the stop cycle.
+func (e *Engine) RunUntil(limit Cycle, cond func() bool) Cycle {
+	for cond() && len(e.events) > 0 {
+		if limit != 0 && e.events[0].when > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,250 @@
+// Package stats collects the measurements every experiment reports: traffic
+// by class and memory tier, instruction throughput, migration activity, and
+// security-operation counts.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tier identifies a memory tier.
+type Tier int
+
+const (
+	// Device is the GPU-local HBM/GDDR memory.
+	Device Tier = iota
+	// CXL is the CXL-attached expansion memory.
+	CXL
+	numTiers
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case Device:
+		return "device"
+	case CXL:
+		return "cxl"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Class categorises memory traffic.
+type Class int
+
+const (
+	// Data is application data traffic (including migration copies).
+	Data Class = iota
+	// Counter is encryption-counter block traffic.
+	Counter
+	// MAC is MAC sector traffic.
+	MAC
+	// BMT is integrity-tree node traffic.
+	BMT
+	// Mapping is CXL-to-GPU mapping table traffic.
+	Mapping
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Counter:
+		return "counter"
+	case MAC:
+		return "mac"
+	case BMT:
+		return "bmt"
+	case Mapping:
+		return "mapping"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// SecurityClasses lists the classes counted as security traffic. Mapping
+// traffic is bookkeeping for the DRAM cache, present in all models, and is
+// not security metadata.
+var SecurityClasses = []Class{Counter, MAC, BMT}
+
+// Traffic accumulates bytes moved, indexed by tier and class.
+type Traffic struct {
+	bytes [numTiers][numClasses]uint64
+}
+
+// Add records n bytes of traffic of class c on tier t.
+func (tr *Traffic) Add(t Tier, c Class, n uint64) { tr.bytes[t][c] += n }
+
+// Bytes returns the bytes recorded for (tier, class).
+func (tr *Traffic) Bytes(t Tier, c Class) uint64 { return tr.bytes[t][c] }
+
+// TierTotal returns all bytes moved on a tier.
+func (tr *Traffic) TierTotal(t Tier) uint64 {
+	var sum uint64
+	for c := Class(0); c < numClasses; c++ {
+		sum += tr.bytes[t][c]
+	}
+	return sum
+}
+
+// SecurityBytes returns the security-metadata bytes moved on a tier.
+func (tr *Traffic) SecurityBytes(t Tier) uint64 {
+	var sum uint64
+	for _, c := range SecurityClasses {
+		sum += tr.bytes[t][c]
+	}
+	return sum
+}
+
+// TotalSecurityBytes returns security-metadata bytes across both tiers.
+func (tr *Traffic) TotalSecurityBytes() uint64 {
+	return tr.SecurityBytes(Device) + tr.SecurityBytes(CXL)
+}
+
+// Total returns all bytes across tiers and classes.
+func (tr *Traffic) Total() uint64 { return tr.TierTotal(Device) + tr.TierTotal(CXL) }
+
+// Ops counts security and migration operations.
+type Ops struct {
+	Encryptions      uint64 // OTP applications on writes / re-encryptions
+	Decryptions      uint64
+	ReEncryptions    uint64 // re-encryptions caused purely by data relocation
+	MACComputes      uint64
+	MACVerifies      uint64
+	BMTVerifies      uint64
+	BMTUpdates       uint64
+	CounterOverflows uint64
+
+	PagesMigratedIn      uint64 // CXL -> device
+	PagesEvicted         uint64 // device -> CXL
+	ChunksWrittenBack    uint64
+	ChunksMigrated       uint64
+	MACFetchesLazy       uint64 // fetch-on-access MAC sector reads
+	MappingCacheHits     uint64
+	MappingCacheMisses   uint64
+	MappingInvalidations uint64 // directed invalidation messages sent to GPC mapping caches
+}
+
+// Run is the full measurement record of one simulation.
+type Run struct {
+	Workload string
+	Model    string
+
+	Cycles       uint64
+	Instructions uint64
+	MemRequests  uint64
+
+	Traffic Traffic
+	Ops     Ops
+
+	// BusyCycles per tier: cycles the tier's servers spent serving, used
+	// for bandwidth-utilisation figures.
+	DeviceBusyCycles uint64
+	CXLBusyCycles    uint64
+
+	// CacheHitRates holds metadata-cache sector hit rates (0..1) keyed by
+	// "<side>.<class>", when the security engine reports them.
+	CacheHitRates map[string]float64
+}
+
+// IPC returns instructions per cycle.
+func (r *Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SecurityTrafficShare returns security bytes / total bytes on a tier.
+func (r *Run) SecurityTrafficShare(t Tier) float64 {
+	tot := r.Traffic.TierTotal(t)
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.Traffic.SecurityBytes(t)) / float64(tot)
+}
+
+// String renders a compact single-run summary.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s model=%s cycles=%d instructions=%d ipc=%.4f\n",
+		r.Workload, r.Model, r.Cycles, r.Instructions, r.IPC())
+	for t := Tier(0); t < numTiers; t++ {
+		fmt.Fprintf(&b, "  %-6s total=%dB security=%dB", t, r.Traffic.TierTotal(t), r.Traffic.SecurityBytes(t))
+		for c := Class(0); c < numClasses; c++ {
+			fmt.Fprintf(&b, " %s=%dB", c, r.Traffic.Bytes(t, c))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  migrations in=%d evictions=%d chunksBack=%d reenc=%d lazyMAC=%d\n",
+		r.Ops.PagesMigratedIn, r.Ops.PagesEvicted, r.Ops.ChunksWrittenBack,
+		r.Ops.ReEncryptions, r.Ops.MACFetchesLazy)
+	if len(r.CacheHitRates) > 0 {
+		keys := make([]string, 0, len(r.CacheHitRates))
+		for k := range r.CacheHitRates {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  metadata cache hit rates:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.2f", k, r.CacheHitRates[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table is a simple column-aligned text table used by the bench harness.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsByFirstColumn orders rows lexicographically by their first cell,
+// keeping output stable across map iteration order.
+func (t *Table) SortRowsByFirstColumn() {
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}

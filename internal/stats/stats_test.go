@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrafficAccumulation(t *testing.T) {
+	var tr Traffic
+	tr.Add(Device, Data, 100)
+	tr.Add(Device, Counter, 10)
+	tr.Add(Device, MAC, 20)
+	tr.Add(Device, BMT, 5)
+	tr.Add(Device, Mapping, 7)
+	tr.Add(CXL, Data, 50)
+	tr.Add(CXL, MAC, 8)
+
+	if got := tr.Bytes(Device, Data); got != 100 {
+		t.Errorf("Bytes(Device, Data) = %d, want 100", got)
+	}
+	if got := tr.TierTotal(Device); got != 142 {
+		t.Errorf("TierTotal(Device) = %d, want 142", got)
+	}
+	if got := tr.SecurityBytes(Device); got != 35 {
+		t.Errorf("SecurityBytes(Device) = %d, want 35 (mapping excluded)", got)
+	}
+	if got := tr.SecurityBytes(CXL); got != 8 {
+		t.Errorf("SecurityBytes(CXL) = %d, want 8", got)
+	}
+	if got := tr.TotalSecurityBytes(); got != 43 {
+		t.Errorf("TotalSecurityBytes = %d, want 43", got)
+	}
+	if got := tr.Total(); got != 200 {
+		t.Errorf("Total = %d, want 200", got)
+	}
+}
+
+func TestRunIPC(t *testing.T) {
+	r := Run{Cycles: 1000, Instructions: 2500}
+	if got := r.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	empty := Run{}
+	if got := empty.IPC(); got != 0 {
+		t.Errorf("IPC of empty run = %v, want 0", got)
+	}
+}
+
+func TestSecurityTrafficShare(t *testing.T) {
+	r := Run{}
+	r.Traffic.Add(CXL, Data, 80)
+	r.Traffic.Add(CXL, MAC, 20)
+	if got := r.SecurityTrafficShare(CXL); got != 0.2 {
+		t.Errorf("SecurityTrafficShare = %v, want 0.2", got)
+	}
+	if got := r.SecurityTrafficShare(Device); got != 0 {
+		t.Errorf("SecurityTrafficShare on empty tier = %v, want 0", got)
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Workload: "bfs", Model: "salus", Cycles: 10, Instructions: 20}
+	s := r.String()
+	for _, frag := range []string{"workload=bfs", "model=salus", "ipc=2.0000", "device", "cxl"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestTierClassString(t *testing.T) {
+	if Device.String() != "device" || CXL.String() != "cxl" {
+		t.Error("tier names wrong")
+	}
+	names := map[Class]string{Data: "data", Counter: "counter", MAC: "mac", BMT: "bmt", Mapping: "mapping"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if s := Tier(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown tier string = %q", s)
+	}
+	if s := Class(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown class string = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"workload", "ipc"}}
+	tab.AddRow("nw", "1.30")
+	tab.AddRow("bfs", "0.95")
+	tab.SortRowsByFirstColumn()
+	if tab.Rows[0][0] != "bfs" {
+		t.Errorf("sort failed: first row %v", tab.Rows[0])
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "workload") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+}

@@ -1,0 +1,180 @@
+package system
+
+import (
+	"testing"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/stats"
+	"github.com/salus-sim/salus/internal/trace"
+)
+
+// smallCfg shrinks the machine so tests run in milliseconds while keeping
+// enough warp parallelism to stay in the paper's bandwidth-bound regime
+// (too few in-flight requests makes every model latency-bound and washes
+// out the traffic differences).
+func smallCfg() config.Config {
+	c := config.Default()
+	c.GPU.NumSMs = 16
+	c.GPU.SMsPerGPC = 4
+	c.GPU.WarpsPerSM = 8
+	c.GPU.L2KBPerPartition = 8
+	c.Memory.DeviceChannels = 8
+	return c
+}
+
+func smallWorkload() trace.Params {
+	return trace.Params{
+		Name: "test", FootprintBytes: 64 * 4096, PageCoverage: 0.5, Rereference: 1,
+		WriteFraction: 0.3, ComputePerMem: 2, Pattern: trace.Sequential, Passes: 2, Seed: 7,
+	}
+}
+
+func runModel(t *testing.T, m Model, w trace.Params) *stats.Run {
+	t.Helper()
+	r, err := Run(Options{Cfg: smallCfg(), Workload: w, Model: m, MaxAccesses: 4000, CycleLimit: 50_000_000})
+	if err != nil {
+		t.Fatalf("%v: %v", m, err)
+	}
+	return r
+}
+
+func TestRunCompletesAllModels(t *testing.T) {
+	w := smallWorkload()
+	for _, m := range []Model{ModelNone, ModelBaseline, ModelSalus} {
+		r := runModel(t, m, w)
+		if r.Cycles == 0 || r.Instructions == 0 || r.MemRequests == 0 {
+			t.Errorf("%v: empty run: %+v", m, r)
+		}
+		if r.Ops.PagesMigratedIn == 0 {
+			t.Errorf("%v: no migrations — device tier not exercised", m)
+		}
+		t.Logf("%v: cycles=%d ipc=%.3f migrations=%d cxl=%dB sec=%dB",
+			m, r.Cycles, r.IPC(), r.Ops.PagesMigratedIn,
+			r.Traffic.TierTotal(stats.CXL), r.Traffic.TotalSecurityBytes())
+	}
+}
+
+func TestIdenticalWorkAcrossModels(t *testing.T) {
+	// All models must execute the same instruction and access counts —
+	// only timing and traffic may differ.
+	w := smallWorkload()
+	none := runModel(t, ModelNone, w)
+	base := runModel(t, ModelBaseline, w)
+	sal := runModel(t, ModelSalus, w)
+	if none.Instructions != base.Instructions || base.Instructions != sal.Instructions {
+		t.Errorf("instruction counts differ: %d / %d / %d",
+			none.Instructions, base.Instructions, sal.Instructions)
+	}
+	if none.MemRequests != base.MemRequests || base.MemRequests != sal.MemRequests {
+		t.Errorf("request counts differ: %d / %d / %d",
+			none.MemRequests, base.MemRequests, sal.MemRequests)
+	}
+}
+
+func TestSecurityOrdering(t *testing.T) {
+	// The paper's central result shape: none >= salus >= baseline in IPC,
+	// and salus moves less security traffic than baseline.
+	w := smallWorkload()
+	none := runModel(t, ModelNone, w)
+	base := runModel(t, ModelBaseline, w)
+	sal := runModel(t, ModelSalus, w)
+
+	if none.Traffic.TotalSecurityBytes() != 0 {
+		t.Errorf("none model moved %d security bytes", none.Traffic.TotalSecurityBytes())
+	}
+	if base.Traffic.TotalSecurityBytes() == 0 {
+		t.Error("baseline moved no security bytes")
+	}
+	if sal.Traffic.TotalSecurityBytes() >= base.Traffic.TotalSecurityBytes() {
+		t.Errorf("salus security traffic %d not below baseline %d",
+			sal.Traffic.TotalSecurityBytes(), base.Traffic.TotalSecurityBytes())
+	}
+	if !(none.Cycles <= sal.Cycles && sal.Cycles <= base.Cycles) {
+		t.Errorf("cycle ordering violated: none=%d salus=%d baseline=%d",
+			none.Cycles, sal.Cycles, base.Cycles)
+	}
+}
+
+func TestSalusNoRelocationReencryptToDevice(t *testing.T) {
+	w := smallWorkload()
+	sal := runModel(t, ModelSalus, w)
+	base := runModel(t, ModelBaseline, w)
+	// Baseline re-encrypts whole pages on every move; Salus only collapses
+	// dirty chunks on eviction.
+	if sal.Ops.ReEncryptions >= base.Ops.ReEncryptions {
+		t.Errorf("salus re-encryptions %d not below baseline %d",
+			sal.Ops.ReEncryptions, base.Ops.ReEncryptions)
+	}
+	if sal.Ops.MACFetchesLazy == 0 {
+		t.Error("salus performed no lazy MAC fetches")
+	}
+}
+
+func TestLowCoverageWorkloadFavoursSalusMore(t *testing.T) {
+	// NW-like low coverage should give Salus a bigger relative win than a
+	// backprop-like full-coverage sweep (the Fig. 10 explanation).
+	low := smallWorkload()
+	low.Name = "low"
+	low.PageCoverage = 0.15
+
+	high := smallWorkload()
+	high.Name = "high"
+	high.PageCoverage = 1.0
+
+	gain := func(w trace.Params) float64 {
+		base := runModel(t, ModelBaseline, w)
+		sal := runModel(t, ModelSalus, w)
+		return float64(base.Cycles) / float64(sal.Cycles)
+	}
+	gLow, gHigh := gain(low), gain(high)
+	if gLow <= gHigh {
+		t.Errorf("low-coverage gain %.3f not above high-coverage gain %.3f", gLow, gHigh)
+	}
+}
+
+func TestCycleLimitEnforced(t *testing.T) {
+	w := smallWorkload()
+	_, err := Run(Options{Cfg: smallCfg(), Workload: w, Model: ModelBaseline, MaxAccesses: 4000, CycleLimit: 10})
+	if err == nil {
+		t.Error("cycle limit not enforced")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	w := smallWorkload()
+	bad := smallCfg()
+	bad.GPU.NumSMs = 0
+	if _, err := Run(Options{Cfg: bad, Workload: w, Model: ModelNone}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	w2 := w
+	w2.PageCoverage = 0
+	if _, err := Run(Options{Cfg: smallCfg(), Workload: w2, Model: ModelNone}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	w3 := w
+	w3.FootprintBytes = 100
+	if _, err := Run(Options{Cfg: smallCfg(), Workload: w3, Model: ModelNone}); err == nil {
+		t.Error("sub-page footprint accepted")
+	}
+	if _, err := Run(Options{Cfg: smallCfg(), Workload: w, Model: Model(99)}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if ModelNone.String() != "none" || ModelBaseline.String() != "baseline" || ModelSalus.String() != "salus" {
+		t.Error("model names wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := smallWorkload()
+	a := runModel(t, ModelSalus, w)
+	b := runModel(t, ModelSalus, w)
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions ||
+		a.Traffic.Total() != b.Traffic.Total() {
+		t.Errorf("non-deterministic runs: %d/%d vs %d/%d",
+			a.Cycles, a.Traffic.Total(), b.Cycles, b.Traffic.Total())
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace-file support: streams can be exported to (and replayed from) a
+// simple line-oriented text format, so traces captured from real systems —
+// or hand-crafted corner cases — can drive the simulator in place of the
+// synthetic generators.
+//
+// Format: one access per line, `R <hex-addr>` or `W <hex-addr>`, with `#`
+// comment lines and blank lines ignored.
+
+// WriteTo exports up to max accesses of the stream (0 = all) to w.
+// It returns the number of accesses written.
+func (s *Stream) WriteTo(w io.Writer, max int) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# salus trace: workload=%s\n", s.p.Name); err != nil {
+		return 0, err
+	}
+	n := 0
+	for max == 0 || n < max {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %x\n", op, a.Addr); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// FileStream replays a recorded trace. It satisfies the same Next/
+// ComputePerMem contract as Stream, so system code can run either through
+// a small interface.
+type FileStream struct {
+	accesses      []Access
+	pos           int
+	computePerMem int
+}
+
+// ReadTrace parses a trace from r. computePerMem sets the compute-to-
+// memory instruction ratio replayed streams report.
+func ReadTrace(r io.Reader, computePerMem int) (*FileStream, error) {
+	fs := &FileStream{computePerMem: computePerMem}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want `R|W <hex-addr>`, got %q", line, text)
+		}
+		var write bool
+		switch fields[0] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", line, fields[1], err)
+		}
+		fs.accesses = append(fs.accesses, Access{Addr: addr, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Next returns the next recorded access.
+func (f *FileStream) Next() (Access, bool) {
+	if f.pos >= len(f.accesses) {
+		return Access{}, false
+	}
+	a := f.accesses[f.pos]
+	f.pos++
+	return a, true
+}
+
+// ComputePerMem returns the configured compute ratio.
+func (f *FileStream) ComputePerMem() int { return f.computePerMem }
+
+// Len returns the number of recorded accesses.
+func (f *FileStream) Len() int { return len(f.accesses) }
+
+// Reset rewinds the stream to the beginning.
+func (f *FileStream) Reset() { f.pos = 0 }

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteToAndReadTraceRoundTrip(t *testing.T) {
+	p := testParams()
+	src, err := p.NewStream(testGeo, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("wrote %d accesses, want 100", n)
+	}
+
+	// Replay and compare against a fresh generator stream.
+	fs, err := ReadTrace(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 100 {
+		t.Fatalf("parsed %d accesses, want 100", fs.Len())
+	}
+	ref, err := p.NewStream(testGeo, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		want, okW := ref.Next()
+		got, okG := fs.Next()
+		if okW != okG {
+			t.Fatalf("length mismatch at %d", i)
+		}
+		if !okW {
+			break
+		}
+		if want != got {
+			t.Fatalf("access %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if fs.ComputePerMem() != 3 {
+		t.Errorf("ComputePerMem = %d, want 3", fs.ComputePerMem())
+	}
+}
+
+func TestFileStreamReset(t *testing.T) {
+	fs, err := ReadTrace(strings.NewReader("R 100\nW 200\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := fs.Next()
+	fs.Next()
+	if _, ok := fs.Next(); ok {
+		t.Fatal("stream longer than 2")
+	}
+	fs.Reset()
+	a2, ok := fs.Next()
+	if !ok || a1 != a2 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestReadTraceFormat(t *testing.T) {
+	good := "# comment\n\nR 1f00\nw ff\nW 0\n"
+	fs, err := ReadTrace(strings.NewReader(good), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", fs.Len())
+	}
+	a, _ := fs.Next()
+	if a.Addr != 0x1f00 || a.Write {
+		t.Errorf("first access = %+v", a)
+	}
+	a, _ = fs.Next()
+	if a.Addr != 0xff || !a.Write {
+		t.Errorf("second access = %+v", a)
+	}
+
+	bad := []string{
+		"R\n",           // missing address
+		"X 100\n",       // unknown op
+		"R zz\n",        // bad hex
+		"R 100 extra\n", // trailing field
+	}
+	for _, tc := range bad {
+		if _, err := ReadTrace(strings.NewReader(tc), 0); err == nil {
+			t.Errorf("accepted malformed line %q", tc)
+		}
+	}
+}
+
+func TestWriteToIncludesHeader(t *testing.T) {
+	p := testParams()
+	src, err := p.NewStream(testGeo, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# salus trace: workload=t\n") {
+		t.Errorf("missing header: %q", buf.String())
+	}
+}

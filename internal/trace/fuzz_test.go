@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace checks that the trace parser never panics and that any
+// trace it accepts round-trips through the writer format.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("R 100\nW 200\n")
+	f.Add("# comment\n\nr ff\n")
+	f.Add("X nope\n")
+	f.Add("R " + strings.Repeat("f", 20) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		fs, err := ReadTrace(strings.NewReader(input), 1)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted traces must re-serialise and re-parse identically.
+		var buf bytes.Buffer
+		buf.WriteString("# roundtrip\n")
+		for {
+			a, ok := fs.Next()
+			if !ok {
+				break
+			}
+			op := "R"
+			if a.Write {
+				op = "W"
+			}
+			if _, err := buf.WriteString(op + " "); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := buf.WriteString(hex(a.Addr) + "\n"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Reset()
+		fs2, err := ReadTrace(&buf, 1)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if fs2.Len() != fs.Len() {
+			t.Fatalf("round-trip length %d != %d", fs2.Len(), fs.Len())
+		}
+		for {
+			a1, ok1 := fs.Next()
+			a2, ok2 := fs2.Next()
+			if ok1 != ok2 {
+				t.Fatal("length mismatch")
+			}
+			if !ok1 {
+				break
+			}
+			if a1 != a2 {
+				t.Fatalf("access mismatch: %+v vs %+v", a1, a2)
+			}
+		}
+	})
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var b [16]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,75 @@
+package trace
+
+// Suite returns the 14-benchmark workload set standing in for the paper's
+// Rodinia-3.1 / Parboil / LonestarGPU-2.0 / Pannotia selection.
+//
+// Parameters are calibrated to the behaviour the paper reports:
+//
+//   - NW, B+tree, and Lava have the majority of their pages evicted with
+//     fewer than half of their channels (chunks) ever accessed — these see
+//     the largest Salus gains (Fig. 10), so their PageCoverage is low.
+//   - Backprop and Sgemm touch almost all channels of every transferred
+//     page, with accesses spread out over time — these see little gain or a
+//     small slowdown, so their coverage is 1.0 with multiple passes.
+//   - Stencil, B+tree, Lava, and NW are the low-memory-intensity group
+//     (higher ComputePerMem); the rest are medium/high intensity.
+//
+// Footprints are scaled down so a simulation finishes in seconds while
+// staying in the paper's regime: the device tier is large enough to hold
+// the SMs' concurrently active pages (so no premature-eviction thrash)
+// but far smaller than the pages touched over a run, so capacity churn —
+// migrations plus evictions — dominates, as with the paper's
+// oversubscribed footprints.
+func Suite() []Params {
+	const MiB = 1 << 20
+	return []Params{
+		{Name: "backprop", FootprintBytes: 4 * MiB, PageCoverage: 1.0, Rereference: 1,
+			WriteFraction: 0.45, ComputePerMem: 4, Pattern: Sequential, Passes: 3, Seed: 1},
+		{Name: "bfs", FootprintBytes: 4 * MiB, PageCoverage: 0.20, Rereference: 1,
+			WriteFraction: 0.10, ComputePerMem: 3, Pattern: Random, Passes: 3, Seed: 2},
+		{Name: "btree", FootprintBytes: 6 * MiB, PageCoverage: 0.12, Rereference: 2,
+			WriteFraction: 0.05, ComputePerMem: 10, Pattern: Random, Passes: 2, Seed: 3},
+		{Name: "color", FootprintBytes: 4 * MiB, PageCoverage: 0.30, Rereference: 1,
+			WriteFraction: 0.15, ComputePerMem: 4, Pattern: Random, Passes: 3, Seed: 4},
+		{Name: "hotspot", FootprintBytes: 4 * MiB, PageCoverage: 0.90, Rereference: 2,
+			WriteFraction: 0.35, ComputePerMem: 5, Pattern: Sequential, Passes: 2, Seed: 5},
+		{Name: "kmeans", FootprintBytes: 4 * MiB, PageCoverage: 1.0, Rereference: 2,
+			WriteFraction: 0.10, ComputePerMem: 4, Pattern: Sequential, Passes: 2, Seed: 6},
+		{Name: "lava", FootprintBytes: 6 * MiB, PageCoverage: 0.25, Rereference: 3,
+			WriteFraction: 0.30, ComputePerMem: 12, Pattern: Strided, PageStride: 4, Passes: 2, Seed: 7},
+		{Name: "nw", FootprintBytes: 6 * MiB, PageCoverage: 0.18, Rereference: 2,
+			WriteFraction: 0.40, ComputePerMem: 10, Pattern: Strided, PageStride: 8, Passes: 2, Seed: 8},
+		{Name: "pagerank", FootprintBytes: 4 * MiB, PageCoverage: 0.35, Rereference: 1,
+			WriteFraction: 0.20, ComputePerMem: 3, Pattern: Random, Passes: 3, Seed: 9},
+		{Name: "pathfinder", FootprintBytes: 4 * MiB, PageCoverage: 0.50, Rereference: 1,
+			WriteFraction: 0.25, ComputePerMem: 4, Pattern: Sequential, Passes: 3, Seed: 10},
+		{Name: "sgemm", FootprintBytes: 4 * MiB, PageCoverage: 1.0, Rereference: 2,
+			WriteFraction: 0.30, ComputePerMem: 4, Pattern: Strided, PageStride: 2, Passes: 3, Seed: 11},
+		{Name: "srad", FootprintBytes: 4 * MiB, PageCoverage: 0.90, Rereference: 1,
+			WriteFraction: 0.35, ComputePerMem: 5, Pattern: Sequential, Passes: 2, Seed: 12},
+		{Name: "sssp", FootprintBytes: 4 * MiB, PageCoverage: 0.25, Rereference: 1,
+			WriteFraction: 0.15, ComputePerMem: 3, Pattern: Random, Passes: 3, Seed: 13},
+		{Name: "stencil", FootprintBytes: 4 * MiB, PageCoverage: 1.0, Rereference: 3,
+			WriteFraction: 0.30, ComputePerMem: 12, Pattern: Sequential, Passes: 2, Seed: 14},
+	}
+}
+
+// ByName returns the suite workload with the given name, or false.
+func ByName(name string) (Params, bool) {
+	for _, p := range Suite() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}
+
+// Names returns the suite workload names in suite order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, p := range s {
+		out[i] = p.Name
+	}
+	return out
+}

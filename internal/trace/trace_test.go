@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var testGeo = Geometry{SectorSize: 32, ChunkSize: 256, PageSize: 4096}
+
+func testParams() Params {
+	return Params{
+		Name: "t", FootprintBytes: 64 * 4096, PageCoverage: 0.5, Rereference: 1,
+		WriteFraction: 0.3, ComputePerMem: 2, Pattern: Sequential, Passes: 1, Seed: 42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.Name = "" },
+		func(p *Params) { p.FootprintBytes = 0 },
+		func(p *Params) { p.PageCoverage = 0 },
+		func(p *Params) { p.PageCoverage = 1.5 },
+		func(p *Params) { p.Rereference = 0 },
+		func(p *Params) { p.WriteFraction = -0.1 },
+		func(p *Params) { p.WriteFraction = 1.1 },
+		func(p *Params) { p.ComputePerMem = -1 },
+		func(p *Params) { p.Passes = 0 },
+		func(p *Params) { p.Pattern = Strided; p.PageStride = 0 },
+	}
+	for i, mut := range mutations {
+		p := testParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p := testParams()
+	p.Pattern = Random
+	collect := func() []Access {
+		s, err := p.NewStream(testGeo, 3, 8, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Access
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamAddressesInFootprint(t *testing.T) {
+	f := func(seed int64, smRaw uint8) bool {
+		p := testParams()
+		p.Seed = seed
+		p.Pattern = Random
+		sm := int(smRaw % 8)
+		s, err := p.NewStream(testGeo, sm, 8, 1000)
+		if err != nil {
+			return false
+		}
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			if a.Addr >= p.FootprintBytes {
+				return false
+			}
+			if a.Addr%uint64(testGeo.SectorSize) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamCap(t *testing.T) {
+	p := testParams()
+	s, err := p.NewStream(testGeo, 0, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 17 {
+		t.Errorf("capped stream yielded %d accesses, want 17", n)
+	}
+}
+
+func TestStreamUncappedLength(t *testing.T) {
+	// 4 pages for 1 SM, coverage 0.5 (8 of 16 chunks), reref 1, 8
+	// sectors/chunk, 2 passes: 4*8*8*2 = 512 accesses.
+	p := testParams()
+	p.FootprintBytes = 4 * 4096
+	p.Passes = 2
+	s, err := p.NewStream(testGeo, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 512 {
+		t.Errorf("stream length %d, want 512", n)
+	}
+}
+
+func TestCoverageControlsChunksTouched(t *testing.T) {
+	countChunks := func(cov float64) int {
+		p := testParams()
+		p.FootprintBytes = 4096 // one page
+		p.PageCoverage = cov
+		s, err := p.NewStream(testGeo, 0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks := map[uint64]bool{}
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			chunks[a.Addr/uint64(testGeo.ChunkSize)] = true
+		}
+		return len(chunks)
+	}
+	if got := countChunks(1.0); got != 16 {
+		t.Errorf("coverage 1.0 touched %d chunks, want 16", got)
+	}
+	if got := countChunks(0.25); got != 4 {
+		t.Errorf("coverage 0.25 touched %d chunks, want 4", got)
+	}
+	if got := countChunks(0.01); got != 1 {
+		t.Errorf("coverage 0.01 touched %d chunks, want 1 (floor)", got)
+	}
+}
+
+func TestWriteFractionRoughlyHonoured(t *testing.T) {
+	p := testParams()
+	p.WriteFraction = 0.5
+	p.Passes = 4
+	s, err := p.NewStream(testGeo, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, total := 0, 0
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		total++
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("write fraction %v, want ~0.5 (n=%d)", frac, total)
+	}
+}
+
+func TestSMPartitioning(t *testing.T) {
+	// Two SMs partition pages disjointly under Sequential.
+	p := testParams()
+	pagesOf := func(sm int) map[uint64]bool {
+		s, err := p.NewStream(testGeo, sm, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := map[uint64]bool{}
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			pages[a.Addr/uint64(testGeo.PageSize)] = true
+		}
+		return pages
+	}
+	p0, p1 := pagesOf(0), pagesOf(1)
+	for pg := range p0 {
+		if p1[pg] {
+			t.Fatalf("page %d visited by both SMs", pg)
+		}
+	}
+	if len(p0)+len(p1) != 64 {
+		t.Errorf("total pages = %d, want 64", len(p0)+len(p1))
+	}
+}
+
+func TestMoreSMsThanPages(t *testing.T) {
+	p := testParams()
+	p.FootprintBytes = 2 * 4096
+	s, err := p.NewStream(testGeo, 7, 16, 10) // SM 7, only 2 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Next(); !ok {
+		t.Error("stream empty for SM beyond page count")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	p := testParams()
+	if _, err := p.NewStream(testGeo, 5, 4, 0); err == nil {
+		t.Error("sm >= totalSMs accepted")
+	}
+	if _, err := p.NewStream(testGeo, -1, 4, 0); err == nil {
+		t.Error("negative sm accepted")
+	}
+	p.FootprintBytes = 100 // less than a page
+	if _, err := p.NewStream(testGeo, 0, 1, 0); err == nil {
+		t.Error("sub-page footprint accepted")
+	}
+}
+
+func TestSuiteValidatesAndIsComplete(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d workloads, want 14", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// The paper's named winners have low coverage; named losers have full
+	// coverage — the property its Fig. 10 explanation rests on.
+	for _, winner := range []string{"nw", "btree", "lava"} {
+		p, ok := ByName(winner)
+		if !ok {
+			t.Fatalf("missing workload %s", winner)
+		}
+		if p.PageCoverage >= 0.5 {
+			t.Errorf("%s coverage %v, want < 0.5", winner, p.PageCoverage)
+		}
+	}
+	for _, loser := range []string{"backprop", "sgemm"} {
+		p, ok := ByName(loser)
+		if !ok {
+			t.Fatalf("missing workload %s", loser)
+		}
+		if p.PageCoverage != 1.0 {
+			t.Errorf("%s coverage %v, want 1.0", loser, p.PageCoverage)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("ByName(nosuch) found something")
+	}
+	names := Names()
+	if len(names) != len(Suite()) {
+		t.Error("Names length mismatch")
+	}
+	if names[0] != "backprop" {
+		t.Errorf("first name = %s", names[0])
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Sequential.String() != "sequential" || Random.String() != "random" || Strided.String() != "strided" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Error("unknown pattern empty")
+	}
+}

@@ -1,0 +1,112 @@
+// Package salus is a from-scratch reproduction of "Salus: Efficient
+// Security Support for CXL-Expanded GPU Memory" (HPCA 2024): a security
+// model for two-tier GPU memory (device HBM/GDDR + CXL expansion) whose
+// metadata is decoupled from the physical location of data, so page
+// migration between tiers needs no re-encryption and minimal metadata
+// traffic.
+//
+// The package exposes two layers:
+//
+//   - The functional library (this package, re-exporting
+//     internal/securemem): a protected two-tier memory with real
+//     counter-mode encryption, truncated keyed MACs, and Bonsai Merkle
+//     Trees, usable as a reference implementation of the paper's
+//     mechanisms. Open a System, Read and Write through it, and observe
+//     migration, lazy metadata fetch, dirty tracking, and attack detection
+//     via Stats and the error values.
+//
+//   - The evaluation stack (internal/system, internal/experiments, and the
+//     cmd/ tools): a discrete-event timing simulator of a Volta-like GPU
+//     with CXL expansion that regenerates every table and figure of the
+//     paper's evaluation. See cmd/salus-bench.
+package salus
+
+import (
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/securemem"
+)
+
+// Model selects the protection scheme of a System.
+type Model = securemem.Model
+
+// Protection models.
+const (
+	// ModelNone stores plaintext with no metadata (baseline for
+	// comparisons; offers no protection).
+	ModelNone = securemem.ModelNone
+	// ModelConventional binds security metadata to physical locations, as
+	// in prior GPU memory-protection work: every page migration decrypts
+	// and re-encrypts the page.
+	ModelConventional = securemem.ModelConventional
+	// ModelSalus is the paper's unified model: metadata is indexed by the
+	// permanent CXL address, migration moves ciphertext verbatim, majors
+	// travel embedded in MAC sectors, MAC sectors are fetched on first
+	// access, and eviction writes back only dirty chunks.
+	ModelSalus = securemem.ModelSalus
+)
+
+// Config sizes a System.
+type Config = securemem.Config
+
+// System is a protected two-tier memory with transparent page migration.
+type System = securemem.System
+
+// Concurrent is a goroutine-safe wrapper around System.
+type Concurrent = securemem.Concurrent
+
+// OpStats counts the security and migration operations a System performed.
+type OpStats = securemem.OpStats
+
+// Geometry fixes the layout constants (sector, block, chunk, page sizes).
+type Geometry = config.Geometry
+
+// Detection errors returned by System.Read/Write.
+var (
+	// ErrIntegrity reports a failed MAC check: tampered or spliced data.
+	ErrIntegrity = securemem.ErrIntegrity
+	// ErrFreshness reports a failed integrity-tree check: replayed
+	// metadata.
+	ErrFreshness = securemem.ErrFreshness
+	// ErrOutOfRange reports an access beyond the home address space.
+	ErrOutOfRange = securemem.ErrOutOfRange
+)
+
+// DefaultGeometry returns the paper's layout: 32 B sectors, 128 B blocks,
+// 256 B interleaving chunks, 4 KiB pages.
+func DefaultGeometry() Geometry {
+	return config.Default().Geometry
+}
+
+// New creates a protected two-tier memory. See securemem.Config for the
+// fields; zero-valued keys fall back to built-in development keys.
+func New(cfg Config) (*System, error) {
+	return securemem.New(cfg)
+}
+
+// NewDefault creates a Salus-protected memory of totalPages pages whose
+// device tier holds devicePages pages, using the default geometry.
+func NewDefault(totalPages, devicePages int) (*System, error) {
+	return securemem.New(securemem.Config{
+		Geometry:    DefaultGeometry(),
+		Model:       ModelSalus,
+		TotalPages:  totalPages,
+		DevicePages: devicePages,
+	})
+}
+
+// NewConcurrent creates a goroutine-safe protected memory.
+func NewConcurrent(cfg Config) (*Concurrent, error) {
+	return securemem.NewConcurrent(cfg)
+}
+
+// TrustedRoot is the TCB state of a suspended System: the integrity-tree
+// roots that must be kept in trusted storage while the (untrusted) image
+// is at rest.
+type TrustedRoot = securemem.TrustedRoot
+
+// Resume reconstructs a suspended Salus system from its untrusted image
+// and trusted root; a tampered or replayed image is rejected. See
+// System.Suspend.
+func Resume(cfg Config, image []byte, root TrustedRoot) (*System, error) {
+	return securemem.Resume(cfg, image, root)
+}

@@ -1,0 +1,80 @@
+package salus_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	salus "github.com/salus-sim/salus"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := salus.NewDefault(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("confidential model weights")
+	if err := sys.Write(4096, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := sys.Read(4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+	if sys.Model() != salus.ModelSalus {
+		t.Error("NewDefault should use the Salus model")
+	}
+	if sys.Stats().PageMigrationsIn == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+func TestPublicErrorValues(t *testing.T) {
+	sys, err := salus.NewDefault(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Read(sys.Size(), make([]byte, 1)); !errors.Is(err, salus.ErrOutOfRange) {
+		t.Errorf("out-of-range read: %v", err)
+	}
+	if err := sys.Write(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sys.CorruptHome(0)
+	if err := sys.Read(0, make([]byte, 1)); !errors.Is(err, salus.ErrIntegrity) {
+		t.Errorf("tampered read: %v", err)
+	}
+}
+
+func TestConventionalModelViaPublicAPI(t *testing.T) {
+	sys, err := salus.New(salus.Config{
+		Geometry:    salus.DefaultGeometry(),
+		Model:       salus.ModelConventional,
+		TotalPages:  16,
+		DevicePages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := 0; pg < 16; pg++ {
+		if err := sys.Read(uint64(pg*4096), make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Stats().RelocationReEncryptions == 0 {
+		t.Error("conventional model performed no relocation re-encryptions")
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	g := salus.DefaultGeometry()
+	if g.SectorSize != 32 || g.BlockSize != 128 || g.ChunkSize != 256 || g.PageSize != 4096 {
+		t.Errorf("geometry = %+v", g)
+	}
+}
