@@ -1,0 +1,42 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs exactly
+# these targets so local and CI checking are identical.
+
+GO ?= go
+
+.PHONY: all build test lint vet fmt race fuzz-smoke ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the standard toolchain checks plus the project's custom
+# analyzers (address domains, lock discipline, dropped errors, counter
+# widths). gofmt -l prints offending files; the subshell turns any
+# output into a failure.
+lint: vet fmt
+	$(GO) run ./cmd/salus-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# race covers the concurrency-sensitive packages. The experiments
+# package is excluded: its campaigns are minutes-long under the race
+# detector without exercising any extra locking.
+race:
+	$(GO) test -race ./internal/securemem ./internal/sim ./internal/pagecache \
+		./internal/metrics ./internal/trace
+
+# fuzz-smoke gives the trace-parser fuzzer a short budget on top of the
+# checked-in corpus (internal/trace/testdata/fuzz).
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^FuzzReadTrace$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
+
+ci: build lint test race fuzz-smoke

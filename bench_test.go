@@ -163,7 +163,7 @@ func BenchmarkFunctionalReadWrite(b *testing.B) {
 	b.SetBytes(64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		addr := uint64((i * 4096 * 3) % (64 * 4096 / 2))
+		addr := securemem.HomeAddr((i * 4096 * 3) % (64 * 4096 / 2))
 		if err := sys.Write(addr, buf); err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func BenchmarkFunctionalMigration(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				// Alternate between two pages with one frame: every access
 				// is a migration plus an eviction.
-				if err := sys.Read(uint64(i%2)*4096, buf); err != nil {
+				if err := sys.Read(securemem.HomeAddr(i%2)*4096, buf); err != nil {
 					b.Fatal(err)
 				}
 			}

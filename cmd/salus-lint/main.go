@@ -1,0 +1,94 @@
+// Command salus-lint runs the project's custom static analyzers (package
+// internal/lint) over the module and prints findings compiler-style. It
+// exits non-zero when any finding survives, so CI can gate on it.
+//
+// Usage:
+//
+//	salus-lint [-only analyzer[,analyzer]] [package-dir | ./...]
+//
+// With no argument (or "./...") every package under the enclosing module
+// is checked, testdata and vendor directories excluded. A single
+// directory argument checks just that directory's packages.
+//
+// Findings can be suppressed with a trailing or preceding comment:
+//
+//	//salus-lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/salus-sim/salus/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: salus-lint [-only names] [dir | ./...]\n\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name(), a.Doc())
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name()] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "salus-lint: no analyzer matches -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	target := "./..."
+	if flag.NArg() > 0 {
+		target = flag.Arg(0)
+	}
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "salus-lint: at most one package argument")
+		os.Exit(2)
+	}
+
+	start := "."
+	if target != "./..." {
+		start = target
+	}
+	loader, err := lint.NewLoader(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salus-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var pkgs []*lint.Package
+	if target == "./..." {
+		pkgs, err = loader.LoadAll()
+	} else {
+		pkgs, err = loader.LoadDir(target)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salus-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "salus-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

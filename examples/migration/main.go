@@ -35,7 +35,7 @@ func runWorkload(model salus.Model) salus.OpStats {
 	buf := make([]byte, 64)
 	for s := 0; s < sweeps; s++ {
 		for pg := 0; pg < totalPages; pg++ {
-			addr := uint64(pg * 4096)
+			addr := salus.HomeAddr(pg * 4096)
 			if err := sys.Read(addr, buf); err != nil {
 				log.Fatal(err)
 			}

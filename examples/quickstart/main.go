@@ -23,7 +23,7 @@ func main() {
 	// writeback.
 	for pg := 0; pg < 256; pg++ {
 		record := fmt.Sprintf("page-%03d: secret payload", pg)
-		if err := sys.Write(uint64(pg*4096), []byte(record)); err != nil {
+		if err := sys.Write(salus.HomeAddr(pg*4096), []byte(record)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -32,7 +32,7 @@ func main() {
 	for pg := 0; pg < 256; pg++ {
 		want := fmt.Sprintf("page-%03d: secret payload", pg)
 		buf := make([]byte, len(want))
-		if err := sys.Read(uint64(pg*4096), buf); err != nil {
+		if err := sys.Read(salus.HomeAddr(pg*4096), buf); err != nil {
 			log.Fatalf("page %d: %v", pg, err)
 		}
 		if string(buf) != want {

@@ -77,7 +77,7 @@ func main() {
 
 // mustRecover rewrites a sector after a detected attack so the demo can
 // continue (a real system would halt instead).
-func mustRecover(sys *salus.System, addr uint64, data []byte) {
+func mustRecover(sys *salus.System, addr salus.HomeAddr, data []byte) {
 	if err := sys.Write(addr, data); err != nil {
 		log.Fatal(err)
 	}

@@ -12,13 +12,14 @@ package gpu
 
 import (
 	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/trace"
 )
 
 // Issuer sends one memory access into the memory system and calls done at
 // completion time.
-type Issuer func(gpc int, addr uint64, write bool, done func())
+type Issuer func(gpc int, addr securemem.HomeAddr, write bool, done func())
 
 // Stream is the access source an SM executes: either a synthetic
 // generator (*trace.Stream) or a replayed file (*trace.FileStream).
@@ -122,7 +123,7 @@ func (s *sm) laneStep() {
 		s.acquireSlot(func() {
 			s.g.memReqs++
 			write := acc.Write
-			s.g.issuer(s.gpc, acc.Addr, write, func() {
+			s.g.issuer(s.gpc, securemem.HomeAddr(acc.Addr), write, func() {
 				s.releaseSlot()
 				if !write {
 					s.laneStep()

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/trace"
 )
@@ -35,7 +36,7 @@ func makeStreams(t *testing.T, cfg config.GPU, accessesPerSM int, writeFrac floa
 // immediateIssuer completes every access after a fixed delay.
 func immediateIssuer(eng *sim.Engine, delay sim.Cycle) (Issuer, *int) {
 	count := 0
-	return func(gpc int, addr uint64, write bool, done func()) {
+	return func(gpc int, addr securemem.HomeAddr, write bool, done func()) {
 		count++
 		eng.After(delay, done)
 	}, &count
@@ -113,7 +114,7 @@ func TestMaxOutstandingRespected(t *testing.T) {
 	cfg.WarpsPerSM = 8                      // more lanes than slots
 	streams := makeStreams(t, cfg, 40, 1.0) // all writes: posted, slot-bound
 	inFlight, maxInFlight := 0, 0
-	issuer := func(gpc int, addr uint64, write bool, done func()) {
+	issuer := func(gpc int, addr securemem.HomeAddr, write bool, done func()) {
 		inFlight++
 		if inFlight > maxInFlight {
 			maxInFlight = inFlight
@@ -142,7 +143,7 @@ func TestGPCAssignment(t *testing.T) {
 	cfg.SMsPerGPC = 2
 	streams := makeStreams(t, cfg, 10, 0)
 	gpcs := map[int]bool{}
-	issuer := func(gpc int, addr uint64, write bool, done func()) {
+	issuer := func(gpc int, addr securemem.HomeAddr, write bool, done func()) {
 		gpcs[gpc] = true
 		eng.After(1, done)
 	}
@@ -156,7 +157,7 @@ func TestGPCAssignment(t *testing.T) {
 
 func TestEmptyGPU(t *testing.T) {
 	eng := sim.NewEngine()
-	g := New(eng, testGPUCfg(), nil, func(int, uint64, bool, func()) {})
+	g := New(eng, testGPUCfg(), nil, func(int, securemem.HomeAddr, bool, func()) {})
 	fired := false
 	g.Start(func() { fired = true })
 	if !fired || !g.Done() {
@@ -166,7 +167,7 @@ func TestEmptyGPU(t *testing.T) {
 
 func TestStartTwicePanics(t *testing.T) {
 	eng := sim.NewEngine()
-	g := New(eng, testGPUCfg(), nil, func(int, uint64, bool, func()) {})
+	g := New(eng, testGPUCfg(), nil, func(int, securemem.HomeAddr, bool, func()) {})
 	g.Start(nil)
 	defer func() {
 		if recover() == nil {

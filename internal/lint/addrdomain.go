@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AddrDomain flags data flowing between the home (CXL) and device (GPU)
+// address domains. The domains are distinct named types — HomeAddr and
+// DevAddr, canonically securemem's — so direct assignment is already a
+// compile error; what remains expressible, and what this analyzer catches,
+// is the explicit cross conversion `DevAddr(h)` / `HomeAddr(d)` that a
+// hurried edit writes to silence the compiler. Converting through plain
+// uint64 is the sanctioned escape hatch: it forces the author to leave the
+// typed world deliberately, at a boundary (crypto, storage indexing) where
+// the domain no longer applies.
+//
+// As a fallback for not-yet-migrated code, the analyzer also applies
+// naming-convention inference: passing an identifier named like a device
+// address where a parameter is named like a home address (or vice versa)
+// when both sides are still bare integers. Those findings are warnings,
+// not errors.
+type AddrDomain struct{}
+
+// Name implements Analyzer.
+func (AddrDomain) Name() string { return "addrdomain" }
+
+// Doc implements Analyzer.
+func (AddrDomain) Doc() string {
+	return "flags conversions and argument passing that cross the home/device address domains"
+}
+
+// domainOf classifies a type as home (+1), device (-1), or neither (0).
+// Types are matched by name with an unsigned-integer underlying type, so
+// the analyzer works on any package that adopts the convention (and on
+// self-contained test fixtures), not only on securemem itself.
+func domainOf(t types.Type) int {
+	n := namedType(t)
+	if n == nil || !isUnsignedInt(n) {
+		return 0
+	}
+	switch n.Obj().Name() {
+	case "HomeAddr":
+		return +1
+	case "DevAddr":
+		return -1
+	}
+	return 0
+}
+
+// nameDomainOf classifies an identifier name: homeAddr-ish (+1),
+// devAddr-ish (-1), or neither (0).
+func nameDomainOf(name string) int {
+	l := strings.ToLower(name)
+	switch {
+	case strings.Contains(l, "homeaddr"):
+		return +1
+	case strings.Contains(l, "devaddr"):
+		return -1
+	}
+	return 0
+}
+
+// Run implements Analyzer.
+func (a AddrDomain) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if tv, ok := pkg.Info.Types[n.Fun]; ok && tv.IsType() {
+					out = append(out, a.checkConversion(pkg, n)...)
+				} else {
+					out = append(out, a.checkCall(pkg, n)...)
+				}
+			case *ast.AssignStmt:
+				out = append(out, a.checkAssign(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkConversion flags T(x) where T and x sit in opposite domains.
+func (a AddrDomain) checkConversion(pkg *Package, call *ast.CallExpr) []Finding {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	dst := domainOf(pkg.Info.Types[call.Fun].Type)
+	src := domainOf(pkg.Info.TypeOf(call.Args[0]))
+	if dst == 0 || src == 0 || dst == src {
+		return nil
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(call.Pos()),
+		Analyzer: a.Name(),
+		Severity: Error,
+		Message: fmt.Sprintf("cross-domain address conversion %s: convert through uint64 at an explicit domain boundary instead",
+			exprString(call.Fun)+"("+exprString(call.Args[0])+")"),
+	}}
+}
+
+// checkCall applies naming-convention inference to call arguments whose
+// types are still bare integers.
+func (a AddrDomain) checkCall(pkg *Package, call *ast.CallExpr) []Finding {
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Variadic() {
+		return nil
+	}
+	if sig.Params().Len() != len(call.Args) {
+		return nil
+	}
+	var out []Finding
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		param := sig.Params().At(i)
+		want, got := nameDomainOf(param.Name()), nameDomainOf(id.Name)
+		if want == 0 || got == 0 || want == got {
+			continue
+		}
+		// Only infer on untyped (bare integer) values: once either side
+		// carries a domain type, the type-based checks own the case.
+		if domainOf(param.Type()) != 0 || domainOf(pkg.Info.TypeOf(id)) != 0 {
+			continue
+		}
+		if !isBareInt(param.Type()) || !isBareInt(pkg.Info.TypeOf(id)) {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(arg.Pos()),
+			Analyzer: a.Name(),
+			Severity: Warning,
+			Message: fmt.Sprintf("argument %q passed as parameter %q crosses address domains by naming convention",
+				id.Name, param.Name()),
+		})
+	}
+	return out
+}
+
+// checkAssign applies naming-convention inference to ident = ident
+// assignments of bare integers.
+func (a AddrDomain) checkAssign(pkg *Package, as *ast.AssignStmt) []Finding {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []Finding
+	for i := range as.Lhs {
+		lhs, ok1 := as.Lhs[i].(*ast.Ident)
+		rhs, ok2 := as.Rhs[i].(*ast.Ident)
+		if !ok1 || !ok2 {
+			continue
+		}
+		want, got := nameDomainOf(lhs.Name), nameDomainOf(rhs.Name)
+		if want == 0 || got == 0 || want == got {
+			continue
+		}
+		lt, rt := pkg.Info.TypeOf(lhs), pkg.Info.TypeOf(rhs)
+		if lt == nil || rt == nil || domainOf(lt) != 0 || domainOf(rt) != 0 {
+			continue
+		}
+		if !isBareInt(lt) || !isBareInt(rt) {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(as.Pos()),
+			Analyzer: a.Name(),
+			Severity: Warning,
+			Message: fmt.Sprintf("assignment %s = %s crosses address domains by naming convention",
+				lhs.Name, rhs.Name),
+		})
+	}
+	return out
+}
+
+// isBareInt reports whether t is an unnamed basic integer type.
+func isBareInt(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

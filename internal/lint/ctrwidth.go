@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtrWidth is the paper-specific analyzer: minor counters are narrow by
+// design (6-bit conventional, 8-bit IF-group, 16-bit CXL-split minors,
+// §IV-A1/2), so every increment must either be range-guarded against the
+// width limit or live next to the overflow rollover (major increment +
+// minors reset + re-encryption). An unguarded `x.Minor++` eventually
+// wraps silently, which in counter-mode encryption means IV reuse.
+//
+// The analyzer flags ++/+=/x = x + k on fields named Major/Majors/
+// Minor/Minors unless the enclosing function shows overflow awareness:
+// a comparison involving the same field (the `minors[i] < Max` guard),
+// or — for major bumps — a reset assignment of the minors in the same
+// function (the rollover itself).
+type CtrWidth struct{}
+
+// Name implements Analyzer.
+func (CtrWidth) Name() string { return "ctrwidth" }
+
+// Doc implements Analyzer.
+func (CtrWidth) Doc() string {
+	return "flags arithmetic on minor/major counter fields without a width guard or rollover"
+}
+
+// counterFieldName returns the counter field name ("Major", "Minors", …)
+// referenced by an lvalue expression, or "".
+func counterFieldName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			switch x.Sel.Name {
+			case "Major", "Majors", "Minor", "Minors":
+				return x.Sel.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// isMinorName reports whether a counter field name is a minor.
+func isMinorName(name string) bool { return strings.HasPrefix(name, "Minor") }
+
+// Run implements Analyzer.
+func (a CtrWidth) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, a.checkFunc(pkg, fn)...)
+		}
+	}
+	return out
+}
+
+// checkFunc scans one function for unguarded counter increments.
+func (a CtrWidth) checkFunc(pkg *Package, fn *ast.FuncDecl) []Finding {
+	guardedFields := map[string]bool{} // fields compared somewhere in fn
+	minorsReset := false               // fn resets a minor field wholesale
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if name := counterFieldName(n.X); name != "" {
+					guardedFields[name] = true
+				}
+				if name := counterFieldName(n.Y); name != "" {
+					guardedFields[name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// A wholesale reset like `s.Minors = [N]uint8{}` (or = 0 for a
+			// scalar minor) is the rollover that licenses a major bump.
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					name := counterFieldName(n.Lhs[i])
+					if name == "" || !isMinorName(name) {
+						continue
+					}
+					if isZeroValue(n.Rhs[i]) {
+						minorsReset = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging over the minors to test for non-zero entries (the
+			// Collapse pattern) counts as inspecting them.
+			if name := counterFieldName(n.X); name != "" {
+				guardedFields[name] = true
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	flag := func(pos token.Pos, field string, form string) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: a.Name(),
+			Severity: Error,
+			Message: fmt.Sprintf("%s on counter field %q without a width guard or overflow rollover in %s",
+				form, field, fn.Name.Name),
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok != token.INC {
+				return true
+			}
+			if field := counterFieldName(n.X); field != "" && !a.licensed(field, guardedFields, minorsReset) {
+				flag(n.Pos(), field, "increment")
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				field := counterFieldName(n.Lhs[i])
+				if field == "" {
+					continue
+				}
+				switch {
+				case n.Tok == token.ADD_ASSIGN:
+					if !a.licensed(field, guardedFields, minorsReset) {
+						flag(n.Pos(), field, "add-assign")
+					}
+				case n.Tok == token.ASSIGN && i < len(n.Rhs) && isSelfAddition(n.Rhs[i], field):
+					if !a.licensed(field, guardedFields, minorsReset) {
+						flag(n.Pos(), field, "self-addition")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// licensed reports whether an increment of field is overflow-aware in its
+// function: the field itself is guarded by a comparison, or (for majors)
+// the minors are reset alongside the bump.
+func (CtrWidth) licensed(field string, guardedFields map[string]bool, minorsReset bool) bool {
+	if guardedFields[field] {
+		return true
+	}
+	if !isMinorName(field) && minorsReset {
+		return true
+	}
+	return false
+}
+
+// isZeroValue matches composite literals with no elements and literal 0.
+func isZeroValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.BasicLit:
+		return e.Value == "0"
+	}
+	return false
+}
+
+// isSelfAddition matches `<field-expr> + k` where the left side names the
+// same counter field.
+func isSelfAddition(e ast.Expr, field string) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.ADD {
+		return false
+	}
+	return counterFieldName(b.X) == field || counterFieldName(b.Y) == field
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags call statements that silently discard an error
+// returned by one of the model-layer APIs (securemem, pagecache, sim,
+// and the public salus package). In this codebase an ignored error from
+// those packages usually means an ignored ErrIntegrity/ErrFreshness —
+// i.e. a detected attack dropped on the floor. Explicitly assigning to
+// the blank identifier (`_ = c.Flush()`) is the sanctioned discard and
+// is not flagged.
+type DroppedErr struct{}
+
+// errPackages are the package *names* whose errors must not be dropped.
+// Matching by name (not full import path) lets violation fixtures under
+// testdata/ declare their own small securemem stand-in.
+var errPackages = map[string]bool{
+	"securemem": true,
+	"pagecache": true,
+	"sim":       true,
+	"salus":     true,
+}
+
+// Name implements Analyzer.
+func (DroppedErr) Name() string { return "droppederr" }
+
+// Doc implements Analyzer.
+func (DroppedErr) Doc() string {
+	return "flags discarded error returns from securemem/pagecache/sim/salus APIs"
+}
+
+// Run implements Analyzer.
+func (a DroppedErr) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if f := a.check(pkg, call); f != nil {
+				out = append(out, *f)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// check reports whether call discards an error from a watched package.
+func (a DroppedErr) check(pkg *Package, call *ast.CallExpr) *Finding {
+	callee := calleeFunc(pkg, call)
+	if callee == nil || callee.Pkg() == nil || !errPackages[callee.Pkg().Name()] {
+		return nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return nil
+	}
+	return &Finding{
+		Pos:      pkg.Fset.Position(call.Pos()),
+		Analyzer: a.Name(),
+		Severity: Error,
+		Message: fmt.Sprintf("error returned by %s.%s is discarded; handle it or assign to _ explicitly",
+			callee.Pkg().Name(), callee.Name()),
+	}
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// lastResultIsError reports whether sig's final result is the error type.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	n := namedType(res.At(res.Len() - 1).Type())
+	return n != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

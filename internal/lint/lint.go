@@ -1,0 +1,206 @@
+// Package lint is a small, pure-stdlib static-analysis framework for the
+// Salus codebase, plus the project-specific analyzers that run under it.
+// It exists because the paper's correctness argument rests on invariants
+// the Go type system cannot fully express — which address domain a uint64
+// belongs to, which fields a mutex guards, how wide a minor counter is —
+// and those invariants must be machine-checked, not re-reviewed, as the
+// hot paths grow.
+//
+// The framework loads packages with go/parser and type-checks them with
+// go/types (stdlib dependencies come from the source importer), then runs
+// each Analyzer over every requested package. Findings carry file:line
+// positions and a severity; cmd/salus-lint turns any finding into a
+// non-zero exit.
+//
+// A finding can be suppressed by placing a comment of the form
+//
+//	//salus-lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory by convention (the linter does not parse it, reviewers do).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+const (
+	// Warning marks heuristic findings (e.g. naming-convention inference)
+	// that deserve a look but may be false positives.
+	Warning Severity = iota
+	// Error marks violations of a hard invariant.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Severity Severity
+	Message  string
+}
+
+// String formats a finding the way compilers do, so editors can jump to it.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Severity, f.Message, f.Analyzer)
+}
+
+// Package is one type-checked package handed to analyzers.
+type Package struct {
+	// Path is the import path (or a synthetic path for testdata packages).
+	Path string
+	// Fset positions every node in Files.
+	Fset *token.FileSet
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object maps.
+	Info *types.Info
+}
+
+// An Analyzer checks one invariant over a package.
+type Analyzer interface {
+	// Name is the analyzer's identifier, used in findings and in
+	// salus-lint:ignore comments.
+	Name() string
+	// Doc is a one-line description for the CLI's usage text.
+	Doc() string
+	// Run returns the analyzer's findings for pkg.
+	Run(pkg *Package) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		AddrDomain{},
+		LockDiscipline{},
+		DroppedErr{},
+		CtrWidth{},
+	}
+}
+
+// Run applies every analyzer to every package, drops suppressed findings,
+// and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if sup.covers(a.Name(), f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions indexes salus-lint:ignore comments by file, line, and
+// analyzer name.
+type suppressions struct {
+	// byFile maps filename -> line -> set of suppressed analyzer names
+	// ("*" suppresses all).
+	byFile map[string]map[int]map[string]bool
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byFile: map[string]map[int]map[string]bool{}}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "salus-lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "salus-lint:ignore"))
+				name := "*"
+				if len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byFile[pos.Filename] = lines
+				}
+				// The comment covers its own line (trailing comment) and
+				// the next line (comment above the statement).
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	names := s.byFile[pos.Filename][pos.Line]
+	return names[analyzer] || names["*"]
+}
+
+// exprString renders a (small) expression for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	}
+	return "<expr>"
+}
+
+// namedType returns the named (or alias-resolved) type behind t, or nil.
+func namedType(t types.Type) *types.Named {
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isUnsignedInt reports whether t's underlying type is an unsigned
+// integer (the shape of both address domains and counter fields).
+func isUnsignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// loadFixture type-checks one violation package under testdata/src.
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", name)
+	}
+	return pkgs
+}
+
+// runGolden compares one analyzer's findings over its fixture against
+// testdata/<name>.golden. Run with -update to regenerate.
+func runGolden(t *testing.T, name string, a Analyzer) {
+	t.Helper()
+	findings := Run(loadFixture(t, name), []Analyzer{a})
+	if len(findings) == 0 {
+		t.Fatalf("%s: fixture produced no findings; the analyzer is blind to its bug class", name)
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		rel := filepath.ToSlash(f.Pos.Filename)
+		if i := strings.Index(rel, "testdata/src/"); i >= 0 {
+			rel = rel[i+len("testdata/src/"):]
+		}
+		fmt.Fprintf(&b, "%s:%d: %s: %s [%s]\n", rel, f.Pos.Line, f.Severity, f.Message, f.Analyzer)
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("%s findings mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestAddrDomainGolden(t *testing.T)     { runGolden(t, "addrdomain", AddrDomain{}) }
+func TestLockDisciplineGolden(t *testing.T) { runGolden(t, "lockdiscipline", LockDiscipline{}) }
+func TestDroppedErrGolden(t *testing.T)     { runGolden(t, "securemem", DroppedErr{}) }
+func TestCtrWidthGolden(t *testing.T)       { runGolden(t, "ctrwidth", CtrWidth{}) }
+
+// TestSuppressionComment proves the ignore mechanism: the fixture's
+// Unwrap method has an unguarded access that only the salus-lint:ignore
+// comment keeps out of the findings.
+func TestSuppressionComment(t *testing.T) {
+	pkgs := loadFixture(t, "lockdiscipline")
+	for _, f := range Run(pkgs, []Analyzer{LockDiscipline{}}) {
+		if strings.Contains(f.Message, "Unwrap") && strings.Contains(f.Message, "guarded field") {
+			t.Errorf("suppressed finding leaked: %s", f)
+		}
+	}
+}
+
+// TestSeverities locks in the severity split: type-driven findings are
+// errors, naming-convention inference stays a warning.
+func TestSeverities(t *testing.T) {
+	findings := Run(loadFixture(t, "addrdomain"), []Analyzer{AddrDomain{}})
+	var errs, warns int
+	for _, f := range findings {
+		switch f.Severity {
+		case Error:
+			errs++
+		case Warning:
+			warns++
+		}
+	}
+	if errs == 0 || warns == 0 {
+		t.Errorf("want both severities from the addrdomain fixture, got %d errors / %d warnings", errs, warns)
+	}
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the locking convention of mutex-bearing types:
+// an exported method on a struct that embeds a sync.Mutex/RWMutex must
+// acquire that mutex before touching any sibling field. It also watches
+// the known escape hatch pattern in tests — calling an Unwrap-style
+// method (which hands out the unsynchronized inner value) while spawned
+// goroutines may still be running.
+type LockDiscipline struct{}
+
+// Name implements Analyzer.
+func (LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Doc implements Analyzer.
+func (LockDiscipline) Doc() string {
+	return "flags exported methods touching mutex-guarded fields without locking, and Unwrap while goroutines are live"
+}
+
+// Run implements Analyzer.
+func (a LockDiscipline) Run(pkg *Package) []Finding {
+	guarded := a.guardedTypes(pkg)
+	var out []Finding
+	for _, file := range pkg.Files {
+		isTest := strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, a.checkMethod(pkg, guarded, fn)...)
+			if isTest {
+				out = append(out, a.checkUnwrapLiveness(pkg, fn)...)
+			}
+		}
+	}
+	return out
+}
+
+// guardedType records a struct carrying one or more mutex fields.
+type guardedType struct {
+	mutexFields map[string]bool // field names of sync.Mutex / sync.RWMutex
+	dataFields  map[string]bool // every other field: guarded by convention
+}
+
+// guardedTypes finds the package's mutex-bearing struct types.
+func (LockDiscipline) guardedTypes(pkg *Package) map[*types.Named]*guardedType {
+	out := map[*types.Named]*guardedType{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named := namedType(tn.Type())
+		if named == nil {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		g := &guardedType{mutexFields: map[string]bool{}, dataFields: map[string]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isSyncMutex(f.Type()) {
+				g.mutexFields[f.Name()] = true
+			} else {
+				g.dataFields[f.Name()] = true
+			}
+		}
+		if len(g.mutexFields) > 0 && len(g.dataFields) > 0 {
+			out[named] = g
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// checkMethod flags an exported method on a guarded type that reads or
+// writes guarded fields without acquiring a mutex field first.
+func (a LockDiscipline) checkMethod(pkg *Package, guarded map[*types.Named]*guardedType, fn *ast.FuncDecl) []Finding {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || !fn.Name.IsExported() {
+		return nil
+	}
+	recvType := pkg.Info.TypeOf(fn.Recv.List[0].Type)
+	if p, ok := recvType.(*types.Pointer); ok {
+		recvType = p.Elem()
+	}
+	named := namedType(recvType)
+	g := guarded[named]
+	if g == nil {
+		return nil
+	}
+	var recvName string
+	if len(fn.Recv.List[0].Names) > 0 {
+		recvName = fn.Recv.List[0].Names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		return nil
+	}
+
+	locks := false
+	var touched []*ast.SelectorExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock() etc. appears as (recv.mu).Lock — the inner
+		// selector is recv.mu, whose parent carries the method name.
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvName {
+			switch {
+			case g.mutexFields[sel.Sel.Name]:
+				// A bare recv.mu reference inside Lock/Unlock calls.
+			case g.dataFields[sel.Sel.Name]:
+				touched = append(touched, sel)
+			}
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName && g.mutexFields[inner.Sel.Name] {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					locks = true
+				}
+			}
+		}
+		return true
+	})
+	if locks || len(touched) == 0 {
+		return nil
+	}
+	first := touched[0]
+	return []Finding{{
+		Pos:      pkg.Fset.Position(fn.Name.Pos()),
+		Analyzer: a.Name(),
+		Severity: Error,
+		Message: fmt.Sprintf("exported method %s.%s touches guarded field %q without acquiring the mutex",
+			named.Obj().Name(), fn.Name.Name, first.Sel.Name),
+	}}
+}
+
+// checkUnwrapLiveness flags x.Unwrap() calls in test functions that occur
+// after a `go` statement with no intervening .Wait() call: the unwrapped
+// value is unsynchronized, so handing it out while goroutines may still
+// be running defeats the wrapper.
+func (a LockDiscipline) checkUnwrapLiveness(pkg *Package, fn *ast.FuncDecl) []Finding {
+	var lastGo, lastWait ast.Node
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			lastGo = n
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				lastWait = n
+			case "Unwrap":
+				if lastGo != nil && (lastWait == nil || lastWait.Pos() < lastGo.Pos()) && n.Pos() > lastGo.Pos() {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(n.Pos()),
+						Analyzer: a.Name(),
+						Severity: Warning,
+						Message:  "Unwrap called after spawning goroutines with no Wait in between; the inner value is unsynchronized",
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,50 @@
+// Package addrdomain contains deliberate address-domain violations for
+// the addrdomain analyzer's golden test. The local HomeAddr/DevAddr
+// types stand in for securemem's (matching is by type name).
+package addrdomain
+
+// HomeAddr mirrors securemem.HomeAddr.
+type HomeAddr uint64
+
+// DevAddr mirrors securemem.DevAddr.
+type DevAddr uint64
+
+// BadHomeToDev crosses domains with an explicit conversion.
+func BadHomeToDev(h HomeAddr) DevAddr {
+	return DevAddr(h) // want: cross-domain conversion
+}
+
+// BadDevToHome crosses the other way.
+func BadDevToHome(d DevAddr) HomeAddr {
+	return HomeAddr(d) // want: cross-domain conversion
+}
+
+// OKThroughUint64 uses the sanctioned escape hatch: leaving the typed
+// world explicitly via uint64.
+func OKThroughUint64(h HomeAddr) DevAddr {
+	return DevAddr(uint64(h))
+}
+
+// legacyLookup models a not-yet-migrated API keyed by home address.
+func legacyLookup(homeAddr uint64) uint64 { return homeAddr }
+
+// BadNameCall passes a device-named bare integer where a home-named
+// parameter is expected.
+func BadNameCall() uint64 {
+	devAddr := uint64(42)
+	return legacyLookup(devAddr) // want: naming-convention warning
+}
+
+// BadNameAssign cross-assigns bare integers with conflicting names.
+func BadNameAssign() uint64 {
+	var homeAddr uint64
+	devAddr := uint64(7)
+	homeAddr = devAddr // want: naming-convention warning
+	return homeAddr
+}
+
+// OKSameDomain passes matching names; no finding.
+func OKSameDomain() uint64 {
+	homeAddr := uint64(1)
+	return legacyLookup(homeAddr)
+}

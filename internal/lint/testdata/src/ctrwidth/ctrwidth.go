@@ -1,0 +1,59 @@
+// Package ctrwidth contains deliberate counter-width violations for the
+// ctrwidth analyzer's golden test. Sector mirrors the shape of the real
+// counter blocks in internal/security/counters.
+package ctrwidth
+
+const minorMax = 63 // 6-bit minors, as in the conventional model
+
+// Sector is a split-counter block: one major, narrow per-sector minors.
+type Sector struct {
+	Major  uint32
+	Minors [8]uint8
+}
+
+// BadMinorInc increments a narrow minor with no width guard: it will
+// silently wrap at 256 even though the design width is 6 bits.
+func BadMinorInc(s *Sector, i int) {
+	s.Minors[i]++ // want: unguarded increment
+}
+
+// BadMajorInc bumps the major without resetting the minors — not a
+// rollover, just a silent counter jump.
+func BadMajorInc(s *Sector) {
+	s.Major++ // want: unguarded increment
+}
+
+// BadAddAssign takes a stride without a guard.
+func BadAddAssign(s *Sector, i int) {
+	s.Minors[i] += 2 // want: unguarded add-assign
+}
+
+// BadSelfAddition spells the increment long-hand.
+func BadSelfAddition(s *Sector) {
+	s.Major = s.Major + 1 // want: unguarded self-addition
+}
+
+// GoodInc is the real pattern: width guard on the minor, and the major
+// bump rides with a wholesale minors reset (the rollover).
+func GoodInc(s *Sector, i int) (overflow bool) {
+	if s.Minors[i] < minorMax {
+		s.Minors[i]++
+		return false
+	}
+	s.Major++
+	s.Minors = [8]uint8{}
+	return true
+}
+
+// GoodCollapse mirrors the eviction-side checkpoint: ranging over the
+// minors to inspect them licenses the rollover.
+func GoodCollapse(s *Sector) (major uint32, reencrypt bool) {
+	for _, m := range s.Minors {
+		if m != 0 {
+			s.Major++
+			s.Minors = [8]uint8{}
+			return s.Major, true
+		}
+	}
+	return s.Major, false
+}

@@ -1,0 +1,24 @@
+package lockdiscipline
+
+import "sync"
+
+// badUnwrapWhileLive hands out the unsynchronized inner value while a
+// goroutine may still be running.
+func badUnwrapWhileLive() int {
+	c := &Counter{}
+	go c.Add()
+	return c.Unwrap() // want: Unwrap while goroutines live
+}
+
+// okUnwrapAfterWait joins the goroutines first; no finding.
+func okUnwrapAfterWait() int {
+	c := &Counter{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Add()
+	}()
+	wg.Wait()
+	return c.Unwrap()
+}

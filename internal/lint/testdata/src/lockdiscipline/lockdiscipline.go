@@ -1,0 +1,47 @@
+// Package lockdiscipline contains deliberate locking violations for the
+// lockdiscipline analyzer's golden test.
+package lockdiscipline
+
+import "sync"
+
+// Counter guards n with mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks correctly; no finding.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads n without the lock.
+func (c *Counter) Peek() int { return c.n } // want: unguarded access
+
+// Unwrap is the documented escape hatch, demonstrated suppressed.
+//
+// salus-lint:ignore lockdiscipline fixture demonstrating suppression
+func (c *Counter) Unwrap() int { return c.n }
+
+// peek is unexported: internal helpers may rely on the caller's lock.
+func (c *Counter) peek() int { return c.n }
+
+// Registry uses an RWMutex; RLock counts as acquiring it.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]int
+}
+
+// Get read-locks correctly; no finding.
+func (r *Registry) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[k]
+}
+
+// Put writes the map without any lock.
+func (r *Registry) Put(k string, v int) { // want: unguarded access
+	r.entries[k] = v
+}

@@ -1,0 +1,38 @@
+// Package securemem is a tiny stand-in for the real model API, used by
+// the droppederr golden test (the analyzer matches watched packages by
+// package name, so the fixture stays self-contained).
+package securemem
+
+import "errors"
+
+// ErrIntegrity mirrors the real sentinel: dropping it means ignoring a
+// detected attack.
+var ErrIntegrity = errors.New("integrity violation")
+
+// Flush models an error-returning API call.
+func Flush() error { return ErrIntegrity }
+
+// System models a method-bearing API.
+type System struct{}
+
+// Write models a multi-result call whose last result is an error.
+func (System) Write(p []byte) (int, error) { return 0, ErrIntegrity }
+
+// Ping returns no error; discarding its result is fine.
+func (System) Ping() int { return 0 }
+
+func caller() {
+	var s System
+
+	Flush()       // want: dropped error
+	go Flush()    // want: dropped error
+	defer Flush() // want: dropped error
+	s.Write(nil)  // want: dropped error
+
+	_ = Flush() // explicit discard: no finding
+	s.Ping()    // no error result: no finding
+
+	if err := Flush(); err != nil { // handled: no finding
+		_ = err
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/salus-sim/salus/internal/cxlmem"
 	"github.com/salus-sim/salus/internal/dram"
 	"github.com/salus-sim/salus/internal/secsim"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
@@ -143,12 +144,12 @@ func (pc *PageCache) Resident(homePage int) bool {
 // the touched/dirty masks, and calls done with the device address of the
 // access. The call to done may be immediate (page already resident) or
 // deferred behind a page fill.
-func (pc *PageCache) Access(homeAddr uint64, write bool, done func(devAddr uint64)) {
-	page := int(homeAddr) / pc.geo.PageSize
+func (pc *PageCache) Access(homeAddr securemem.HomeAddr, write bool, done func(devAddr securemem.DevAddr)) {
+	page := homeAddr.Page(pc.geo.PageSize)
 	if page >= len(pc.pageToFrame) {
 		panic(fmt.Sprintf("pagecache: access to page %d beyond home space", page))
 	}
-	chunk := int(homeAddr%uint64(pc.geo.PageSize)) / pc.geo.ChunkSize
+	chunk := int(homeAddr.PageOffset(pc.geo.PageSize)) / pc.geo.ChunkSize
 	complete := func(frame int) {
 		f := &pc.frames[frame]
 		pc.lruClock++
@@ -165,7 +166,7 @@ func (pc *PageCache) Access(homeAddr uint64, write bool, done func(devAddr uint6
 			if write {
 				f.dirty |= 1 << uint(chunk)
 			}
-			done(uint64(frame*pc.geo.PageSize) + homeAddr%uint64(pc.geo.PageSize))
+			done(securemem.FrameAddr(frame, pc.geo.PageSize, homeAddr.PageOffset(pc.geo.PageSize)))
 		}
 		if f.present&(1<<uint(chunk)) != 0 {
 			finish()

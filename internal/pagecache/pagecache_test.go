@@ -7,6 +7,7 @@ import (
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/cxlmem"
 	"github.com/salus-sim/salus/internal/dram"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
@@ -21,12 +22,12 @@ type fakeSec struct {
 	lastPresent uint64
 }
 
-func (f *fakeSec) Name() string                          { return "fake" }
-func (f *fakeSec) OnRead(h, d uint64, done func())       { done() }
-func (f *fakeSec) OnWrite(h, d uint64, done func())      { done() }
-func (f *fakeSec) OnMigrateIn(p, fr int, done func())    { f.migrates++; done() }
-func (f *fakeSec) OnChunkFill(p, fr, c int, done func()) { f.chunkFills++; done() }
-func (f *fakeSec) FineGrainedWriteback() bool            { return f.fine }
+func (f *fakeSec) Name() string                                                   { return "fake" }
+func (f *fakeSec) OnRead(h securemem.HomeAddr, d securemem.DevAddr, done func())  { done() }
+func (f *fakeSec) OnWrite(h securemem.HomeAddr, d securemem.DevAddr, done func()) { done() }
+func (f *fakeSec) OnMigrateIn(p, fr int, done func())                             { f.migrates++; done() }
+func (f *fakeSec) OnChunkFill(p, fr, c int, done func())                          { f.chunkFills++; done() }
+func (f *fakeSec) FineGrainedWriteback() bool                                     { return f.fine }
 func (f *fakeSec) OnEvict(p, fr int, dirty, present uint64, done func()) {
 	f.evicts++
 	f.lastDirty = dirty
@@ -67,12 +68,12 @@ func TestNewValidation(t *testing.T) {
 func TestFaultThenResidentAccess(t *testing.T) {
 	eng, pc, sec, run := testSetup(true, 4, 16)
 	var first, second sim.Cycle
-	var devAddr1, devAddr2 uint64
+	var devAddr1, devAddr2 securemem.DevAddr
 	eng.At(0, func() {
-		pc.Access(4096+64, false, func(d uint64) {
+		pc.Access(4096+64, false, func(d securemem.DevAddr) {
 			first = eng.Now()
 			devAddr1 = d
-			pc.Access(4096+64, false, func(d2 uint64) {
+			pc.Access(4096+64, false, func(d2 securemem.DevAddr) {
 				second = eng.Now()
 				devAddr2 = d2
 			})
@@ -107,7 +108,7 @@ func TestConcurrentFaultsMerge(t *testing.T) {
 	done := 0
 	eng.At(0, func() {
 		for i := 0; i < 5; i++ {
-			pc.Access(8192+uint64(i*32), false, func(uint64) { done++ })
+			pc.Access(securemem.HomeAddr(8192+i*32), false, func(securemem.DevAddr) { done++ })
 		}
 	})
 	eng.Run(0)
@@ -121,7 +122,7 @@ func TestConcurrentFaultsMerge(t *testing.T) {
 
 func TestMigrationDataTraffic(t *testing.T) {
 	eng, pc, _, run := testSetup(true, 4, 16)
-	eng.At(0, func() { pc.Access(0, false, func(uint64) {}) })
+	eng.At(0, func() { pc.Access(0, false, func(securemem.DevAddr) {}) })
 	eng.Run(0)
 	if got := run.Traffic.Bytes(stats.CXL, stats.Data); got != 4096 {
 		t.Errorf("CXL data = %d, want 4096", got)
@@ -136,10 +137,10 @@ func TestEvictionFineGrained(t *testing.T) {
 	eng.At(0, func() {
 		// Write one chunk of page 0, then touch pages 1..3 to force
 		// eviction of page 0 (2 frames, low-water keeps evicting).
-		pc.Access(256, true, func(uint64) {
-			pc.Access(4096, false, func(uint64) {
-				pc.Access(8192, false, func(uint64) {
-					pc.Access(12288, false, func(uint64) {})
+		pc.Access(256, true, func(securemem.DevAddr) {
+			pc.Access(4096, false, func(securemem.DevAddr) {
+				pc.Access(8192, false, func(securemem.DevAddr) {
+					pc.Access(12288, false, func(securemem.DevAddr) {})
 				})
 			})
 		})
@@ -161,10 +162,10 @@ func TestEvictionFineGrained(t *testing.T) {
 func TestEvictionPageGranular(t *testing.T) {
 	eng, pc, sec, run := testSetup(false, 2, 16)
 	eng.At(0, func() {
-		pc.Access(256, true, func(uint64) {
-			pc.Access(4096, false, func(uint64) {
-				pc.Access(8192, false, func(uint64) {
-					pc.Access(12288, false, func(uint64) {})
+		pc.Access(256, true, func(securemem.DevAddr) {
+			pc.Access(4096, false, func(securemem.DevAddr) {
+				pc.Access(8192, false, func(securemem.DevAddr) {
+					pc.Access(12288, false, func(securemem.DevAddr) {})
 				})
 			})
 		})
@@ -183,11 +184,11 @@ func TestEvictionPageGranular(t *testing.T) {
 func TestDirtyMaskPassedToEngine(t *testing.T) {
 	eng, pc, sec, _ := testSetup(true, 2, 16)
 	eng.At(0, func() {
-		pc.Access(0, true, func(uint64) { // chunk 0 dirty
-			pc.Access(512, true, func(uint64) { // chunk 2 dirty
-				pc.Access(4096, false, func(uint64) {
-					pc.Access(8192, false, func(uint64) {
-						pc.Access(12288, false, func(uint64) {})
+		pc.Access(0, true, func(securemem.DevAddr) { // chunk 0 dirty
+			pc.Access(512, true, func(securemem.DevAddr) { // chunk 2 dirty
+				pc.Access(4096, false, func(securemem.DevAddr) {
+					pc.Access(8192, false, func(securemem.DevAddr) {
+						pc.Access(12288, false, func(securemem.DevAddr) {})
 					})
 				})
 			})
@@ -214,7 +215,7 @@ func TestThrashingManyPagesFewFrames(t *testing.T) {
 		if pg >= 64 {
 			return
 		}
-		pc.Access(uint64(pg*4096), false, func(uint64) {
+		pc.Access(securemem.HomeAddr(pg*4096), false, func(securemem.DevAddr) {
 			done++
 			visit(pg + 1)
 		})
@@ -234,14 +235,14 @@ func TestThrashingManyPagesFewFrames(t *testing.T) {
 
 func TestRefaultAfterEviction(t *testing.T) {
 	eng, pc, sec, _ := testSetup(true, 2, 16)
-	var last uint64
+	var last securemem.DevAddr
 	eng.At(0, func() {
-		pc.Access(0, false, func(uint64) {
-			pc.Access(4096, false, func(uint64) {
-				pc.Access(8192, false, func(uint64) {
-					pc.Access(12288, false, func(uint64) {
+		pc.Access(0, false, func(securemem.DevAddr) {
+			pc.Access(4096, false, func(securemem.DevAddr) {
+				pc.Access(8192, false, func(securemem.DevAddr) {
+					pc.Access(12288, false, func(securemem.DevAddr) {
 						// Page 0 evicted by now; access refaults.
-						pc.Access(0, false, func(d uint64) { last = d + 1 })
+						pc.Access(0, false, func(d securemem.DevAddr) { last = d + 1 })
 					})
 				})
 			})
@@ -270,7 +271,7 @@ func TestPredictiveModeFirstVisitDemandFills(t *testing.T) {
 	eng.At(0, func() {
 		// First visit: no history, so nothing prefetches; the access
 		// demand-fills exactly one chunk.
-		pc.Access(256, false, func(uint64) { done++ })
+		pc.Access(256, false, func(securemem.DevAddr) { done++ })
 	})
 	eng.Run(0)
 	if done != 1 {
@@ -298,13 +299,13 @@ func TestPredictiveModeHistoryPrefetch(t *testing.T) {
 		// Visit page 0 touching chunks 0 and 3, evict it by touching
 		// pages 1-3, then refault page 0: the predictor prefetches the
 		// remembered footprint {0,3}.
-		pc.Access(0, false, func(uint64) {
-			pc.Access(768, false, func(uint64) {
-				pc.Access(4096, false, func(uint64) {
-					pc.Access(8192, false, func(uint64) {
-						pc.Access(12288, false, func(uint64) {
+		pc.Access(0, false, func(securemem.DevAddr) {
+			pc.Access(768, false, func(securemem.DevAddr) {
+				pc.Access(4096, false, func(securemem.DevAddr) {
+					pc.Access(8192, false, func(securemem.DevAddr) {
+						pc.Access(12288, false, func(securemem.DevAddr) {
 							base := run.Ops.ChunksMigrated
-							pc.Access(0, false, func(uint64) {
+							pc.Access(0, false, func(securemem.DevAddr) {
 								// The refault prefetched 2 chunks; this
 								// access hit one of them (no extra fill).
 								if got := run.Ops.ChunksMigrated - base; got != 2 {
@@ -330,10 +331,10 @@ func TestPredictiveEvictionWritesOnlyPresent(t *testing.T) {
 	eng, pc, sec, _ := testSetup(false, 2, 16)
 	pc.SetMode(Predictive)
 	eng.At(0, func() {
-		pc.Access(0, true, func(uint64) {
-			pc.Access(4096, false, func(uint64) {
-				pc.Access(8192, false, func(uint64) {
-					pc.Access(12288, false, func(uint64) {})
+		pc.Access(0, true, func(securemem.DevAddr) {
+			pc.Access(4096, false, func(securemem.DevAddr) {
+				pc.Access(8192, false, func(securemem.DevAddr) {
+					pc.Access(12288, false, func(securemem.DevAddr) {})
 				})
 			})
 		})
@@ -351,10 +352,10 @@ func TestPredictiveEvictionWritesOnlyPresent(t *testing.T) {
 func TestWholePageModePresentIsFull(t *testing.T) {
 	eng, pc, sec, _ := testSetup(false, 2, 16)
 	eng.At(0, func() {
-		pc.Access(0, true, func(uint64) {
-			pc.Access(4096, false, func(uint64) {
-				pc.Access(8192, false, func(uint64) {
-					pc.Access(12288, false, func(uint64) {})
+		pc.Access(0, true, func(securemem.DevAddr) {
+			pc.Access(4096, false, func(securemem.DevAddr) {
+				pc.Access(8192, false, func(securemem.DevAddr) {
+					pc.Access(12288, false, func(securemem.DevAddr) {})
 				})
 			})
 		})
@@ -379,12 +380,12 @@ func TestRandomAccessSequenceInvariants(t *testing.T) {
 		ok := true
 		eng.At(0, func() {
 			for i, r := range raw {
-				addr := uint64(r) % (16 * 4096)
+				addr := securemem.HomeAddr(r) % (16 * 4096)
 				write := writeBits&(1<<uint(i%64)) != 0
-				wantOff := addr % 4096
-				pc.Access(addr, write, func(devAddr uint64) {
+				wantOff := addr.PageOffset(4096)
+				pc.Access(addr, write, func(devAddr securemem.DevAddr) {
 					completions++
-					if devAddr%4096 != wantOff {
+					if devAddr.PageOffset(4096) != wantOff {
 						ok = false
 					}
 				})
@@ -419,9 +420,9 @@ func TestRandomAccessSequencePredictive(t *testing.T) {
 		completions := 0
 		eng.At(0, func() {
 			for i, r := range raw {
-				addr := uint64(r) % (16 * 4096)
+				addr := securemem.HomeAddr(r) % (16 * 4096)
 				write := writeBits&(1<<uint(i%64)) != 0
-				pc.Access(addr, write, func(uint64) { completions++ })
+				pc.Access(addr, write, func(securemem.DevAddr) { completions++ })
 			}
 		})
 		eng.Run(0)

@@ -2,6 +2,7 @@ package secsim
 
 import (
 	"github.com/salus-sim/salus/internal/cache"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
@@ -125,7 +126,7 @@ func (*Baseline) FineGrainedWriteback() bool { return false }
 
 // devMeta computes the channel and channel-local metadata addresses for a
 // device data address.
-func (b *Baseline) devMeta(devAddr uint64) (ch int, ctrAddr uint64, ctrLeaf int, macAddr uint64) {
+func (b *Baseline) devMeta(devAddr DevAddr) (ch int, ctrAddr uint64, ctrLeaf int, macAddr uint64) {
 	ch, local := b.ctx.chanLocal(devAddr)
 	ctrLeaf = int(local / b.ctrCoverage())
 	ctrAddr = uint64(ctrLeaf) * 32
@@ -135,7 +136,7 @@ func (b *Baseline) devMeta(devAddr uint64) (ch int, ctrAddr uint64, ctrLeaf int,
 
 // OnRead implements Engine: fetch the counter (verifying freshness on a
 // counter-cache miss) and the MAC in parallel, then pay the MAC latency.
-func (b *Baseline) OnRead(homeAddr, devAddr uint64, done func()) {
+func (b *Baseline) OnRead(homeAddr HomeAddr, devAddr DevAddr, done func()) {
 	ch, ctrAddr, ctrLeaf, macAddr := b.devMeta(devAddr)
 	b.ctx.Ops.MACVerifies++
 	j := join(2, func() {
@@ -156,7 +157,7 @@ func (b *Baseline) OnRead(homeAddr, devAddr uint64, done func()) {
 // the tree path, and produce a new MAC (dirty in cache). The store is
 // posted: done fires when the counter is available, since the OTP for the
 // write can be generated as soon as the counter is known.
-func (b *Baseline) OnWrite(homeAddr, devAddr uint64, done func()) {
+func (b *Baseline) OnWrite(homeAddr HomeAddr, devAddr DevAddr, done func()) {
 	ch, ctrAddr, ctrLeaf, macAddr := b.devMeta(devAddr)
 	b.ctx.Ops.Encryptions++
 	b.ctx.Ops.MACComputes++
@@ -213,7 +214,7 @@ func (b *Baseline) OnMigrateIn(homePage, frame int, done func()) {
 	// Device side: per chunk (one per channel), write the fresh counter
 	// group and MAC sectors and refresh the tree.
 	for c := 0; c < g.ChunksPerPage(); c++ {
-		devAddr := frameBase + uint64(c*g.ChunkSize)
+		devAddr := DevAddr(frameBase + uint64(c*g.ChunkSize))
 		ch, _, ctrLeaf, _ := b.devMeta(devAddr)
 		b.ctx.Device.AccessChannel(ch, 32, stats.Counter, j)
 		b.ctx.Device.AccessChannel(ch, uint64(g.BlocksPerChunk())*32, stats.MAC, j)
@@ -233,7 +234,7 @@ func (b *Baseline) OnChunkFill(homePage, frame, chunk int, done func()) {
 	}
 	g := b.ctx.Cfg.Geometry
 	chunkHome := uint64(homePage*g.PageSize + chunk*g.ChunkSize)
-	devAddr := uint64(frame*g.PageSize + chunk*g.ChunkSize)
+	devAddr := securemem.FrameAddr(frame, g.PageSize, uint64(chunk*g.ChunkSize))
 	ch, _, ctrLeaf, _ := b.devMeta(devAddr)
 
 	parts := 5 // CXL ctr + CXL MAC + CXL tree verify + device writes + device tree
@@ -301,7 +302,7 @@ func (b *Baseline) OnEvict(homePage, frame int, dirty, present uint64, done func
 		if present&(1<<uint(c)) == 0 {
 			continue
 		}
-		devAddr := frameBase + uint64(c*g.ChunkSize)
+		devAddr := DevAddr(frameBase + uint64(c*g.ChunkSize))
 		ch, _, ctrLeaf, _ := b.devMeta(devAddr)
 		b.ctx.Device.AccessChannel(ch, 32, stats.Counter, j)
 		b.ctx.Device.AccessChannel(ch, uint64(g.BlocksPerChunk())*32, stats.MAC, j)

@@ -13,10 +13,10 @@ func NewNone() *None { return &None{} }
 func (*None) Name() string { return "none" }
 
 // OnRead implements Engine: no security work.
-func (*None) OnRead(homeAddr, devAddr uint64, done func()) { done() }
+func (*None) OnRead(homeAddr HomeAddr, devAddr DevAddr, done func()) { done() }
 
 // OnWrite implements Engine: no security work.
-func (*None) OnWrite(homeAddr, devAddr uint64, done func()) { done() }
+func (*None) OnWrite(homeAddr HomeAddr, devAddr DevAddr, done func()) { done() }
 
 // OnMigrateIn implements Engine: no security work.
 func (*None) OnMigrateIn(homePage, frame int, done func()) { done() }

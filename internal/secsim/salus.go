@@ -2,6 +2,7 @@ package secsim
 
 import (
 	"github.com/salus-sim/salus/internal/cache"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
@@ -96,7 +97,7 @@ func (s *Salus) Name() string { return "salus" }
 func (s *Salus) FineGrainedWriteback() bool { return s.DirtyTracking }
 
 // devMeta computes device-side metadata addresses for a device address.
-func (s *Salus) devMeta(devAddr uint64) (ch int, ctrAddr uint64, ctrLeaf int, macAddr uint64) {
+func (s *Salus) devMeta(devAddr DevAddr) (ch int, ctrAddr uint64, ctrLeaf int, macAddr uint64) {
 	ch, local := s.ctx.chanLocal(devAddr)
 	ctrLeaf = int(local / ifCtrCoverage)
 	ctrAddr = uint64(ctrLeaf) * 32
@@ -104,7 +105,7 @@ func (s *Salus) devMeta(devAddr uint64) (ch int, ctrAddr uint64, ctrLeaf int, ma
 	return ch, ctrAddr, ctrLeaf, macAddr
 }
 
-func (s *Salus) frameGeom(devAddr uint64) (frame, chunkInPage, blockInPage int) {
+func (s *Salus) frameGeom(devAddr DevAddr) (frame, chunkInPage, blockInPage int) {
 	g := s.ctx.Cfg.Geometry
 	frame = int(devAddr) / g.PageSize
 	off := int(devAddr) % g.PageSize
@@ -115,7 +116,7 @@ func (s *Salus) frameGeom(devAddr uint64) (frame, chunkInPage, blockInPage int) 
 // sector available on the device side, fetching the MAC sector (with its
 // embedded major) from CXL on first access. It calls done when both are
 // available.
-func (s *Salus) ensureChunkMeta(homeAddr, devAddr uint64, write bool, done func()) {
+func (s *Salus) ensureChunkMeta(homeAddr HomeAddr, devAddr DevAddr, write bool, done func()) {
 	frame, cip, bip := s.frameGeom(devAddr)
 	ch, ctrAddr, ctrLeaf, macAddr := s.devMeta(devAddr)
 
@@ -167,7 +168,7 @@ func (s *Salus) ensureChunkMeta(homeAddr, devAddr uint64, write bool, done func(
 }
 
 // OnRead implements Engine.
-func (s *Salus) OnRead(homeAddr, devAddr uint64, done func()) {
+func (s *Salus) OnRead(homeAddr HomeAddr, devAddr DevAddr, done func()) {
 	s.ctx.Ops.MACVerifies++
 	s.ensureChunkMeta(homeAddr, devAddr, false, func() {
 		s.ctx.Eng.After(sim.Cycle(s.ctx.Cfg.Security.MACLatency), done)
@@ -176,7 +177,7 @@ func (s *Salus) OnRead(homeAddr, devAddr uint64, done func()) {
 
 // OnWrite implements Engine: bump the chunk's minor counter, refresh the
 // device tree path, and produce the new MAC.
-func (s *Salus) OnWrite(homeAddr, devAddr uint64, done func()) {
+func (s *Salus) OnWrite(homeAddr HomeAddr, devAddr DevAddr, done func()) {
 	s.ctx.Ops.Encryptions++
 	s.ctx.Ops.MACComputes++
 	ch, ctrAddr, ctrLeaf, _ := s.devMeta(devAddr)
@@ -215,7 +216,7 @@ func (s *Salus) OnMigrateIn(homePage, frame int, done func()) {
 	}
 	s.ctrIn[frame] = (1 << uint(g.ChunksPerPage())) - 1
 	for c := 0; c < g.ChunksPerPage(); c++ {
-		devAddr := uint64(frame*g.PageSize + c*g.ChunkSize)
+		devAddr := securemem.FrameAddr(frame, g.PageSize, uint64(c*g.ChunkSize))
 		ch, ctrAddr, ctrLeaf, _ := s.devMeta(devAddr)
 		s.ctrCaches[ch].Install(ctrAddr, uint64(frame))
 		s.devTrees[ch].Update(ctrLeaf, func() {})
@@ -268,7 +269,7 @@ func (s *Salus) OnEvict(homePage, frame int, dirty, present uint64, done func())
 	// are meaningless once the frame is reused (no writeback needed — the
 	// authoritative copies go to CXL below).
 	for c := 0; c < g.ChunksPerPage(); c++ {
-		devAddr := uint64(frame*g.PageSize + c*g.ChunkSize)
+		devAddr := securemem.FrameAddr(frame, g.PageSize, uint64(c*g.ChunkSize))
 		ch, ctrAddr, _, macAddr := s.devMeta(devAddr)
 		s.ctrCaches[ch].Invalidate(ctrAddr)
 		for blk := 0; blk < g.BlocksPerChunk(); blk++ {

@@ -18,8 +18,16 @@ import (
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/cxlmem"
 	"github.com/salus-sim/salus/internal/dram"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
+)
+
+// HomeAddr and DevAddr alias the canonical address-domain types so engine
+// signatures stay readable; see securemem's addr.go for the convention.
+type (
+	HomeAddr = securemem.HomeAddr
+	DevAddr  = securemem.DevAddr
 )
 
 // Engine is the security model attached to the memory system.
@@ -28,10 +36,10 @@ type Engine interface {
 	Name() string
 	// OnRead runs the read-side security work for a device-resident sector
 	// and calls done when the data may be released to the core.
-	OnRead(homeAddr, devAddr uint64, done func())
+	OnRead(homeAddr HomeAddr, devAddr DevAddr, done func())
 	// OnWrite runs the write-side security work (counter bump, MAC
 	// generation, tree update) for a device-resident sector.
-	OnWrite(homeAddr, devAddr uint64, done func())
+	OnWrite(homeAddr HomeAddr, devAddr DevAddr, done func())
 	// OnMigrateIn runs the security work of copying homePage into frame.
 	// Data movement itself is the page cache's job.
 	OnMigrateIn(homePage, frame int, done func())
@@ -60,12 +68,12 @@ type Ctx struct {
 // chanLocal converts a device address to (channel, channel-local offset):
 // consecutive chunks go to consecutive channels, and each channel's chunks
 // are dense in its local metadata address space.
-func (c *Ctx) chanLocal(devAddr uint64) (channel int, local uint64) {
+func (c *Ctx) chanLocal(devAddr DevAddr) (channel int, local uint64) {
 	cs := uint64(c.Cfg.Geometry.ChunkSize)
 	n := uint64(c.Cfg.Memory.DeviceChannels)
-	chunk := devAddr / cs
+	chunk := uint64(devAddr) / cs
 	channel = int(chunk % n)
-	local = (chunk/n)*cs + devAddr%cs
+	local = (chunk/n)*cs + uint64(devAddr)%cs
 	return channel, local
 }
 

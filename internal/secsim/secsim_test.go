@@ -38,7 +38,7 @@ func TestChanLocal(t *testing.T) {
 		{1024 + 256, 1, 256},
 	}
 	for _, c := range cases {
-		ch, local := ctx.chanLocal(c.addr)
+		ch, local := ctx.chanLocal(DevAddr(c.addr))
 		if ch != c.channel || local != c.local {
 			t.Errorf("chanLocal(%d) = (%d,%d), want (%d,%d)", c.addr, ch, local, c.channel, c.local)
 		}

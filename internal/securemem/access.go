@@ -6,21 +6,22 @@ import "fmt"
 // migrating the page to the device tier, decrypting, and verifying
 // integrity and freshness. It returns ErrIntegrity/ErrFreshness when an
 // attack is detected.
-func (s *System) Read(addr uint64, buf []byte) error {
-	if addr+uint64(len(buf)) > s.Size() {
+func (s *System) Read(addr HomeAddr, buf []byte) error {
+	if uint64(addr)+uint64(len(buf)) > s.Size() {
 		return ErrOutOfRange
 	}
 	s.stats.Reads++
 	ss := uint64(s.geo.SectorSize)
+	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(buf)); {
-		secBase := (addr + off) / ss * ss
-		inSec := addr + off - secBase
+		secBase := (base + off) / ss * ss
+		inSec := base + off - secBase
 		n := ss - inSec
 		if rem := uint64(len(buf)) - off; n > rem {
 			n = rem
 		}
 		var sector [32]byte
-		if err := s.accessSector(secBase, sector[:], false, nil); err != nil {
+		if err := s.accessSector(HomeAddr(secBase), sector[:], false, nil); err != nil {
 			return err
 		}
 		copy(buf[off:off+n], sector[inSec:inSec+n])
@@ -31,15 +32,16 @@ func (s *System) Read(addr uint64, buf []byte) error {
 
 // Write stores data at addr with read-modify-write at sector granularity.
 // Each written sector gets a fresh counter, new ciphertext, and a new MAC.
-func (s *System) Write(addr uint64, data []byte) error {
-	if addr+uint64(len(data)) > s.Size() {
+func (s *System) Write(addr HomeAddr, data []byte) error {
+	if uint64(addr)+uint64(len(data)) > s.Size() {
 		return ErrOutOfRange
 	}
 	s.stats.Writes++
 	ss := uint64(s.geo.SectorSize)
+	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(data)); {
-		secBase := (addr + off) / ss * ss
-		inSec := addr + off - secBase
+		secBase := (base + off) / ss * ss
+		inSec := base + off - secBase
 		n := ss - inSec
 		if rem := uint64(len(data)) - off; n > rem {
 			n = rem
@@ -47,12 +49,12 @@ func (s *System) Write(addr uint64, data []byte) error {
 		var sector [32]byte
 		if inSec != 0 || n != ss {
 			// Partial sector: fetch current plaintext first.
-			if err := s.accessSector(secBase, sector[:], false, nil); err != nil {
+			if err := s.accessSector(HomeAddr(secBase), sector[:], false, nil); err != nil {
 				return err
 			}
 		}
 		copy(sector[inSec:inSec+n], data[off:off+n])
-		if err := s.accessSector(secBase, sector[:], true, sector[:]); err != nil {
+		if err := s.accessSector(HomeAddr(secBase), sector[:], true, sector[:]); err != nil {
 			return err
 		}
 		off += n
@@ -63,8 +65,8 @@ func (s *System) Write(addr uint64, data []byte) error {
 // accessSector performs one sector-granular access on the device tier,
 // migrating the page in first when needed. For reads, out receives the
 // plaintext. For writes, in is the full new plaintext of the sector.
-func (s *System) accessSector(addr uint64, out []byte, isWrite bool, in []byte) error {
-	page := int(addr) / s.geo.PageSize
+func (s *System) accessSector(addr HomeAddr, out []byte, isWrite bool, in []byte) error {
+	page := addr.Page(s.geo.PageSize)
 	fi := s.pageTable[page]
 	if fi < 0 {
 		var err error
@@ -77,7 +79,7 @@ func (s *System) accessSector(addr uint64, out []byte, isWrite bool, in []byte) 
 	s.lruClock++
 	f.lru = s.lruClock
 
-	devAddr := uint64(fi*s.geo.PageSize) + addr%uint64(s.geo.PageSize)
+	devAddr := FrameAddr(fi, s.geo.PageSize, addr.PageOffset(s.geo.PageSize))
 	switch s.cfg.Model {
 	case ModelNone:
 		if isWrite {
@@ -95,12 +97,12 @@ func (s *System) accessSector(addr uint64, out []byte, isWrite bool, in []byte) 
 	return fmt.Errorf("securemem: unknown model %d", s.cfg.Model)
 }
 
-func (s *System) chunkInPage(addr uint64) int {
-	return int(addr%uint64(s.geo.PageSize)) / s.geo.ChunkSize
+func (s *System) chunkInPage(addr HomeAddr) int {
+	return int(addr.PageOffset(s.geo.PageSize)) / s.geo.ChunkSize
 }
 
-func (s *System) blockInPage(addr uint64) int {
-	return int(addr%uint64(s.geo.PageSize)) / s.geo.BlockSize
+func (s *System) blockInPage(addr HomeAddr) int {
+	return int(addr.PageOffset(s.geo.PageSize)) / s.geo.BlockSize
 }
 
 // migrateIn copies a home page into a device frame, evicting a victim when

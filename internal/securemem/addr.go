@@ -1,0 +1,57 @@
+package securemem
+
+// Address domains. The entire correctness argument of the unified model
+// (§IV-A) rests on keying every security computation off the *home* (CXL)
+// address of a datum while the bytes physically live at a *device* address.
+// The two spaces are both flat byte ranges, so as bare uint64s they are
+// trivially confusable: swapping them compiles, passes most tests, and
+// silently breaks the security model (a MAC computed over the wrong domain
+// still "verifies" against itself).
+//
+// HomeAddr and DevAddr make the domains distinct named types, so direct
+// cross-assignment is a compile error and explicit cross-domain conversions
+// are flagged by the addrdomain analyzer in internal/lint. Converting
+// through plain uint64 (for storage indices, crypto IVs, or hardware models
+// below the address-domain boundary) is the sanctioned escape hatch.
+
+// HomeAddr is a byte address in the CXL (home) address space — the
+// permanent identity of a datum. All Salus security metadata (counters,
+// MACs, tree leaves) is indexed by this address.
+type HomeAddr uint64
+
+// DevAddr is a byte address in the GPU device tier — the transient
+// physical location of a datum while its page is resident in a frame.
+// Under Salus nothing cryptographic may be derived from it; only the
+// conventional (location-coupled) model keys metadata off it.
+type DevAddr uint64
+
+// Page returns the index of the home page containing a.
+func (a HomeAddr) Page(pageSize int) int { return int(a) / pageSize }
+
+// PageOffset returns a's byte offset within its page.
+func (a HomeAddr) PageOffset(pageSize int) uint64 { return uint64(a) % uint64(pageSize) }
+
+// Chunk returns the global home chunk index containing a.
+func (a HomeAddr) Chunk(chunkSize int) int { return int(a) / chunkSize }
+
+// Sector returns the global home sector index containing a.
+func (a HomeAddr) Sector(sectorSize int) int { return int(a) / sectorSize }
+
+// Frame returns the index of the device frame containing a.
+func (a DevAddr) Frame(pageSize int) int { return int(a) / pageSize }
+
+// PageOffset returns a's byte offset within its frame.
+func (a DevAddr) PageOffset(pageSize int) uint64 { return uint64(a) % uint64(pageSize) }
+
+// Sector returns the global device sector index containing a.
+func (a DevAddr) Sector(sectorSize int) int { return int(a) / sectorSize }
+
+// FrameAddr returns the device address of byte off within frame.
+func FrameAddr(frame, pageSize int, off uint64) DevAddr {
+	return DevAddr(uint64(frame)*uint64(pageSize) + off)
+}
+
+// HomePageAddr returns the home address of byte off within page.
+func HomePageAddr(page, pageSize int, off uint64) HomeAddr {
+	return HomeAddr(uint64(page)*uint64(pageSize) + off)
+}

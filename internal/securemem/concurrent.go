@@ -22,28 +22,28 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 }
 
 // Read is a goroutine-safe System.Read.
-func (c *Concurrent) Read(addr uint64, buf []byte) error {
+func (c *Concurrent) Read(addr HomeAddr, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Read(addr, buf)
 }
 
 // Write is a goroutine-safe System.Write.
-func (c *Concurrent) Write(addr uint64, data []byte) error {
+func (c *Concurrent) Write(addr HomeAddr, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Write(addr, data)
 }
 
 // WriteThrough is a goroutine-safe System.WriteThrough.
-func (c *Concurrent) WriteThrough(addr uint64, data []byte) error {
+func (c *Concurrent) WriteThrough(addr HomeAddr, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.WriteThrough(addr, data)
 }
 
 // ReadThrough is a goroutine-safe System.ReadThrough.
-func (c *Concurrent) ReadThrough(addr uint64, buf []byte) error {
+func (c *Concurrent) ReadThrough(addr HomeAddr, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.ReadThrough(addr, buf)
@@ -79,4 +79,6 @@ func (c *Concurrent) Model() Model {
 
 // Unwrap returns the underlying System for single-threaded phases. The
 // caller must guarantee no concurrent use while holding it.
+//
+// salus-lint:ignore lockdiscipline Unwrap is the documented single-threaded escape hatch
 func (c *Concurrent) Unwrap() *System { return c.sys }

@@ -15,8 +15,8 @@ import (
 
 // convHomePair returns the counter pair of a home-tier sector, verifying
 // the counter sector's freshness against the home tree.
-func (s *System) convHomePair(homeAddr uint64) (major, minor uint64, err error) {
-	secIdx := int(homeAddr) / s.geo.SectorSize
+func (s *System) convHomePair(homeAddr HomeAddr) (major, minor uint64, err error) {
+	secIdx := homeAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
 	s.stats.BMTVerifies++
 	if err := s.convCXLTree.VerifyCached(ci, s.convCXLCtrs[ci].Encode()); err != nil {
@@ -27,8 +27,8 @@ func (s *System) convHomePair(homeAddr uint64) (major, minor uint64, err error) 
 }
 
 // convDevPair is convHomePair for the device tier.
-func (s *System) convDevPair(devAddr uint64) (major, minor uint64, err error) {
-	secIdx := int(devAddr) / s.geo.SectorSize
+func (s *System) convDevPair(devAddr DevAddr) (major, minor uint64, err error) {
+	secIdx := devAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
 	s.stats.BMTVerifies++
 	if err := s.convDevTree.VerifyCached(ci, s.convDevCtrs[ci].Encode()); err != nil {
@@ -40,8 +40,8 @@ func (s *System) convDevPair(devAddr uint64) (major, minor uint64, err error) {
 
 // convBumpHome increments a home-tier sector counter, re-encrypting the
 // covered region on overflow, and updates the home tree.
-func (s *System) convBumpHome(homeAddr uint64) (major, minor uint64, err error) {
-	secIdx := int(homeAddr) / s.geo.SectorSize
+func (s *System) convBumpHome(homeAddr HomeAddr) (major, minor uint64, err error) {
+	secIdx := homeAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
 	cs := &s.convCXLCtrs[ci]
 	old := *cs
@@ -59,8 +59,8 @@ func (s *System) convBumpHome(homeAddr uint64) (major, minor uint64, err error) 
 }
 
 // convBumpDev is convBumpHome for the device tier.
-func (s *System) convBumpDev(devAddr uint64) (major, minor uint64, err error) {
-	secIdx := int(devAddr) / s.geo.SectorSize
+func (s *System) convBumpDev(devAddr DevAddr) (major, minor uint64, err error) {
+	secIdx := devAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
 	cs := &s.convDevCtrs[ci]
 	old := *cs
@@ -142,7 +142,7 @@ func (s *System) convReencryptDevRegion(ci int, old, cur *counters.ConventionalS
 
 // convAccess performs one resident-sector access under the conventional
 // model. All crypto uses the *device* address while the data is resident.
-func (s *System) convAccess(homeAddr, devAddr uint64, fi int, out []byte, isWrite bool, in []byte) error {
+func (s *System) convAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []byte, isWrite bool, in []byte) error {
 	ct := s.devData[devAddr : devAddr+32]
 	if !isWrite {
 		major, minor, err := s.convDevPair(devAddr)
@@ -150,19 +150,19 @@ func (s *System) convAccess(homeAddr, devAddr uint64, fi int, out []byte, isWrit
 			return err
 		}
 		s.stats.MACVerifies++
-		if !s.eng.VerifyMAC(ct, devAddr, major, minor, s.convDevMACs[int(devAddr)/s.geo.SectorSize]) {
-			return fmt.Errorf("%w: device address %#x", ErrIntegrity, devAddr)
+		if !s.eng.VerifyMAC(ct, uint64(devAddr), major, minor, s.convDevMACs[devAddr.Sector(s.geo.SectorSize)]) {
+			return fmt.Errorf("%w: device address %#x", ErrIntegrity, uint64(devAddr))
 		}
-		return s.eng.DecryptSector(out, ct, devAddr, major, minor)
+		return s.eng.DecryptSector(out, ct, uint64(devAddr), major, minor)
 	}
 	major, minor, err := s.convBumpDev(devAddr)
 	if err != nil {
 		return err
 	}
-	if err := s.eng.EncryptSector(ct, in, devAddr, major, minor); err != nil {
+	if err := s.eng.EncryptSector(ct, in, uint64(devAddr), major, minor); err != nil {
 		return err
 	}
-	s.convDevMACs[int(devAddr)/s.geo.SectorSize] = s.eng.MAC(ct, devAddr, major, minor)
+	s.convDevMACs[devAddr.Sector(s.geo.SectorSize)] = s.eng.MAC(ct, uint64(devAddr), major, minor)
 	s.frames[fi].dirty |= 1 << uint(s.chunkInPage(homeAddr))
 	return nil
 }
@@ -177,7 +177,7 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 		ha := uint64(page*s.geo.PageSize + i*ss)
 		da := uint64(fi*s.geo.PageSize + i*ss)
 		srcCT := src[i*ss : (i+1)*ss]
-		major, minor, err := s.convHomePair(ha)
+		major, minor, err := s.convHomePair(HomeAddr(ha))
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 		if err := s.eng.DecryptSector(pt, srcCT, ha, major, minor); err != nil {
 			return err
 		}
-		dMajor, dMinor, err := s.convBumpDev(da)
+		dMajor, dMinor, err := s.convBumpDev(DevAddr(da))
 		if err != nil {
 			return err
 		}
@@ -215,7 +215,7 @@ func (s *System) convEvict(fi int) error {
 		ha := uint64(page*s.geo.PageSize + i*ss)
 		da := uint64(fi*s.geo.PageSize + i*ss)
 		ct := s.devData[da : da+uint64(ss)]
-		major, minor, err := s.convDevPair(da)
+		major, minor, err := s.convDevPair(DevAddr(da))
 		if err != nil {
 			return err
 		}
@@ -226,7 +226,7 @@ func (s *System) convEvict(fi int) error {
 		if err := s.eng.DecryptSector(pt, ct, da, major, minor); err != nil {
 			return err
 		}
-		hMajor, hMinor, err := s.convBumpHome(ha)
+		hMajor, hMinor, err := s.convBumpHome(HomeAddr(ha))
 		if err != nil {
 			return err
 		}

@@ -42,8 +42,8 @@ func (s *System) ensureSplitState() error {
 // splitPair returns the effective (major, minor) for a CXL-resident
 // sector, freshness-verifying the split counter block when the chunk is in
 // split state.
-func (s *System) splitPair(homeAddr uint64) (major, minor uint64, err error) {
-	chunk := int(homeAddr) / s.geo.ChunkSize
+func (s *System) splitPair(homeAddr HomeAddr) (major, minor uint64, err error) {
+	chunk := homeAddr.Chunk(s.geo.ChunkSize)
 	if s.cxlSplit != nil && s.splitDirty[chunk] {
 		s.stats.BMTVerifies++
 		if err := s.splitTree.VerifyCached(chunk, s.cxlSplit[chunk].Encode()); err != nil {
@@ -62,36 +62,37 @@ func (s *System) splitPair(homeAddr uint64) (major, minor uint64, err error) {
 // available under ModelSalus and only for pages not currently resident in
 // the device tier (a resident page must be written through the cache to
 // keep a single point of truth).
-func (s *System) WriteThrough(addr uint64, data []byte) error {
+func (s *System) WriteThrough(addr HomeAddr, data []byte) error {
 	if s.cfg.Model != ModelSalus {
 		return fmt.Errorf("securemem: WriteThrough requires ModelSalus, have %v", s.cfg.Model)
 	}
-	if addr+uint64(len(data)) > s.Size() {
+	if uint64(addr)+uint64(len(data)) > s.Size() {
 		return ErrOutOfRange
 	}
-	if s.IsResident(addr) || (len(data) > 0 && s.IsResident(addr+uint64(len(data))-1)) {
-		return fmt.Errorf("securemem: WriteThrough to device-resident page %d", int(addr)/s.geo.PageSize)
+	if s.IsResident(addr) || (len(data) > 0 && s.IsResident(addr+HomeAddr(len(data))-1)) {
+		return fmt.Errorf("securemem: WriteThrough to device-resident page %d", addr.Page(s.geo.PageSize))
 	}
 	if err := s.ensureSplitState(); err != nil {
 		return err
 	}
 	s.stats.Writes++
 	ss := uint64(s.geo.SectorSize)
+	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(data)); {
-		secBase := (addr + off) / ss * ss
-		inSec := addr + off - secBase
+		secBase := (base + off) / ss * ss
+		inSec := base + off - secBase
 		n := ss - inSec
 		if rem := uint64(len(data)) - off; n > rem {
 			n = rem
 		}
 		var sector [32]byte
 		if inSec != 0 || n != ss {
-			if err := s.directReadSector(secBase, sector[:]); err != nil {
+			if err := s.directReadSector(HomeAddr(secBase), sector[:]); err != nil {
 				return err
 			}
 		}
 		copy(sector[inSec:inSec+n], data[off:off+n])
-		if err := s.directWriteSector(secBase, sector[:]); err != nil {
+		if err := s.directWriteSector(HomeAddr(secBase), sector[:]); err != nil {
 			return err
 		}
 		off += n
@@ -101,27 +102,28 @@ func (s *System) WriteThrough(addr uint64, data []byte) error {
 
 // ReadThrough reads directly from the CXL tier without migrating the page
 // (ModelSalus only, non-resident pages only).
-func (s *System) ReadThrough(addr uint64, buf []byte) error {
+func (s *System) ReadThrough(addr HomeAddr, buf []byte) error {
 	if s.cfg.Model != ModelSalus {
 		return fmt.Errorf("securemem: ReadThrough requires ModelSalus, have %v", s.cfg.Model)
 	}
-	if addr+uint64(len(buf)) > s.Size() {
+	if uint64(addr)+uint64(len(buf)) > s.Size() {
 		return ErrOutOfRange
 	}
-	if s.IsResident(addr) || (len(buf) > 0 && s.IsResident(addr+uint64(len(buf))-1)) {
-		return fmt.Errorf("securemem: ReadThrough of device-resident page %d", int(addr)/s.geo.PageSize)
+	if s.IsResident(addr) || (len(buf) > 0 && s.IsResident(addr+HomeAddr(len(buf))-1)) {
+		return fmt.Errorf("securemem: ReadThrough of device-resident page %d", addr.Page(s.geo.PageSize))
 	}
 	s.stats.Reads++
 	ss := uint64(s.geo.SectorSize)
+	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(buf)); {
-		secBase := (addr + off) / ss * ss
-		inSec := addr + off - secBase
+		secBase := (base + off) / ss * ss
+		inSec := base + off - secBase
 		n := ss - inSec
 		if rem := uint64(len(buf)) - off; n > rem {
 			n = rem
 		}
 		var sector [32]byte
-		if err := s.directReadSector(secBase, sector[:]); err != nil {
+		if err := s.directReadSector(HomeAddr(secBase), sector[:]); err != nil {
 			return err
 		}
 		copy(buf[off:off+n], sector[inSec:inSec+n])
@@ -131,23 +133,23 @@ func (s *System) ReadThrough(addr uint64, buf []byte) error {
 }
 
 // directReadSector decrypts and verifies one CXL-resident sector in place.
-func (s *System) directReadSector(homeAddr uint64, out []byte) error {
+func (s *System) directReadSector(homeAddr HomeAddr, out []byte) error {
 	major, minor, err := s.splitPair(homeAddr)
 	if err != nil {
 		return err
 	}
 	ct := s.cxlData[homeAddr : homeAddr+32]
 	s.stats.MACVerifies++
-	if !s.eng.VerifyMAC(ct, homeAddr, major, minor, s.homeMAC(homeAddr)) {
-		return fmt.Errorf("%w: home address %#x", ErrIntegrity, homeAddr)
+	if !s.eng.VerifyMAC(ct, uint64(homeAddr), major, minor, s.homeMAC(homeAddr)) {
+		return fmt.Errorf("%w: home address %#x", ErrIntegrity, uint64(homeAddr))
 	}
-	return s.eng.DecryptSector(out, ct, homeAddr, major, minor)
+	return s.eng.DecryptSector(out, ct, uint64(homeAddr), major, minor)
 }
 
 // directWriteSector encrypts one sector in the CXL tier under a bumped
 // doubled-width minor counter.
-func (s *System) directWriteSector(homeAddr uint64, in []byte) error {
-	chunk := int(homeAddr) / s.geo.ChunkSize
+func (s *System) directWriteSector(homeAddr HomeAddr, in []byte) error {
+	chunk := homeAddr.Chunk(s.geo.ChunkSize)
 	sic := (int(homeAddr) % s.geo.ChunkSize) / s.geo.SectorSize
 	sp := &s.cxlSplit[chunk]
 	if !s.splitDirty[chunk] {
@@ -173,10 +175,10 @@ func (s *System) directWriteSector(homeAddr uint64, in []byte) error {
 	} else {
 		major, minor := sp.Pair(sic)
 		ct := s.cxlData[homeAddr : homeAddr+32]
-		if err := s.eng.EncryptSector(ct, in, homeAddr, major, minor); err != nil {
+		if err := s.eng.EncryptSector(ct, in, uint64(homeAddr), major, minor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, homeAddr, major, minor)); err != nil {
+		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, uint64(homeAddr), major, minor)); err != nil {
 			return err
 		}
 	}
@@ -212,7 +214,7 @@ func (s *System) directReencryptChunk(chunk uint64, old, cur *counters.CXLSplitS
 		if err := s.eng.EncryptSector(ct, pt, ha, newMajor, newMinor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(ha, s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
+		if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
 			return err
 		}
 		s.stats.OverflowReEncryptions++
@@ -225,14 +227,14 @@ func (s *System) directReencryptChunk(chunk uint64, old, cur *counters.CXLSplitS
 // sector re-encrypts under (major, 0), and the chunk leaves split state.
 // Migrating a split chunk's page to the device tier performs this
 // implicitly.
-func (s *System) CheckpointChunk(addr uint64) error {
+func (s *System) CheckpointChunk(addr HomeAddr) error {
 	if s.cfg.Model != ModelSalus {
 		return fmt.Errorf("securemem: CheckpointChunk requires ModelSalus")
 	}
-	if addr >= s.Size() {
+	if uint64(addr) >= s.Size() {
 		return ErrOutOfRange
 	}
-	chunk := int(addr) / s.geo.ChunkSize
+	chunk := addr.Chunk(s.geo.ChunkSize)
 	if s.cxlSplit == nil || !s.splitDirty[chunk] {
 		return nil
 	}
@@ -254,7 +256,7 @@ func (s *System) CheckpointChunk(addr uint64) error {
 			if err := s.eng.EncryptSector(ct, pt, ha, uint64(newMajor), 0); err != nil {
 				return err
 			}
-			if err := s.storeHomeMAC(ha, s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
+			if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
 				return err
 			}
 			s.stats.CollapseReEncryptions++
@@ -275,7 +277,7 @@ func (s *System) checkpointPage(page int) error {
 		return nil
 	}
 	for c := 0; c < s.geo.ChunksPerPage(); c++ {
-		addr := uint64(page*s.geo.PageSize + c*s.geo.ChunkSize)
+		addr := HomeAddr(page*s.geo.PageSize + c*s.geo.ChunkSize)
 		if err := s.CheckpointChunk(addr); err != nil {
 			return err
 		}

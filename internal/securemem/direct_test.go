@@ -59,10 +59,10 @@ func TestWriteThroughModelAndRangeChecks(t *testing.T) {
 		t.Error("ReadThrough accepted under conventional model")
 	}
 	s := newSys(t, ModelSalus, 4, 2)
-	if err := s.WriteThrough(s.Size(), []byte("x")); !errors.Is(err, ErrOutOfRange) {
+	if err := s.WriteThrough(HomeAddr(s.Size()), []byte("x")); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("out-of-range WriteThrough: %v", err)
 	}
-	if err := s.ReadThrough(s.Size()-1, make([]byte, 2)); !errors.Is(err, ErrOutOfRange) {
+	if err := s.ReadThrough(HomeAddr(s.Size()-1), make([]byte, 2)); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("out-of-range ReadThrough: %v", err)
 	}
 }
@@ -131,7 +131,7 @@ func TestCheckpointChunkExplicit(t *testing.T) {
 	if err := s.CheckpointChunk(8192); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.CheckpointChunk(s.Size()); !errors.Is(err, ErrOutOfRange) {
+	if err := s.CheckpointChunk(HomeAddr(s.Size())); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("out-of-range checkpoint: %v", err)
 	}
 	conv := newSys(t, ModelConventional, 4, 2)
@@ -219,7 +219,7 @@ func TestMixedDirectAndCachedTraffic(t *testing.T) {
 	// final state end-to-end.
 	s := newSys(t, ModelSalus, 16, 4)
 	for pg := 0; pg < 16; pg++ {
-		addr := uint64(pg * 4096)
+		addr := HomeAddr(pg * 4096)
 		v := []byte{byte(pg), byte(pg + 1)}
 		var err error
 		if pg%2 == 0 && !s.IsResident(addr) {
@@ -233,7 +233,7 @@ func TestMixedDirectAndCachedTraffic(t *testing.T) {
 	}
 	for pg := 0; pg < 16; pg++ {
 		got := make([]byte, 2)
-		if err := s.Read(uint64(pg*4096), got); err != nil {
+		if err := s.Read(HomeAddr(pg*4096), got); err != nil {
 			t.Fatalf("page %d: %v", pg, err)
 		}
 		if got[0] != byte(pg) || got[1] != byte(pg+1) {

@@ -11,33 +11,33 @@ import "github.com/salus-sim/salus/internal/security/counters"
 // RawHomeBytes returns a copy of the stored home-tier bytes at addr
 // (ciphertext under the secure models). An attacker snooping the bus sees
 // exactly this.
-func (s *System) RawHomeBytes(addr uint64, n int) []byte {
-	if addr+uint64(n) > s.Size() {
+func (s *System) RawHomeBytes(addr HomeAddr, n int) []byte {
+	if uint64(addr)+uint64(n) > s.Size() {
 		return nil
 	}
 	out := make([]byte, n)
-	copy(out, s.cxlData[addr:addr+uint64(n)])
+	copy(out, s.cxlData[addr:addr+HomeAddr(n)])
 	return out
 }
 
 // CorruptHome flips a bit of the stored home-tier data (spoofing attack on
 // the expansion memory). A subsequent read of a non-resident page detects
 // it via MAC verification.
-func (s *System) CorruptHome(addr uint64) {
-	if addr < s.Size() {
+func (s *System) CorruptHome(addr HomeAddr) {
+	if uint64(addr) < s.Size() {
 		s.cxlData[addr] ^= 0x01
 	}
 }
 
 // CorruptDevice flips a bit of the device-tier frame backing addr's page,
 // if resident (spoofing attack on the device memory).
-func (s *System) CorruptDevice(addr uint64) bool {
-	page := int(addr) / s.geo.PageSize
-	if addr >= s.Size() || s.pageTable[page] < 0 {
+func (s *System) CorruptDevice(addr HomeAddr) bool {
+	page := addr.Page(s.geo.PageSize)
+	if uint64(addr) >= s.Size() || s.pageTable[page] < 0 {
 		return false
 	}
 	fi := s.pageTable[page]
-	off := uint64(fi*s.geo.PageSize) + addr%uint64(s.geo.PageSize)
+	off := FrameAddr(fi, s.geo.PageSize, addr.PageOffset(s.geo.PageSize))
 	s.devData[off] ^= 0x01
 	return true
 }
@@ -45,10 +45,10 @@ func (s *System) CorruptDevice(addr uint64) bool {
 // SpliceHome overwrites the stored bytes of dst's sector with those of
 // src's sector (splicing attack: relocating valid ciphertext). Detected
 // because the MAC binds the home address.
-func (s *System) SpliceHome(dst, src uint64) {
+func (s *System) SpliceHome(dst, src HomeAddr) {
 	ss := uint64(s.geo.SectorSize)
-	d := dst / ss * ss
-	c := src / ss * ss
+	d := uint64(dst) / ss * ss
+	c := uint64(src) / ss * ss
 	if d+ss > s.Size() || c+ss > s.Size() {
 		return
 	}
@@ -74,9 +74,9 @@ type maclibSector struct {
 
 // SnapshotHomeChunk records the full untrusted state of the chunk holding
 // addr, for a later replay attempt.
-func (s *System) SnapshotHomeChunk(addr uint64) ChunkSnapshot {
+func (s *System) SnapshotHomeChunk(addr HomeAddr) ChunkSnapshot {
 	cs := s.geo.ChunkSize
-	chunk := int(addr) / cs
+	chunk := addr.Chunk(cs)
 	snap := ChunkSnapshot{homeChunk: chunk}
 	snap.data = append(snap.data, s.cxlData[chunk*cs:(chunk+1)*cs]...)
 	switch s.cfg.Model {

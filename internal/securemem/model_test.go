@@ -35,7 +35,7 @@ func TestReferenceModelEquivalence(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(model) + 99))
 
 			for step := 0; step < steps; step++ {
-				addr := uint64(rng.Intn(int(s.Size()) - 64))
+				addr := HomeAddr(rng.Intn(int(s.Size()) - 64))
 				n := rng.Intn(64) + 1
 				switch op := rng.Intn(10); {
 				case op < 4: // read
@@ -43,8 +43,8 @@ func TestReferenceModelEquivalence(t *testing.T) {
 					if err := s.Read(addr, got); err != nil {
 						t.Fatalf("step %d: read(%d,%d): %v", step, addr, n, err)
 					}
-					if !bytes.Equal(got, ref[addr:addr+uint64(n)]) {
-						t.Fatalf("step %d: read(%d,%d) = %x, want %x", step, addr, n, got, ref[addr:addr+uint64(n)])
+					if !bytes.Equal(got, ref[addr:addr+HomeAddr(n)]) {
+						t.Fatalf("step %d: read(%d,%d) = %x, want %x", step, addr, n, got, ref[addr:addr+HomeAddr(n)])
 					}
 				case op < 8: // cached write
 					data := make([]byte, n)
@@ -54,7 +54,7 @@ func TestReferenceModelEquivalence(t *testing.T) {
 					}
 					copy(ref[addr:], data)
 				case op == 8 && model == ModelSalus: // direct write when non-resident
-					if s.IsResident(addr) || s.IsResident(addr+uint64(n)-1) {
+					if s.IsResident(addr) || s.IsResident(addr+HomeAddr(n)-1) {
 						continue
 					}
 					data := make([]byte, n)
@@ -77,7 +77,7 @@ func TestReferenceModelEquivalence(t *testing.T) {
 			}
 			// Final sweep: every byte must match the reference.
 			got := make([]byte, 256)
-			for off := uint64(0); off < s.Size(); off += 256 {
+			for off := HomeAddr(0); uint64(off) < s.Size(); off += 256 {
 				if err := s.Read(off, got); err != nil {
 					t.Fatalf("final read at %d: %v", off, err)
 				}

@@ -35,17 +35,17 @@ func (s *System) ReKey(newAESKey, newMACKey []byte) error {
 	nSectors := len(s.cxlData) / ss
 	plain := make([]byte, len(s.cxlData))
 	for sec := 0; sec < nSectors; sec++ {
-		addr := uint64(sec * ss)
+		addr := HomeAddr(sec * ss)
 		major, minor, err := s.currentHomePair(addr)
 		if err != nil {
 			return err
 		}
 		ct := s.cxlData[sec*ss : (sec+1)*ss]
 		s.stats.MACVerifies++
-		if !s.eng.VerifyMAC(ct, addr, major, minor, s.homeMAC(addr)) {
+		if !s.eng.VerifyMAC(ct, uint64(addr), major, minor, s.homeMAC(addr)) {
 			return ErrIntegrity
 		}
-		if err := s.eng.DecryptSector(plain[sec*ss:(sec+1)*ss], ct, addr, major, minor); err != nil {
+		if err := s.eng.DecryptSector(plain[sec*ss:(sec+1)*ss], ct, uint64(addr), major, minor); err != nil {
 			return err
 		}
 	}
@@ -98,14 +98,14 @@ func (s *System) ReKey(newAESKey, newMACKey []byte) error {
 	}
 	buf := make([]byte, ss)
 	for sec := 0; sec < nSectors; sec++ {
-		addr := uint64(sec * ss)
+		addr := HomeAddr(sec * ss)
 		major, minor := s.homeCounterPair(addr) // zero after the reset
 		ct := s.cxlData[sec*ss : (sec+1)*ss]
-		if err := s.eng.EncryptSector(buf, plain[sec*ss:(sec+1)*ss], addr, major, minor); err != nil {
+		if err := s.eng.EncryptSector(buf, plain[sec*ss:(sec+1)*ss], uint64(addr), major, minor); err != nil {
 			return err
 		}
 		copy(ct, buf)
-		if err := s.storeHomeMAC(addr, s.eng.MAC(ct, addr, major, minor)); err != nil {
+		if err := s.storeHomeMAC(addr, s.eng.MAC(ct, uint64(addr), major, minor)); err != nil {
 			return err
 		}
 	}
@@ -116,7 +116,7 @@ func (s *System) ReKey(newAESKey, newMACKey []byte) error {
 
 // currentHomePair is homeCounterPair plus split-state awareness, used by
 // the re-key sweep where split chunks may still hold non-zero minors.
-func (s *System) currentHomePair(addr uint64) (major, minor uint64, err error) {
+func (s *System) currentHomePair(addr HomeAddr) (major, minor uint64, err error) {
 	if s.cfg.Model == ModelSalus && s.cxlSplit != nil {
 		return s.splitPair(addr)
 	}

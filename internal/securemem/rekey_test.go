@@ -9,7 +9,7 @@ import (
 func TestReKeyPreservesData(t *testing.T) {
 	for _, model := range []Model{ModelConventional, ModelSalus} {
 		s := newSys(t, model, 8, 2)
-		want := map[uint64][]byte{
+		want := map[HomeAddr][]byte{
 			100:   []byte("alpha"),
 			4096:  []byte("beta"),
 			28000: []byte("gamma"),

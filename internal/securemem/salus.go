@@ -14,7 +14,7 @@ import (
 
 // salusDevGroup returns the device counter group of a frame chunk, filling
 // it from the chunk's MAC sector (embedded collapsed major) on first touch.
-func (s *System) salusDevGroup(fi int, homeAddr uint64) (*counters.IFGroup, error) {
+func (s *System) salusDevGroup(fi int, homeAddr HomeAddr) (*counters.IFGroup, error) {
 	f := &s.frames[fi]
 	cip := s.chunkInPage(homeAddr)
 	gi := fi*s.geo.ChunksPerPage() + cip
@@ -24,7 +24,7 @@ func (s *System) salusDevGroup(fi int, homeAddr uint64) (*counters.IFGroup, erro
 		if err := s.salusFetchMAC(fi, homeAddr); err != nil {
 			return nil, err
 		}
-		homeChunk := int(homeAddr) / s.geo.ChunkSize
+		homeChunk := homeAddr.Chunk(s.geo.ChunkSize)
 		major, err := s.salusHomeMajor(homeChunk)
 		if err != nil {
 			return nil, err
@@ -80,7 +80,7 @@ func (s *System) salusDevTreeUpdate(gi int) error {
 // the device side (fetch-only-on-access, §IV-A3). The MAC store is home-
 // indexed, so the "fetch" is an accounting event plus the CXL-tag check
 // that the hardware would perform.
-func (s *System) salusFetchMAC(fi int, homeAddr uint64) error {
+func (s *System) salusFetchMAC(fi int, homeAddr HomeAddr) error {
 	f := &s.frames[fi]
 	bip := s.blockInPage(homeAddr)
 	if f.macIn&(1<<uint(bip)) == 0 {
@@ -91,7 +91,7 @@ func (s *System) salusFetchMAC(fi int, homeAddr uint64) error {
 }
 
 // salusAccess performs one resident-sector access under the Salus model.
-func (s *System) salusAccess(homeAddr, devAddr uint64, fi int, out []byte, isWrite bool, in []byte) error {
+func (s *System) salusAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []byte, isWrite bool, in []byte) error {
 	g, err := s.salusDevGroup(fi, homeAddr)
 	if err != nil {
 		return err
@@ -105,10 +105,10 @@ func (s *System) salusAccess(homeAddr, devAddr uint64, fi int, out []byte, isWri
 	if !isWrite {
 		major, minor := g.Pair(sic)
 		s.stats.MACVerifies++
-		if !s.eng.VerifyMAC(ct, homeAddr, major, minor, s.homeMAC(homeAddr)) {
-			return fmt.Errorf("%w: home address %#x", ErrIntegrity, homeAddr)
+		if !s.eng.VerifyMAC(ct, uint64(homeAddr), major, minor, s.homeMAC(homeAddr)) {
+			return fmt.Errorf("%w: home address %#x", ErrIntegrity, uint64(homeAddr))
 		}
-		return s.eng.DecryptSector(out, ct, homeAddr, major, minor)
+		return s.eng.DecryptSector(out, ct, uint64(homeAddr), major, minor)
 	}
 
 	// Write: bump the minor; an overflow re-encrypts the whole chunk under
@@ -122,10 +122,10 @@ func (s *System) salusAccess(homeAddr, devAddr uint64, fi int, out []byte, isWri
 		}
 	} else {
 		major, minor := g.Pair(sic)
-		if err := s.eng.EncryptSector(ct, in, homeAddr, major, minor); err != nil {
+		if err := s.eng.EncryptSector(ct, in, uint64(homeAddr), major, minor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, homeAddr, major, minor)); err != nil {
+		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, uint64(homeAddr), major, minor)); err != nil {
 			return err
 		}
 	}
@@ -139,10 +139,10 @@ func (s *System) salusAccess(homeAddr, devAddr uint64, fi int, out []byte, isWri
 // minor overflow: each sector is decrypted under its old (pre-overflow)
 // pair and re-encrypted under (newMajor, 0); sector writeSic takes
 // writeData instead of its old plaintext.
-func (s *System) salusReencryptChunk(homeAddr uint64, fi int, old, cur *counters.IFGroup, writeSic int, writeData []byte) error {
+func (s *System) salusReencryptChunk(homeAddr HomeAddr, fi int, old, cur *counters.IFGroup, writeSic int, writeData []byte) error {
 	cs := uint64(s.geo.ChunkSize)
 	ss := uint64(s.geo.SectorSize)
-	chunkHomeBase := homeAddr / cs * cs
+	chunkHomeBase := uint64(homeAddr) / cs * cs
 	pageOff := chunkHomeBase % uint64(s.geo.PageSize)
 	chunkDevBase := uint64(fi*s.geo.PageSize) + pageOff
 	pt := make([]byte, ss)
@@ -161,7 +161,7 @@ func (s *System) salusReencryptChunk(homeAddr uint64, fi int, old, cur *counters
 		if err := s.eng.EncryptSector(ct, pt, ha, newMajor, newMinor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(ha, s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
+		if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
 			return err
 		}
 		s.stats.OverflowReEncryptions++
@@ -205,7 +205,7 @@ func (s *System) salusEvict(fi int) error {
 				if err := s.eng.EncryptSector(ct, pt, ha, uint64(newMajor), 0); err != nil {
 					return err
 				}
-				if err := s.storeHomeMAC(ha, s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
+				if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
 					return err
 				}
 				s.stats.CollapseReEncryptions++

@@ -257,14 +257,14 @@ func (s *System) initialEncrypt() error {
 	nSectors := len(s.cxlData) / ss
 	buf := make([]byte, ss)
 	for sec := 0; sec < nSectors; sec++ {
-		addr := uint64(sec * ss)
+		addr := HomeAddr(sec * ss)
 		major, minor := s.homeCounterPair(addr)
 		ct := s.cxlData[sec*ss : (sec+1)*ss]
-		if err := s.eng.EncryptSector(buf, ct, addr, major, minor); err != nil {
+		if err := s.eng.EncryptSector(buf, ct, uint64(addr), major, minor); err != nil {
 			return err
 		}
 		copy(ct, buf)
-		mac := s.eng.MAC(ct, addr, major, minor)
+		mac := s.eng.MAC(ct, uint64(addr), major, minor)
 		if err := s.storeHomeMAC(addr, mac); err != nil {
 			return err
 		}
@@ -274,14 +274,14 @@ func (s *System) initialEncrypt() error {
 
 // homeCounterPair returns the current (major, minor) for a home-tier
 // sector under the active model.
-func (s *System) homeCounterPair(addr uint64) (major, minor uint64) {
+func (s *System) homeCounterPair(addr HomeAddr) (major, minor uint64) {
 	switch s.cfg.Model {
 	case ModelSalus:
-		chunk := int(addr) / s.geo.ChunkSize
+		chunk := addr.Chunk(s.geo.ChunkSize)
 		sector := s.collapsed[chunk/counters.CollapsedMajors]
 		return uint64(sector.Majors[chunk%counters.CollapsedMajors]), 0
 	case ModelConventional:
-		secIdx := int(addr) / s.geo.SectorSize
+		secIdx := addr.Sector(s.geo.SectorSize)
 		cs := s.convCXLCtrs[secIdx/counters.ConvMinors]
 		return cs.Pair(secIdx % counters.ConvMinors)
 	}
@@ -289,27 +289,27 @@ func (s *System) homeCounterPair(addr uint64) (major, minor uint64) {
 }
 
 // storeHomeMAC records the MAC of a home-tier sector.
-func (s *System) storeHomeMAC(addr, mac uint64) error {
+func (s *System) storeHomeMAC(addr HomeAddr, mac uint64) error {
 	switch s.cfg.Model {
 	case ModelSalus:
 		block := int(addr) / s.geo.BlockSize
 		secInBlock := (int(addr) % s.geo.BlockSize) / s.geo.SectorSize
 		return s.macSectors[block].SetMAC(secInBlock, mac)
 	case ModelConventional:
-		s.convCXLMACs[int(addr)/s.geo.SectorSize] = mac
+		s.convCXLMACs[addr.Sector(s.geo.SectorSize)] = mac
 	}
 	return nil
 }
 
 // homeMAC returns the stored MAC of a home-tier sector.
-func (s *System) homeMAC(addr uint64) uint64 {
+func (s *System) homeMAC(addr HomeAddr) uint64 {
 	switch s.cfg.Model {
 	case ModelSalus:
 		block := int(addr) / s.geo.BlockSize
 		secInBlock := (int(addr) % s.geo.BlockSize) / s.geo.SectorSize
 		return s.macSectors[block].MACs[secInBlock]
 	case ModelConventional:
-		return s.convCXLMACs[int(addr)/s.geo.SectorSize]
+		return s.convCXLMACs[addr.Sector(s.geo.SectorSize)]
 	}
 	return 0
 }
@@ -355,9 +355,9 @@ func (s *System) ResidentPages() int {
 }
 
 // IsResident reports whether the page containing addr is in the device tier.
-func (s *System) IsResident(addr uint64) bool {
-	if addr >= s.Size() {
+func (s *System) IsResident(addr HomeAddr) bool {
+	if uint64(addr) >= s.Size() {
 		return false
 	}
-	return s.pageTable[int(addr)/s.geo.PageSize] >= 0
+	return s.pageTable[addr.Page(s.geo.PageSize)] >= 0
 }

@@ -106,7 +106,7 @@ func TestRoundTripAcrossEviction(t *testing.T) {
 			t.Fatalf("%v: write: %v", m, err)
 		}
 		for pg := 1; pg < 6; pg++ {
-			if err := s.Write(uint64(pg*4096), []byte{byte(pg)}); err != nil {
+			if err := s.Write(HomeAddr(pg*4096), []byte{byte(pg)}); err != nil {
 				t.Fatalf("%v: fill write: %v", m, err)
 			}
 		}
@@ -147,13 +147,13 @@ func TestPartialSectorWrite(t *testing.T) {
 
 func TestOutOfRange(t *testing.T) {
 	s := newSys(t, ModelSalus, 2, 1)
-	if err := s.Read(s.Size(), make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+	if err := s.Read(HomeAddr(s.Size()), make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("read past end: %v", err)
 	}
-	if err := s.Write(s.Size()-1, make([]byte, 2)); !errors.Is(err, ErrOutOfRange) {
+	if err := s.Write(HomeAddr(s.Size()-1), make([]byte, 2)); !errors.Is(err, ErrOutOfRange) {
 		t.Errorf("write past end: %v", err)
 	}
-	if s.IsResident(s.Size()) {
+	if s.IsResident(HomeAddr(s.Size())) {
 		t.Error("IsResident past end")
 	}
 }
@@ -193,7 +193,7 @@ func TestSalusMigrationNeedsNoReencryption(t *testing.T) {
 	// Read-only sweep over all pages: lots of migrations and evictions.
 	buf := make([]byte, 32)
 	for pg := 0; pg < 8; pg++ {
-		if err := s.Read(uint64(pg*4096), buf); err != nil {
+		if err := s.Read(HomeAddr(pg*4096), buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ func TestConventionalMigrationReencrypts(t *testing.T) {
 	s := newSys(t, ModelConventional, 8, 2)
 	buf := make([]byte, 32)
 	for pg := 0; pg < 8; pg++ {
-		if err := s.Read(uint64(pg*4096), buf); err != nil {
+		if err := s.Read(HomeAddr(pg*4096), buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -368,10 +368,10 @@ func TestManyPagesStress(t *testing.T) {
 	// data integrity end-to-end for every model.
 	for _, m := range allModels {
 		s := newSys(t, m, 10, 3)
-		want := make(map[uint64]byte)
-		addr := uint64(17)
+		want := make(map[HomeAddr]byte)
+		addr := HomeAddr(17)
 		for i := 0; i < 400; i++ {
-			addr = (addr*2654435761 + 12345) % (s.Size() - 1)
+			addr = (addr*2654435761 + 12345) % HomeAddr(s.Size()-1)
 			v := byte(i)
 			if i%3 == 0 {
 				if err := s.Write(addr, []byte{v}); err != nil {

@@ -12,7 +12,7 @@ func salusCfg(total, device int) Config {
 
 func TestSuspendResumeRoundTrip(t *testing.T) {
 	s := newSys(t, ModelSalus, 8, 2)
-	want := map[uint64][]byte{
+	want := map[HomeAddr][]byte{
 		0:     []byte("page zero payload"),
 		4100:  []byte("page one payload!"),
 		12400: []byte("page three data.."),

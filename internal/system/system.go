@@ -15,6 +15,7 @@ import (
 	"github.com/salus-sim/salus/internal/gpu"
 	"github.com/salus-sim/salus/internal/pagecache"
 	"github.com/salus-sim/salus/internal/secsim"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 	"github.com/salus-sim/salus/internal/trace"
@@ -156,8 +157,8 @@ func Run(opts Options) (*stats.Run, error) {
 		}))
 	}
 	chunks := uint64(geo.ChunkSize)
-	channelFor := func(devAddr uint64) int {
-		return int((devAddr / chunks) % uint64(cfg.Memory.DeviceChannels))
+	channelFor := func(devAddr securemem.DevAddr) int {
+		return int((uint64(devAddr) / chunks) % uint64(cfg.Memory.DeviceChannels))
 	}
 
 	// handleVictim writes back a dirty L2 victim: the data write plus the
@@ -170,21 +171,21 @@ func Run(opts Options) (*stats.Run, error) {
 			if !v.Dirty.Has(i) {
 				continue
 			}
-			devAddr := uint64(v.BlockAddr) + uint64(i*geo.SectorSize)
-			homeAddr := v.Extra + uint64(i*geo.SectorSize)
-			device.Access(devAddr, uint64(geo.SectorSize), stats.Data, nil)
+			devAddr := securemem.DevAddr(uint64(v.BlockAddr) + uint64(i*geo.SectorSize))
+			homeAddr := securemem.HomeAddr(v.Extra + uint64(i*geo.SectorSize))
+			device.Access(uint64(devAddr), uint64(geo.SectorSize), stats.Data, nil)
 			sec.OnWrite(homeAddr, devAddr, func() {})
 		}
 	}
 
 	// access runs the post-interconnect memory path for one request. It is
 	// self-referential for the MSHR-full retry path.
-	var access func(homeAddr, devAddr uint64, write bool, done func())
-	access = func(homeAddr, devAddr uint64, write bool, done func()) {
+	var access func(homeAddr securemem.HomeAddr, devAddr securemem.DevAddr, write bool, done func())
+	access = func(homeAddr securemem.HomeAddr, devAddr securemem.DevAddr, write bool, done func()) {
 		ch := channelFor(devAddr)
 		l2 := l2s[ch]
 		block := l2.BlockAddr(cache.Addr(devAddr))
-		homeBlock := homeAddr - homeAddr%uint64(geo.BlockSize)
+		homeBlock := uint64(homeAddr) - uint64(homeAddr)%uint64(geo.BlockSize)
 		secMask := cache.SectorMask(1) << uint(l2.SectorIndex(cache.Addr(devAddr)))
 
 		if write {
@@ -215,7 +216,7 @@ func Run(opts Options) (*stats.Run, error) {
 					handleVictim(ch, l2.CompleteMSHR(block, uint64(homeBlock)))
 				}
 			}
-			device.Access(devAddr, uint64(geo.SectorSize), stats.Data, complete)
+			device.Access(uint64(devAddr), uint64(geo.SectorSize), stats.Data, complete)
 			sec.OnRead(homeAddr, devAddr, complete)
 		case cache.MSHRMerged:
 			// fill will fire with the in-flight request.
@@ -224,8 +225,8 @@ func Run(opts Options) (*stats.Run, error) {
 		}
 	}
 
-	issuer := func(gpc int, homeAddr uint64, write bool, done func()) {
-		xb.Request(gpc, homeAddr, write, func(devAddr uint64) {
+	issuer := func(gpc int, homeAddr securemem.HomeAddr, write bool, done func()) {
+		xb.Request(gpc, homeAddr, write, func(devAddr securemem.DevAddr) {
 			access(homeAddr, devAddr, write, done)
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/dram"
 	"github.com/salus-sim/salus/internal/pagecache"
+	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
@@ -100,13 +101,13 @@ func (x *Xbar) mappingSectorAddr(page int) uint64 {
 // Request routes one memory access from a GPC. done receives the device
 // address once the page is resident and the request has crossed the
 // interconnect.
-func (x *Xbar) Request(gpc int, homeAddr uint64, write bool, done func(devAddr uint64)) {
-	page := int(homeAddr) / x.geo.PageSize
+func (x *Xbar) Request(gpc int, homeAddr securemem.HomeAddr, write bool, done func(devAddr securemem.DevAddr)) {
+	page := homeAddr.Page(x.geo.PageSize)
 	mc := x.mapCaches[gpc%len(x.mapCaches)]
 
 	proceed := func() {
 		x.eng.After(x.latency, func() {
-			x.pc.Access(homeAddr, write, func(devAddr uint64) {
+			x.pc.Access(homeAddr, write, func(devAddr securemem.DevAddr) {
 				if write {
 					x.trackDirty(page)
 				}

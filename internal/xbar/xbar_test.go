@@ -7,19 +7,20 @@ import (
 	"github.com/salus-sim/salus/internal/cxlmem"
 	"github.com/salus-sim/salus/internal/dram"
 	"github.com/salus-sim/salus/internal/pagecache"
+	"github.com/salus-sim/salus/internal/secsim"
 	"github.com/salus-sim/salus/internal/sim"
 	"github.com/salus-sim/salus/internal/stats"
 )
 
 type passSec struct{}
 
-func (passSec) Name() string                                         { return "pass" }
-func (passSec) OnRead(h, d uint64, done func())                      { done() }
-func (passSec) OnWrite(h, d uint64, done func())                     { done() }
-func (passSec) OnMigrateIn(p, f int, done func())                    { done() }
-func (passSec) OnChunkFill(p, f, c int, done func())                 { done() }
-func (passSec) OnEvict(p, f int, dirty, present uint64, done func()) { done() }
-func (passSec) FineGrainedWriteback() bool                           { return true }
+func (passSec) Name() string                                             { return "pass" }
+func (passSec) OnRead(h secsim.HomeAddr, d secsim.DevAddr, done func())  { done() }
+func (passSec) OnWrite(h secsim.HomeAddr, d secsim.DevAddr, done func()) { done() }
+func (passSec) OnMigrateIn(p, f int, done func())                        { done() }
+func (passSec) OnChunkFill(p, f, c int, done func())                     { done() }
+func (passSec) OnEvict(p, f int, dirty, present uint64, done func())     { done() }
+func (passSec) FineGrainedWriteback() bool                               { return true }
 
 func testXbar(t *testing.T, mapEntries, dirtyEntries int) (*sim.Engine, *Xbar, *stats.Run) {
 	t.Helper()
@@ -63,9 +64,9 @@ func TestMissThenHit(t *testing.T) {
 	eng, x, run := testXbar(t, 16, 8)
 	done := 0
 	eng.At(0, func() {
-		x.Request(0, 0, false, func(uint64) {
+		x.Request(0, 0, false, func(secsim.DevAddr) {
 			done++
-			x.Request(0, 64, false, func(uint64) { done++ })
+			x.Request(0, 64, false, func(secsim.DevAddr) { done++ })
 		})
 	})
 	eng.Run(0)
@@ -88,9 +89,9 @@ func TestPerGPCCaches(t *testing.T) {
 	eng, x, run := testXbar(t, 16, 8)
 	done := 0
 	eng.At(0, func() {
-		x.Request(0, 0, false, func(uint64) {
+		x.Request(0, 0, false, func(secsim.DevAddr) {
 			// Same page from another GPC: its own cache misses.
-			x.Request(1, 0, false, func(uint64) { done++ })
+			x.Request(1, 0, false, func(secsim.DevAddr) { done++ })
 		})
 	})
 	eng.Run(0)
@@ -110,10 +111,10 @@ func TestStaleMappingRefetches(t *testing.T) {
 	visit = func(pg int) {
 		if pg >= 12 {
 			// Revisit page 0: the mapping cache entry is stale.
-			x.Request(0, 0, false, func(uint64) { done++ })
+			x.Request(0, 0, false, func(secsim.DevAddr) { done++ })
 			return
 		}
-		x.Request(0, uint64(pg*4096), false, func(uint64) { visit(pg + 1) })
+		x.Request(0, secsim.HomeAddr(pg*4096), false, func(secsim.DevAddr) { visit(pg + 1) })
 	}
 	eng.At(0, func() { visit(0) })
 	eng.Run(0)
@@ -129,9 +130,9 @@ func TestDirtyBufferAbsorbsRepeatWrites(t *testing.T) {
 	eng, x, run := testXbar(t, 16, 8)
 	done := 0
 	eng.At(0, func() {
-		x.Request(0, 0, true, func(uint64) {
+		x.Request(0, 0, true, func(secsim.DevAddr) {
 			base := run.Traffic.Bytes(stats.Device, stats.Mapping)
-			x.Request(0, 32, true, func(uint64) {
+			x.Request(0, 32, true, func(secsim.DevAddr) {
 				// Second write to the same page: buffered dirty bit, no
 				// extra mapping traffic beyond the first write's fill.
 				if got := run.Traffic.Bytes(stats.Device, stats.Mapping); got != base {
@@ -152,9 +153,9 @@ func TestDirtyBufferSpill(t *testing.T) {
 	// Write to 3 pages with a 2-entry dirty buffer: one spill writeback.
 	done := 0
 	eng.At(0, func() {
-		x.Request(0, 0, true, func(uint64) {
-			x.Request(0, 4096, true, func(uint64) {
-				x.Request(0, 8192, true, func(uint64) { done++ })
+		x.Request(0, 0, true, func(secsim.DevAddr) {
+			x.Request(0, 4096, true, func(secsim.DevAddr) {
+				x.Request(0, 8192, true, func(secsim.DevAddr) { done++ })
 			})
 		})
 	})
@@ -186,9 +187,9 @@ func TestDirectedInvalidation(t *testing.T) {
 	eng.At(0, func() {
 		// GPCs 0 and 1 both fetch page 0's mapping; GPC 0 also fetches
 		// page 1's.
-		x.Request(0, 0, false, func(uint64) {
-			x.Request(1, 0, false, func(uint64) {
-				x.Request(0, 4096, false, func(uint64) { done++ })
+		x.Request(0, 0, false, func(secsim.DevAddr) {
+			x.Request(1, 0, false, func(secsim.DevAddr) {
+				x.Request(0, 4096, false, func(secsim.DevAddr) { done++ })
 			})
 		})
 	})
@@ -219,11 +220,11 @@ func TestInvalidationForcesRemissAfterEviction(t *testing.T) {
 	eng, x, run := testXbar(t, 16, 8)
 	done := 0
 	eng.At(0, func() {
-		x.Request(0, 0, false, func(uint64) {
+		x.Request(0, 0, false, func(secsim.DevAddr) {
 			x.Invalidate(0) // page evicted: directed invalidation
 			// The next access must miss the mapping cache again.
 			missesBefore := run.Ops.MappingCacheMisses
-			x.Request(0, 0, false, func(uint64) {
+			x.Request(0, 0, false, func(secsim.DevAddr) {
 				if run.Ops.MappingCacheMisses != missesBefore+1 {
 					t.Error("access after invalidation did not miss")
 				}

@@ -48,6 +48,14 @@ const (
 // Config sizes a System.
 type Config = securemem.Config
 
+// HomeAddr is a byte address in the CXL (home) address space — the
+// permanent identity of a datum; all security metadata is keyed by it.
+type HomeAddr = securemem.HomeAddr
+
+// DevAddr is a byte address in the GPU device tier — the transient
+// physical location of a resident page.
+type DevAddr = securemem.DevAddr
+
 // System is a protected two-tier memory with transparent page migration.
 type System = securemem.System
 

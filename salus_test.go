@@ -37,7 +37,7 @@ func TestPublicErrorValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Read(sys.Size(), make([]byte, 1)); !errors.Is(err, salus.ErrOutOfRange) {
+	if err := sys.Read(salus.HomeAddr(sys.Size()), make([]byte, 1)); !errors.Is(err, salus.ErrOutOfRange) {
 		t.Errorf("out-of-range read: %v", err)
 	}
 	if err := sys.Write(0, []byte("x")); err != nil {
@@ -63,7 +63,7 @@ func TestConventionalModelViaPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	for pg := 0; pg < 16; pg++ {
-		if err := sys.Read(uint64(pg*4096), make([]byte, 32)); err != nil {
+		if err := sys.Read(salus.HomeAddr(pg*4096), make([]byte, 32)); err != nil {
 			t.Fatal(err)
 		}
 	}
