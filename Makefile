@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke ci
 
 all: build test
 
@@ -39,4 +39,10 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^FuzzReadTrace$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
 
-ci: build lint test race fuzz-smoke
+# check-smoke runs the differential model-equivalence checker under the
+# race detector with the CI budget: 25 seeds × 200 randomized ops against
+# all three protection models plus the plain oracle.
+check-smoke:
+	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200
+
+ci: build lint test race fuzz-smoke check-smoke

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCleanRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-seeds", "2", "-ops", "60", "-pages", "6", "-devpages", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("missing PASS summary: %q", out.String())
+	}
+}
+
+func TestSingleModelRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-seeds", "1", "-ops", "40", "-pages", "6", "-devpages", "2", "-model", "salus", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "clean") {
+		t.Errorf("-v produced no progress lines: %q", errOut.String())
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-model", "quantum"},
+		{"-model", ""},
+		{"-seeds", "0"},
+		{"-devpages", "9", "-pages", "3"},
+		{"-nonsense"},
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := appMain(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	if ms, err := parseModels("salus, conventional"); err != nil || len(ms) != 2 {
+		t.Errorf("parseModels(\"salus, conventional\") = %v, %v", ms, err)
+	}
+	if _, err := parseModels("bogus"); err == nil {
+		t.Error("parseModels accepted an unknown model")
+	}
+}

@@ -1,0 +1,371 @@
+// Package check is a deterministic differential and metamorphic testing
+// harness for the securemem protection models.
+//
+// A seeded PRNG generates randomized operation sequences — reads, cached
+// writes, direct CXL reads/writes, chunk checkpoints, flushes, and
+// suspend/resume cycles, skewed to force page migrations, evictions,
+// partial-sector writes, and chunk-boundary straddles, with a fraction of
+// hostile out-of-range and address-wrapping probes. Each sequence is
+// replayed against every protection model plus a plain []byte oracle, and
+// after every operation the harness asserts:
+//
+//   - plaintext equivalence: every model returns (and reads back) exactly
+//     the oracle's bytes, and hostile operations are rejected by every
+//     model without panicking;
+//   - the Salus invariants: zero relocation re-encryptions, monotone
+//     non-decreasing home major counters, idempotent Flush, and
+//     suspend/resume round-trip fidelity;
+//   - stats conservation: pages migrated in minus pages evicted equals
+//     pages resident, eviction chunk accounting sums to chunks-per-page,
+//     and every operation counter is monotone.
+//
+// On failure the sequence is shrunk (ddmin-style) to a minimal reproducer
+// that can be printed as a runnable Go regression test, so every bug the
+// checker finds lands with its own pinned test.
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/securemem"
+)
+
+// OpKind identifies one generated operation.
+type OpKind uint8
+
+// The operation vocabulary. Through-ops and checkpoints degrade gracefully
+// on models that lack the direct CXL path (see Target).
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpReadThrough
+	OpWriteThrough
+	OpCheckpoint
+	OpFlush
+	OpSuspendResume
+)
+
+// String returns the op name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpReadThrough:
+		return "read-through"
+	case OpWriteThrough:
+		return "write-through"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpFlush:
+		return "flush"
+	case OpSuspendResume:
+		return "suspend-resume"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one self-contained operation: replaying it needs no state beyond
+// the fields here, which is what makes sequences shrinkable.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Len  int  // payload length for read/write-class ops
+	Tag  byte // write payload = FillData(Tag, Len)
+}
+
+// String renders the op compactly.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpCheckpoint:
+		return fmt.Sprintf("%v addr=%#x", o.Kind, o.Addr)
+	case OpFlush, OpSuspendResume:
+		return o.Kind.String()
+	case OpWrite, OpWriteThrough:
+		return fmt.Sprintf("%v addr=%#x len=%d tag=%d", o.Kind, o.Addr, o.Len, o.Tag)
+	}
+	return fmt.Sprintf("%v addr=%#x len=%d", o.Kind, o.Addr, o.Len)
+}
+
+// Sequence is a replayable operation list tagged with the seed that
+// generated it.
+type Sequence struct {
+	Seed int64
+	Ops  []Op
+}
+
+// Config sizes a checking campaign.
+type Config struct {
+	Seeds     int   // seeds run by Run
+	Ops       int   // operations per generated sequence
+	FirstSeed int64 // Run covers [FirstSeed, FirstSeed+Seeds)
+
+	TotalPages  int // home (CXL) pages; keep small so sweeps stay fast
+	DevicePages int // device frames; << TotalPages to force eviction churn
+	Geometry    config.Geometry
+
+	// Models replayed differentially; the []byte oracle is always present.
+	Models []securemem.Model
+
+	// Verbose, when non-nil, receives per-seed progress lines.
+	Verbose func(string)
+
+	// NewTargets overrides target construction. Tests use it to aim the
+	// checker at deliberately broken implementations and prove it catches
+	// them; nil builds one securemem target per entry in Models.
+	NewTargets func(Config) ([]Target, error)
+}
+
+// DefaultConfig returns the smoke-budget configuration used by
+// `make check-smoke`: 25 seeds × 200 ops against all three models, with a
+// 12-page home space over 3 device frames so every seed sees constant
+// migration and eviction pressure.
+func DefaultConfig() Config {
+	return Config{
+		Seeds:     25,
+		Ops:       200,
+		FirstSeed: 1,
+
+		TotalPages:  12,
+		DevicePages: 3,
+		Geometry:    config.Geometry{SectorSize: 32, BlockSize: 128, ChunkSize: 256, PageSize: 4096},
+
+		Models: []securemem.Model{securemem.ModelNone, securemem.ModelConventional, securemem.ModelSalus},
+	}
+}
+
+// size returns the home address-space size in bytes.
+func (c Config) size() uint64 { return uint64(c.TotalPages) * uint64(c.Geometry.PageSize) }
+
+func (c Config) targets() ([]Target, error) {
+	if c.NewTargets != nil {
+		return c.NewTargets(c)
+	}
+	ts := make([]Target, 0, len(c.Models))
+	for _, m := range c.Models {
+		t, err := NewSystemTarget(c, m)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// Failure describes one invariant violation, pinned to the op that
+// triggered it.
+type Failure struct {
+	Seq    Sequence // the sequence that reproduces the failure
+	OpIdx  int      // failing op index; len(Seq.Ops) = final sweep, -1 = setup
+	Target string   // name of the diverging target
+	Reason string
+}
+
+// String renders the failure with its location inside the sequence.
+func (f *Failure) String() string {
+	loc := "setup"
+	switch {
+	case f.OpIdx >= 0 && f.OpIdx < len(f.Seq.Ops):
+		loc = fmt.Sprintf("op %d (%v)", f.OpIdx, f.Seq.Ops[f.OpIdx])
+	case f.OpIdx == len(f.Seq.Ops):
+		loc = "final sweep"
+	}
+	return fmt.Sprintf("seed %d, %s, target %s: %s", f.Seq.Seed, loc, f.Target, f.Reason)
+}
+
+// Result summarises a Run.
+type Result struct {
+	SeedsRun int
+	OpsRun   int
+	Failure  *Failure // nil when every seed replayed clean
+}
+
+// Run generates and replays cfg.Seeds sequences. On the first failure it
+// shrinks the sequence to a minimal reproducer and stops.
+func Run(cfg Config) Result {
+	var res Result
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.FirstSeed + int64(i)
+		seq := GenerateSequence(cfg, seed)
+		res.SeedsRun++
+		res.OpsRun += len(seq.Ops)
+		f := ReplaySequence(cfg, seq)
+		if f == nil {
+			if cfg.Verbose != nil {
+				cfg.Verbose(fmt.Sprintf("seed %d: %d ops clean", seed, len(seq.Ops)))
+			}
+			continue
+		}
+		min := Shrink(cfg, f.Seq)
+		// Re-replay the minimal sequence so the failure's location and
+		// reason describe it, not the original.
+		if mf := ReplaySequence(cfg, min); mf != nil {
+			f = mf
+		}
+		res.Failure = f
+		return res
+	}
+	return res
+}
+
+// ReplaySequence replays one sequence against freshly built targets and a
+// zeroed oracle, returning the first invariant violation or nil.
+func ReplaySequence(cfg Config, seq Sequence) *Failure {
+	targets, err := cfg.targets()
+	if err != nil {
+		return &Failure{Seq: seq, OpIdx: -1, Reason: fmt.Sprintf("target setup: %v", err)}
+	}
+	st := replayState{cfg: cfg, targets: targets, oracle: make([]byte, cfg.size())}
+	for i, op := range seq.Ops {
+		if f := st.apply(op); f != nil {
+			f.Seq, f.OpIdx = seq, i
+			return f
+		}
+	}
+	if f := st.finalSweep(); f != nil {
+		f.Seq, f.OpIdx = seq, len(seq.Ops)
+		return f
+	}
+	return nil
+}
+
+type replayState struct {
+	cfg     Config
+	targets []Target
+	oracle  []byte
+}
+
+// wantErr reports whether every target must reject the op.
+func (st *replayState) wantErr(op Op) bool {
+	size := uint64(len(st.oracle))
+	switch op.Kind {
+	case OpFlush, OpSuspendResume:
+		return false
+	case OpCheckpoint:
+		return op.Addr >= size
+	}
+	return op.Addr > size || uint64(op.Len) > size-op.Addr
+}
+
+// apply runs one op on every target, then checks equivalence against the
+// oracle and each target's internal invariants.
+func (st *replayState) apply(op Op) *Failure {
+	reject := st.wantErr(op)
+	var data []byte
+	if op.Kind == OpWrite || op.Kind == OpWriteThrough {
+		data = FillData(op.Tag, op.Len)
+	}
+
+	for _, t := range st.targets {
+		var buf []byte
+		var err error
+		switch op.Kind {
+		case OpRead:
+			buf = make([]byte, op.Len)
+			err = safely(func() error { return t.Read(op.Addr, buf) })
+		case OpReadThrough:
+			buf = make([]byte, op.Len)
+			err = safely(func() error { return t.ReadThrough(op.Addr, buf) })
+		case OpWrite:
+			err = safely(func() error { return t.Write(op.Addr, data) })
+		case OpWriteThrough:
+			err = safely(func() error { return t.WriteThrough(op.Addr, data) })
+		case OpCheckpoint:
+			err = safely(func() error { return t.Checkpoint(op.Addr) })
+		case OpFlush:
+			err = safely(t.Flush)
+		case OpSuspendResume:
+			err = safely(t.SuspendResume)
+		default:
+			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("generator produced unknown op kind %d", op.Kind)}
+		}
+
+		if pe, ok := err.(*panicError); ok {
+			return &Failure{Target: t.Name(), Reason: pe.Error()}
+		}
+		if reject && err == nil {
+			return &Failure{Target: t.Name(), Reason: "accepted an out-of-range operation"}
+		}
+		if !reject && err != nil {
+			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("rejected an in-range operation: %v", err)}
+		}
+		if !reject && (op.Kind == OpRead || op.Kind == OpReadThrough) {
+			if want := st.oracle[op.Addr : op.Addr+uint64(op.Len)]; !bytes.Equal(buf, want) {
+				return &Failure{Target: t.Name(), Reason: diffReason("read", op.Addr, buf, want)}
+			}
+		}
+	}
+
+	// Commit in-range writes to the oracle, then read them back from every
+	// target so write-class divergence surfaces on the very op that caused
+	// it, not on some later read.
+	if !reject && (op.Kind == OpWrite || op.Kind == OpWriteThrough) {
+		copy(st.oracle[op.Addr:], data)
+		if f := st.verifyRange(op.Addr, op.Len); f != nil {
+			return f
+		}
+	}
+
+	for _, t := range st.targets {
+		if err := safely(t.CheckInvariants); err != nil {
+			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("invariant: %v", err)}
+		}
+	}
+	return nil
+}
+
+// verifyRange reads [addr, addr+n) back from every target and compares it
+// with the oracle, using each target's least-intrusive read path.
+func (st *replayState) verifyRange(addr uint64, n int) *Failure {
+	want := st.oracle[addr : addr+uint64(n)]
+	for _, t := range st.targets {
+		buf := make([]byte, n)
+		if err := safely(func() error { return t.VerifyRead(addr, buf) }); err != nil {
+			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("verify read at %#x: %v", addr, err)}
+		}
+		if !bytes.Equal(buf, want) {
+			return &Failure{Target: t.Name(), Reason: diffReason("verify read", addr, buf, want)}
+		}
+	}
+	return nil
+}
+
+// finalSweep compares every byte of every target against the oracle.
+func (st *replayState) finalSweep() *Failure {
+	stride := st.cfg.Geometry.ChunkSize
+	for addr := uint64(0); addr < uint64(len(st.oracle)); addr += uint64(stride) {
+		if f := st.verifyRange(addr, stride); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// diffReason renders a plaintext divergence with the first differing byte.
+func diffReason(what string, addr uint64, got, want []byte) string {
+	i := 0
+	for i < len(got) && got[i] == want[i] {
+		i++
+	}
+	return fmt.Sprintf("%s at %#x diverged from oracle at byte %d: got %#x want %#x",
+		what, addr, i, got[i], want[i])
+}
+
+// panicError marks a recovered panic. A panic is always a failure, even
+// where an error return was expected.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// safely runs f, converting a panic into a *panicError.
+func safely(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r}
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,106 @@
+package check
+
+import "math/rand"
+
+// FillData returns the deterministic payload for a write op: a function of
+// (tag, length) only, so a shrunk sequence printed as a regression test
+// reproduces its payloads without embedding them.
+func FillData(tag byte, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(uint32(tag)*131 + uint32(i)*29 + 7)
+	}
+	return d
+}
+
+// GenerateSequence produces the deterministic operation sequence for one
+// seed. The distribution is deliberately skewed: addresses favour chunk
+// boundaries (straddles), lengths favour partial and multi-sector spans,
+// the device tier is far smaller than the footprint so migrations and
+// evictions are constant, and a slice of ops are hostile out-of-range or
+// address-wrapping probes that every model must reject identically.
+func GenerateSequence(cfg Config, seed int64) Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	g := cfg.Geometry
+	size := cfg.size()
+
+	genAddr := func() uint64 {
+		page := rng.Intn(cfg.TotalPages)
+		var off int
+		switch rng.Intn(4) {
+		case 0: // a few bytes before a chunk boundary: forces a straddle
+			c := 1 + rng.Intn(g.ChunksPerPage()-1)
+			off = c*g.ChunkSize - (1 + rng.Intn(4))
+		case 1: // sector-aligned
+			off = rng.Intn(g.SectorsPerPage()) * g.SectorSize
+		case 2: // chunk-aligned
+			off = rng.Intn(g.ChunksPerPage()) * g.ChunkSize
+		default:
+			off = rng.Intn(g.PageSize)
+		}
+		return uint64(page*g.PageSize + off)
+	}
+	genLen := func() int {
+		switch rng.Intn(8) {
+		case 0:
+			if rng.Intn(8) == 0 {
+				return 0
+			}
+			return 1 + rng.Intn(4)
+		case 1:
+			return g.SectorSize // exactly one sector
+		case 2:
+			return g.SectorSize + 1 // sector straddle
+		case 3:
+			return 2*g.SectorSize + 3 // multi-sector straddle
+		case 4:
+			return g.ChunkSize/2 + rng.Intn(g.ChunkSize) // can straddle chunks
+		default:
+			return 1 + rng.Intn(2*g.SectorSize)
+		}
+	}
+	hostile := func() (uint64, int) {
+		switch rng.Intn(4) {
+		case 0: // past the end
+			return size + uint64(rng.Intn(1024)), 1 + rng.Intn(64)
+		case 1: // addr+len wraps around 2^64 — the classic bounds-check trap
+			return ^uint64(0) - uint64(rng.Intn(64)), 1 + rng.Intn(96)
+		case 2: // in-range addr, range crosses the end
+			return size - uint64(1+rng.Intn(32)), 33 + rng.Intn(64)
+		default: // in-range addr, absurd length
+			return uint64(rng.Intn(int(size))), int(size) + rng.Intn(256)
+		}
+	}
+
+	ops := make([]Op, 0, cfg.Ops)
+	var tag byte
+	for i := 0; i < cfg.Ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 26: // cached read (migrates)
+			ops = append(ops, Op{Kind: OpRead, Addr: genAddr(), Len: genLen()})
+		case r < 56: // cached write (migrates, dirties)
+			tag++
+			ops = append(ops, Op{Kind: OpWrite, Addr: genAddr(), Len: genLen(), Tag: tag})
+		case r < 64: // direct CXL read
+			ops = append(ops, Op{Kind: OpReadThrough, Addr: genAddr(), Len: genLen()})
+		case r < 74: // direct CXL write (split counters)
+			tag++
+			ops = append(ops, Op{Kind: OpWriteThrough, Addr: genAddr(), Len: genLen(), Tag: tag})
+		case r < 80:
+			ops = append(ops, Op{Kind: OpCheckpoint, Addr: genAddr()})
+		case r < 85:
+			ops = append(ops, Op{Kind: OpFlush})
+		case r < 87:
+			ops = append(ops, Op{Kind: OpSuspendResume})
+		default: // hostile probes (~13%)
+			addr, n := hostile()
+			if rng.Intn(2) == 0 {
+				ops = append(ops, Op{Kind: OpRead, Addr: addr, Len: n})
+			} else {
+				tag++
+				ops = append(ops, Op{Kind: OpWrite, Addr: addr, Len: n, Tag: tag})
+			}
+		}
+	}
+	return Sequence{Seed: seed, Ops: ops}
+}

@@ -1,0 +1,52 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// kindIdent maps op kinds to their exported identifiers for emitted code.
+var kindIdent = map[OpKind]string{
+	OpRead:          "check.OpRead",
+	OpWrite:         "check.OpWrite",
+	OpReadThrough:   "check.OpReadThrough",
+	OpWriteThrough:  "check.OpWriteThrough",
+	OpCheckpoint:    "check.OpCheckpoint",
+	OpFlush:         "check.OpFlush",
+	OpSuspendResume: "check.OpSuspendResume",
+}
+
+// GoTest renders the failure's (shrunk) sequence as a runnable Go
+// regression test asserting the sequence replays cleanly under cfg's
+// sizing. It is meant to be committed next to the fix: paste it into a
+// _test.go file in any package that can import internal/check. name
+// becomes part of the test function name and must be a valid identifier
+// suffix.
+func (f *Failure) GoTest(cfg Config, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Regression test emitted by the salus-check shrinker.\n")
+	fmt.Fprintf(&b, "// Original failure: %s\n", f)
+	fmt.Fprintf(&b, "func TestCheckRegression_%s(t *testing.T) {\n", name)
+	b.WriteString("\tcfg := check.DefaultConfig()\n")
+	fmt.Fprintf(&b, "\tcfg.TotalPages = %d\n", cfg.TotalPages)
+	fmt.Fprintf(&b, "\tcfg.DevicePages = %d\n", cfg.DevicePages)
+	fmt.Fprintf(&b, "\tseq := check.Sequence{Seed: %d, Ops: []check.Op{\n", f.Seq.Seed)
+	for _, op := range f.Seq.Ops {
+		switch op.Kind {
+		case OpFlush, OpSuspendResume:
+			fmt.Fprintf(&b, "\t\t{Kind: %s},\n", kindIdent[op.Kind])
+		case OpCheckpoint:
+			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x},\n", kindIdent[op.Kind], op.Addr)
+		case OpWrite, OpWriteThrough:
+			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x, Len: %d, Tag: %d},\n", kindIdent[op.Kind], op.Addr, op.Len, op.Tag)
+		default:
+			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x, Len: %d},\n", kindIdent[op.Kind], op.Addr, op.Len)
+		}
+	}
+	b.WriteString("\t}}\n")
+	b.WriteString("\tif f := check.ReplaySequence(cfg, seq); f != nil {\n")
+	b.WriteString("\t\tt.Fatalf(\"regression reproduced: %v\", f)\n")
+	b.WriteString("\t}\n")
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package check
+
+// Shrink reduces a failing sequence to a (locally) minimal reproducer:
+// first it truncates everything after the failing op, then it runs a
+// ddmin-style pass, removing op windows of halving size as long as the
+// reduced sequence still fails. Ops are self-contained (address, length,
+// payload tag), so removing any subset leaves a replayable sequence.
+//
+// Replay is deterministic, so the result is reproducible: replaying the
+// returned sequence fails with the same class of violation.
+func Shrink(cfg Config, seq Sequence) Sequence {
+	fails := func(ops []Op) *Failure {
+		return ReplaySequence(cfg, Sequence{Seed: seq.Seed, Ops: ops})
+	}
+
+	ops := append([]Op(nil), seq.Ops...)
+	f := fails(ops)
+	if f == nil {
+		// Not reproducible from a fresh replay (should not happen with
+		// deterministic targets); return the input unshrunk.
+		return seq
+	}
+	// Drop the suffix the failure never reached.
+	if f.OpIdx >= 0 && f.OpIdx+1 < len(ops) {
+		if trunc := ops[:f.OpIdx+1]; fails(trunc) != nil {
+			ops = trunc
+		}
+	}
+	// Remove windows of halving size while the failure reproduces.
+	for sz := len(ops) / 2; sz >= 1; sz /= 2 {
+		for i := 0; i+sz <= len(ops); {
+			cand := make([]Op, 0, len(ops)-sz)
+			cand = append(cand, ops[:i]...)
+			cand = append(cand, ops[i+sz:]...)
+			if fails(cand) != nil {
+				ops = cand
+			} else {
+				i += sz
+			}
+		}
+	}
+	return Sequence{Seed: seq.Seed, Ops: ops}
+}

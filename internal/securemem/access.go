@@ -7,7 +7,9 @@ import "fmt"
 // integrity and freshness. It returns ErrIntegrity/ErrFreshness when an
 // attack is detected.
 func (s *System) Read(addr HomeAddr, buf []byte) error {
-	if uint64(addr)+uint64(len(buf)) > s.Size() {
+	// Overflow-safe bounds check: addr+len can wrap for addresses near
+	// 2^64, so never compute the sum.
+	if uint64(addr) > s.Size() || uint64(len(buf)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
 	s.stats.Reads++
@@ -33,7 +35,7 @@ func (s *System) Read(addr HomeAddr, buf []byte) error {
 // Write stores data at addr with read-modify-write at sector granularity.
 // Each written sector gets a fresh counter, new ciphertext, and a new MAC.
 func (s *System) Write(addr HomeAddr, data []byte) error {
-	if uint64(addr)+uint64(len(data)) > s.Size() {
+	if uint64(addr) > s.Size() || uint64(len(data)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
 	s.stats.Writes++

@@ -1,0 +1,67 @@
+package securemem
+
+import (
+	"errors"
+	"testing"
+)
+
+// Regression tests for the overflow-prone bounds checks: the old form
+// `uint64(addr)+uint64(len) > Size()` wraps for addresses near 2^64, so an
+// out-of-range access passed the check and panicked later when the address
+// was used as a slice index. Every entry point must reject such addresses
+// with ErrOutOfRange instead.
+
+func TestBoundsCheckOverflowRejected(t *testing.T) {
+	hostile := []struct {
+		name string
+		addr HomeAddr
+		n    int
+	}{
+		{"max-addr", HomeAddr(^uint64(0)), 1},
+		{"wraps-to-small", HomeAddr(^uint64(0) - 7), 16},
+		{"wraps-to-zero", HomeAddr(^uint64(0) - 15), 16},
+		{"just-past-end", 0, 0}, // addr filled in per system below
+	}
+	for _, m := range allModels {
+		s := newSys(t, m, 2, 1)
+		hostile[3].addr = HomeAddr(s.Size() - 1)
+		hostile[3].n = 2
+		for _, h := range hostile {
+			if err := s.Read(h.addr, make([]byte, h.n)); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("%v: Read(%s) = %v, want ErrOutOfRange", m, h.name, err)
+			}
+			if err := s.Write(h.addr, make([]byte, h.n)); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("%v: Write(%s) = %v, want ErrOutOfRange", m, h.name, err)
+			}
+			if m == ModelSalus {
+				if err := s.ReadThrough(h.addr, make([]byte, h.n)); !errors.Is(err, ErrOutOfRange) {
+					t.Errorf("ReadThrough(%s) = %v, want ErrOutOfRange", h.name, err)
+				}
+				if err := s.WriteThrough(h.addr, make([]byte, h.n)); !errors.Is(err, ErrOutOfRange) {
+					t.Errorf("WriteThrough(%s) = %v, want ErrOutOfRange", h.name, err)
+				}
+			}
+		}
+		if got := s.RawHomeBytes(HomeAddr(^uint64(0)-7), 16); got != nil {
+			t.Errorf("%v: RawHomeBytes with wrapping range = %v, want nil", m, got)
+		}
+	}
+}
+
+func TestBoundsZeroLengthAtEnd(t *testing.T) {
+	// A zero-length access exactly at Size() is a no-op, not an error, and
+	// must not panic under the rewritten checks.
+	for _, m := range allModels {
+		s := newSys(t, m, 2, 1)
+		end := HomeAddr(s.Size())
+		if err := s.Read(end, nil); err != nil {
+			t.Errorf("%v: zero-length read at end: %v", m, err)
+		}
+		if err := s.Write(end, nil); err != nil {
+			t.Errorf("%v: zero-length write at end: %v", m, err)
+		}
+		if err := s.Read(end+1, nil); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("%v: zero-length read past end = %v, want ErrOutOfRange", m, err)
+		}
+	}
+}

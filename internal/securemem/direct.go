@@ -66,7 +66,7 @@ func (s *System) WriteThrough(addr HomeAddr, data []byte) error {
 	if s.cfg.Model != ModelSalus {
 		return fmt.Errorf("securemem: WriteThrough requires ModelSalus, have %v", s.cfg.Model)
 	}
-	if uint64(addr)+uint64(len(data)) > s.Size() {
+	if uint64(addr) > s.Size() || uint64(len(data)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
 	if s.IsResident(addr) || (len(data) > 0 && s.IsResident(addr+HomeAddr(len(data))-1)) {
@@ -106,7 +106,7 @@ func (s *System) ReadThrough(addr HomeAddr, buf []byte) error {
 	if s.cfg.Model != ModelSalus {
 		return fmt.Errorf("securemem: ReadThrough requires ModelSalus, have %v", s.cfg.Model)
 	}
-	if uint64(addr)+uint64(len(buf)) > s.Size() {
+	if uint64(addr) > s.Size() || uint64(len(buf)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
 	if s.IsResident(addr) || (len(buf) > 0 && s.IsResident(addr+HomeAddr(len(buf))-1)) {

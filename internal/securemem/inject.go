@@ -12,7 +12,7 @@ import "github.com/salus-sim/salus/internal/security/counters"
 // (ciphertext under the secure models). An attacker snooping the bus sees
 // exactly this.
 func (s *System) RawHomeBytes(addr HomeAddr, n int) []byte {
-	if uint64(addr)+uint64(n) > s.Size() {
+	if n < 0 || uint64(addr) > s.Size() || uint64(n) > s.Size()-uint64(addr) {
 		return nil
 	}
 	out := make([]byte, n)

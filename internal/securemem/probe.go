@@ -1,0 +1,37 @@
+package securemem
+
+import "github.com/salus-sim/salus/internal/security/counters"
+
+// Observation hooks for the differential checker (internal/check). They
+// expose read-only views of internal metadata so invariants like counter
+// monotonicity can be asserted from outside the package without widening
+// the operational API.
+
+// CounterMajors returns a copy of the home-indexed major counters of the
+// active model: one entry per home chunk under ModelSalus (the collapsed
+// majors), one per home counter sector under ModelConventional, nil under
+// ModelNone.
+//
+// Outside of an explicit ReKey (which resets all counters under fresh
+// keys), every entry is non-decreasing over the life of the system — the
+// property the checker asserts after every operation. Collapse on
+// eviction, split-minor overflow, and device-minor overflow may only ever
+// increment a major.
+func (s *System) CounterMajors() []uint64 {
+	switch s.cfg.Model {
+	case ModelSalus:
+		homeChunks := s.cfg.TotalPages * s.geo.ChunksPerPage()
+		out := make([]uint64, homeChunks)
+		for c := 0; c < homeChunks; c++ {
+			out[c] = uint64(s.collapsed[c/counters.CollapsedMajors].Majors[c%counters.CollapsedMajors])
+		}
+		return out
+	case ModelConventional:
+		out := make([]uint64, len(s.convCXLCtrs))
+		for i := range s.convCXLCtrs {
+			out[i] = s.convCXLCtrs[i].Major
+		}
+		return out
+	}
+	return nil
+}

@@ -44,10 +44,14 @@ func NewServer(eng *Engine, num, den uint64, latency Cycle) *Server {
 func (s *Server) Submit(units uint64, done func()) Cycle {
 	now := s.eng.Now()
 	if s.freeAt < now {
+		// The server went idle. The residue — fractional service already
+		// submitted but not yet billed a whole cycle — carries over to the
+		// next busy period, so busyCycles converges to the exact rational
+		// total instead of silently dropping up to (den-1)/den cycles per
+		// idle gap.
 		s.freeAt = now
-		s.residue = 0
 	}
-	// service = ceil((units*num + residue) / den)
+	// service = floor((units*num + residue) / den), remainder carried.
 	total := units*s.num + s.residue
 	service := total / s.den
 	s.residue = total % s.den

@@ -232,3 +232,42 @@ func TestServerBandwidthConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestServerResidueBilledAcrossIdleGaps(t *testing.T) {
+	// A 1/16-rate server (16 units per cycle) receiving one unit per
+	// submission with idle gaps in between: each submission's fractional
+	// service used to be discarded when the server went idle, leaving
+	// busyCycles at zero forever. With the residue carried across idle
+	// periods, 32 single-unit submissions bill exactly 32/16 = 2 cycles.
+	e := NewEngine()
+	s := NewServer(e, 1, 16, 0)
+	for i := 0; i < 32; i++ {
+		e.At(Cycle(i*100), func() { s.Submit(1, nil) })
+	}
+	e.Run(0)
+	if got := s.BusyCycles(); got != 2 {
+		t.Errorf("BusyCycles = %d, want 2", got)
+	}
+	if got := s.UnitsServed(); got != 32 {
+		t.Errorf("UnitsServed = %d, want 32", got)
+	}
+}
+
+func TestServerResidueConservationAcrossIdle(t *testing.T) {
+	// Property form: for any submission pattern with arbitrary idle gaps,
+	// total busy cycles equal floor(total_units * num / den).
+	e := NewEngine()
+	s := NewServer(e, 3, 7, 5)
+	var total uint64
+	when := Cycle(0)
+	for i := 0; i < 50; i++ {
+		u := uint64(i%5 + 1)
+		total += u
+		e.At(when, func() { s.Submit(u, nil) })
+		when += Cycle(i%40 + 1) // mixes back-to-back and long-idle submissions
+	}
+	e.Run(0)
+	if want := Cycle(total * 3 / 7); s.BusyCycles() != want {
+		t.Errorf("BusyCycles = %d, want %d (total units %d)", s.BusyCycles(), want, total)
+	}
+}

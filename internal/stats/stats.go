@@ -206,15 +206,23 @@ type Table struct {
 // AddRow appends a row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may be ragged —
+// shorter or longer than the header — and empty; extra columns render
+// under an empty header cell rather than panicking.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -244,7 +252,13 @@ func (t *Table) String() string {
 }
 
 // SortRowsByFirstColumn orders rows lexicographically by their first cell,
-// keeping output stable across map iteration order.
+// keeping output stable across map iteration order. Empty rows sort first.
 func (t *Table) SortRowsByFirstColumn() {
-	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+	key := func(row []string) string {
+		if len(row) == 0 {
+			return ""
+		}
+		return row[0]
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool { return key(t.Rows[i]) < key(t.Rows[j]) })
 }

@@ -106,3 +106,34 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("rule line = %q", lines[1])
 	}
 }
+
+func TestTableToleratesEmptyAndRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("zeta", "1")
+	tb.AddRow()                              // empty row
+	tb.AddRow("alpha", "2", "extra", "wide") // wider than the header
+	tb.AddRow("mid")                         // narrower than the header
+
+	tb.SortRowsByFirstColumn() // must not panic on the empty row
+	if len(tb.Rows[0]) != 0 {
+		t.Errorf("empty row should sort first, got %v", tb.Rows[0])
+	}
+	if tb.Rows[1][0] != "alpha" || tb.Rows[3][0] != "zeta" {
+		t.Errorf("rows not sorted: %v", tb.Rows)
+	}
+
+	out := tb.String() // must not panic on ragged rows
+	for _, want := range []string{"name", "alpha", "extra", "wide", "mid", "zeta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := &Table{}
+	tb.SortRowsByFirstColumn()
+	if out := tb.String(); out == "" {
+		t.Error("empty table should still render the separator line")
+	}
+}
