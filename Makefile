@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke ci
 
 all: build test
 
@@ -45,4 +45,12 @@ fuzz-smoke:
 check-smoke:
 	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200
 
-ci: build lint test race fuzz-smoke check-smoke
+# chaos-smoke replays the same budget with fault injection armed, under
+# both plans: recoverable (transient link faults must leave plaintext
+# byte-identical) and unrecoverable (every media error must surface as a
+# typed error or quarantine — never a silent divergence).
+chaos-smoke:
+	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200 -chaos recoverable
+	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200 -chaos unrecoverable
+
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke

@@ -9,6 +9,13 @@
 //	salus-check -seeds 100 -ops 500      # a deeper campaign
 //	salus-check -seed 42 -seeds 1 -v     # replay one seed, with progress
 //	salus-check -model salus             # restrict the model set
+//	salus-check -chaos recoverable       # inject transient link faults
+//	salus-check -chaos unrecoverable     # also inject uncorrectable media errors
+//
+// Chaos mode arms every model with a deterministic fault injector. Under a
+// recoverable plan the replay still demands byte-identical plaintext; under
+// an unrecoverable plan every fault must surface as a typed error or
+// quarantine — a silent divergence fails the run either way.
 //
 // On a violation it exits non-zero, printing the shrunk minimal reproducer
 // both as an op listing and as a ready-to-commit Go regression test.
@@ -62,6 +69,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	model := flag.String("model", "none,conventional,salus", "comma-separated models to check differentially")
 	pages := flag.Int("pages", def.TotalPages, "home (CXL) pages in the checked address space")
 	devPages := flag.Int("devpages", def.DevicePages, "device frames (< pages forces eviction churn)")
+	chaos := flag.String("chaos", "", "fault plan: recoverable (transient link faults) or unrecoverable (plus media errors)")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	if err := flag.Parse(args); err != nil {
 		return 2
@@ -92,6 +100,27 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		cfg.Verbose = func(s string) { fmt.Fprintln(stderr, s) }
 	}
 
+	var faults securemem.OpStats
+	switch *chaos {
+	case "":
+	case "recoverable", "unrecoverable":
+		cfg = check.ChaosConfig(cfg, *chaos == "unrecoverable")
+		cfg.Fault.Sink = func(_ string, st securemem.OpStats) {
+			faults.TransientFaults += st.TransientFaults
+			faults.PoisonFaults += st.PoisonFaults
+			faults.StuckBitFaults += st.StuckBitFaults
+			faults.Retries += st.Retries
+			faults.RetryBackoffCycles += st.RetryBackoffCycles
+			faults.TransparentRecoveries += st.TransparentRecoveries
+			faults.FramesQuarantined += st.FramesQuarantined
+			faults.ChunksPoisoned += st.ChunksPoisoned
+			faults.PagesPinned += st.PagesPinned
+		}
+	default:
+		fmt.Fprintf(stderr, "salus-check: -chaos must be empty, recoverable, or unrecoverable (got %q)\n", *chaos)
+		return 2
+	}
+
 	res := check.Run(cfg)
 	if f := res.Failure; f != nil {
 		fmt.Fprintf(stdout, "salus-check: FAIL: %s\n\n", f)
@@ -104,5 +133,11 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "salus-check: PASS: %d seeds, %d ops, %d models, no divergence\n",
 		res.SeedsRun, res.OpsRun, len(models))
+	if *chaos != "" {
+		fmt.Fprintf(stdout, "salus-check: chaos (%s): %d transient (%d retries, %d backoff cycles), %d poison, %d stuck-bit; recovered %d, quarantined %d frames / %d chunks, pinned %d pages\n",
+			*chaos, faults.TransientFaults, faults.Retries, faults.RetryBackoffCycles,
+			faults.PoisonFaults, faults.StuckBitFaults, faults.TransparentRecoveries,
+			faults.FramesQuarantined, faults.ChunksPoisoned, faults.PagesPinned)
+	}
 	return 0
 }

@@ -75,10 +75,11 @@ func ExampleSystem_CorruptHome() {
 	if err := sys.Flush(); err != nil {
 		log.Fatal(err)
 	}
-	sys.CorruptHome(0)
+	fmt.Println(sys.CorruptHome(0))
 	err = sys.Read(0, make([]byte, 1))
 	fmt.Println(err != nil)
 	// Output:
+	// true
 	// true
 }
 

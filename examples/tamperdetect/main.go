@@ -37,7 +37,9 @@ func main() {
 	fmt.Printf("  attacker sees ciphertext only: %x...\n\n", raw[:16])
 
 	fmt.Println("attack 2 — spoofing (flip a bit of stored data)")
-	sys.CorruptHome(0)
+	if !sys.CorruptHome(0) {
+		log.Fatal("FAILED: corruption target out of range")
+	}
 	err = sys.Read(0, make([]byte, 32))
 	if !errors.Is(err, salus.ErrIntegrity) {
 		log.Fatalf("FAILED: spoofing not detected (err=%v)", err)

@@ -25,7 +25,6 @@
 package check
 
 import (
-	"bytes"
 	"fmt"
 
 	"github.com/salus-sim/salus/internal/config"
@@ -117,6 +116,15 @@ type Config struct {
 	// checker at deliberately broken implementations and prove it catches
 	// them; nil builds one securemem target per entry in Models.
 	NewTargets func(Config) ([]Target, error)
+
+	// Fault, when non-nil, enables chaos mode: every securemem target is
+	// armed with a deterministic fault injector and the replay asserts
+	// the recovery contract (see FaultPlan).
+	Fault *FaultPlan
+
+	// faultSeed is the seed handed to Fault.New; ReplaySequence sets it
+	// from the sequence being replayed so reproducers are deterministic.
+	faultSeed int64
 }
 
 // DefaultConfig returns the smoke-budget configuration used by
@@ -214,11 +222,18 @@ func Run(cfg Config) Result {
 // ReplaySequence replays one sequence against freshly built targets and a
 // zeroed oracle, returning the first invariant violation or nil.
 func ReplaySequence(cfg Config, seq Sequence) *Failure {
+	cfg.faultSeed = seq.Seed
 	targets, err := cfg.targets()
 	if err != nil {
 		return &Failure{Seq: seq, OpIdx: -1, Reason: fmt.Sprintf("target setup: %v", err)}
 	}
 	st := replayState{cfg: cfg, targets: targets, oracle: make([]byte, cfg.size())}
+	if cfg.Fault != nil && cfg.Fault.Unrecoverable {
+		st.taint = make([][]bool, len(targets))
+		for i := range st.taint {
+			st.taint[i] = make([]bool, cfg.size())
+		}
+	}
 	for i, op := range seq.Ops {
 		if f := st.apply(op); f != nil {
 			f.Seq, f.OpIdx = seq, i
@@ -229,6 +244,13 @@ func ReplaySequence(cfg Config, seq Sequence) *Failure {
 		f.Seq, f.OpIdx = seq, len(seq.Ops)
 		return f
 	}
+	if cfg.Fault != nil && cfg.Fault.Sink != nil {
+		for _, t := range targets {
+			if r, ok := t.(faultStateReporter); ok {
+				cfg.Fault.Sink(t.Name(), r.FaultStats())
+			}
+		}
+	}
 	return nil
 }
 
@@ -236,6 +258,37 @@ type replayState struct {
 	cfg     Config
 	targets []Target
 	oracle  []byte
+	// taint marks, per target, bytes a fault-failed write may have left
+	// half-applied; they are excluded from oracle comparison until a
+	// later successful write covers them. Nil outside unrecoverable
+	// chaos mode.
+	taint [][]bool
+}
+
+// setTaint marks or clears [addr, addr+n) in target ti's taint map.
+func (st *replayState) setTaint(ti int, addr uint64, n int, v bool) {
+	if st.taint == nil {
+		return
+	}
+	row := st.taint[ti]
+	for i := uint64(0); i < uint64(n); i++ {
+		row[addr+i] = v
+	}
+}
+
+// mismatch returns the first index where got differs from want outside
+// target ti's tainted bytes, or -1 when they agree.
+func (st *replayState) mismatch(ti int, addr uint64, got, want []byte) int {
+	for i := range got {
+		if got[i] == want[i] {
+			continue
+		}
+		if st.taint != nil && st.taint[ti][addr+uint64(i)] {
+			continue
+		}
+		return i
+	}
+	return -1
 }
 
 // wantErr reports whether every target must reject the op.
@@ -254,12 +307,14 @@ func (st *replayState) wantErr(op Op) bool {
 // oracle and each target's internal invariants.
 func (st *replayState) apply(op Op) *Failure {
 	reject := st.wantErr(op)
+	unrec := st.cfg.Fault != nil && st.cfg.Fault.Unrecoverable
+	write := op.Kind == OpWrite || op.Kind == OpWriteThrough
 	var data []byte
-	if op.Kind == OpWrite || op.Kind == OpWriteThrough {
+	if write {
 		data = FillData(op.Tag, op.Len)
 	}
 
-	for _, t := range st.targets {
+	for ti, t := range st.targets {
 		var buf []byte
 		var err error
 		switch op.Kind {
@@ -290,19 +345,41 @@ func (st *replayState) apply(op Op) *Failure {
 			return &Failure{Target: t.Name(), Reason: "accepted an out-of-range operation"}
 		}
 		if !reject && err != nil {
-			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("rejected an in-range operation: %v", err)}
+			if !unrec {
+				return &Failure{Target: t.Name(), Reason: fmt.Sprintf("rejected an in-range operation: %v", err)}
+			}
+			if !faultErr(err) {
+				return &Failure{Target: t.Name(), Reason: fmt.Sprintf("in-range operation failed with a non-fault error: %v", err)}
+			}
+			// A typed fault surfaced — the unrecoverable-plan contract. A
+			// failed write may have landed partially; taint its range so
+			// later compares skip those bytes until a write succeeds.
+			if write {
+				st.setTaint(ti, op.Addr, op.Len, true)
+			}
+			continue
+		}
+		if !reject && write {
+			st.setTaint(ti, op.Addr, op.Len, false)
 		}
 		if !reject && (op.Kind == OpRead || op.Kind == OpReadThrough) {
-			if want := st.oracle[op.Addr : op.Addr+uint64(op.Len)]; !bytes.Equal(buf, want) {
-				return &Failure{Target: t.Name(), Reason: diffReason("read", op.Addr, buf, want)}
+			if unrec && op.Len > 0 {
+				if r, ok := t.(faultStateReporter); ok && r.PoisonedRange(op.Addr, op.Len) {
+					return &Failure{Target: t.Name(), Reason: fmt.Sprintf("read at %#x served bytes from a quarantined range", op.Addr)}
+				}
+			}
+			want := st.oracle[op.Addr : op.Addr+uint64(op.Len)]
+			if i := st.mismatch(ti, op.Addr, buf, want); i >= 0 {
+				return &Failure{Target: t.Name(), Reason: diffReason("read", op.Addr, i, buf, want)}
 			}
 		}
 	}
 
 	// Commit in-range writes to the oracle, then read them back from every
 	// target so write-class divergence surfaces on the very op that caused
-	// it, not on some later read.
-	if !reject && (op.Kind == OpWrite || op.Kind == OpWriteThrough) {
+	// it, not on some later read. Targets whose write failed under an
+	// unrecoverable fault plan carry taint instead of the new bytes.
+	if !reject && write {
 		copy(st.oracle[op.Addr:], data)
 		if f := st.verifyRange(op.Addr, op.Len); f != nil {
 			return f
@@ -320,14 +397,26 @@ func (st *replayState) apply(op Op) *Failure {
 // verifyRange reads [addr, addr+n) back from every target and compares it
 // with the oracle, using each target's least-intrusive read path.
 func (st *replayState) verifyRange(addr uint64, n int) *Failure {
+	unrec := st.cfg.Fault != nil && st.cfg.Fault.Unrecoverable
 	want := st.oracle[addr : addr+uint64(n)]
-	for _, t := range st.targets {
+	for ti, t := range st.targets {
 		buf := make([]byte, n)
 		if err := safely(func() error { return t.VerifyRead(addr, buf) }); err != nil {
+			if unrec && faultErr(err) {
+				// The range is unreadable because the declared fault plan
+				// poisoned it (or exhausted the retry budget). Surfacing
+				// a typed error is the contract; nothing to compare.
+				continue
+			}
 			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("verify read at %#x: %v", addr, err)}
 		}
-		if !bytes.Equal(buf, want) {
-			return &Failure{Target: t.Name(), Reason: diffReason("verify read", addr, buf, want)}
+		if unrec && n > 0 {
+			if r, ok := t.(faultStateReporter); ok && r.PoisonedRange(addr, n) {
+				return &Failure{Target: t.Name(), Reason: fmt.Sprintf("verify read at %#x served bytes from a quarantined range", addr)}
+			}
+		}
+		if i := st.mismatch(ti, addr, buf, want); i >= 0 {
+			return &Failure{Target: t.Name(), Reason: diffReason("verify read", addr, i, buf, want)}
 		}
 	}
 	return nil
@@ -344,12 +433,8 @@ func (st *replayState) finalSweep() *Failure {
 	return nil
 }
 
-// diffReason renders a plaintext divergence with the first differing byte.
-func diffReason(what string, addr uint64, got, want []byte) string {
-	i := 0
-	for i < len(got) && got[i] == want[i] {
-		i++
-	}
+// diffReason renders a plaintext divergence at the given byte index.
+func diffReason(what string, addr uint64, i int, got, want []byte) string {
 	return fmt.Sprintf("%s at %#x diverged from oracle at byte %d: got %#x want %#x",
 		what, addr, i, got[i], want[i])
 }

@@ -30,6 +30,12 @@ func (f *Failure) GoTest(cfg Config, name string) string {
 	b.WriteString("\tcfg := check.DefaultConfig()\n")
 	fmt.Fprintf(&b, "\tcfg.TotalPages = %d\n", cfg.TotalPages)
 	fmt.Fprintf(&b, "\tcfg.DevicePages = %d\n", cfg.DevicePages)
+	if cfg.Fault != nil {
+		// Re-arm the standard chaos plan. A custom FaultPlan cannot be
+		// rendered as source; the emitted reproducer approximates it with
+		// ChaosConfig at the same recoverability level.
+		fmt.Fprintf(&b, "\tcfg = check.ChaosConfig(cfg, %v)\n", cfg.Fault.Unrecoverable)
+	}
 	fmt.Fprintf(&b, "\tseq := check.Sequence{Seed: %d, Ops: []check.Op{\n", f.Seq.Seed)
 	for _, op := range f.Seq.Ops {
 		switch op.Kind {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"reflect"
 
+	"github.com/salus-sim/salus/internal/fault"
 	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/sim"
 )
 
 // Target is the operation surface the checker drives. The production
@@ -44,9 +46,15 @@ type systemTarget struct {
 	sys    *securemem.System
 	prev   securemem.OpStats
 	majors []uint64
+
+	// Chaos-mode state: the injector and clock outlive a SuspendResume so
+	// the fault schedule continues deterministically across the swap.
+	inj   fault.Injector
+	clock *sim.Engine
 }
 
-// NewSystemTarget builds a securemem-backed target for one model.
+// NewSystemTarget builds a securemem-backed target for one model,
+// fault-armed when cfg carries a FaultPlan.
 func NewSystemTarget(cfg Config, model securemem.Model) (Target, error) {
 	sys, err := securemem.New(securemem.Config{
 		Geometry:    cfg.Geometry,
@@ -57,7 +65,13 @@ func NewSystemTarget(cfg Config, model securemem.Model) (Target, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &systemTarget{cfg: cfg, model: model, sys: sys, majors: sys.CounterMajors()}, nil
+	t := &systemTarget{cfg: cfg, model: model, sys: sys, majors: sys.CounterMajors()}
+	if cfg.Fault != nil {
+		t.inj = cfg.Fault.New(cfg.faultSeed)
+		t.clock = sim.NewEngine()
+		sys.AttachFaults(t.inj, cfg.Fault.Policy, t.clock)
+	}
+	return t, nil
 }
 
 func (t *systemTarget) Name() string { return t.model.String() }
@@ -155,12 +169,25 @@ func (t *systemTarget) SuspendResume() error {
 		return fmt.Errorf("resume: %w", err)
 	}
 	t.sys = resumed
+	// Re-arm the same injector and clock: the fault schedule continues
+	// across the swap, exactly as the hardware would keep failing.
+	if t.inj != nil {
+		resumed.AttachFaults(t.inj, t.cfg.Fault.Policy, t.clock)
+	}
 	// The resumed system starts with zeroed op counters; re-baseline the
 	// monotonicity tracking. Counter majors survive the round trip, so
 	// their baseline is kept — resuming must never regress a counter.
 	t.prev = resumed.Stats()
 	return nil
 }
+
+// PoisonedRange and FaultStats implement faultStateReporter, letting the
+// chaos replay assert quarantine semantics and aggregate fault counters.
+func (t *systemTarget) PoisonedRange(addr uint64, n int) bool {
+	return t.sys.PoisonedRange(securemem.HomeAddr(addr), n)
+}
+
+func (t *systemTarget) FaultStats() securemem.OpStats { return t.sys.Stats() }
 
 // CheckInvariants asserts stats conservation, per-model accounting, and
 // counter monotonicity.
@@ -178,13 +205,15 @@ func (t *systemTarget) CheckInvariants() error {
 	t.prev = cur
 
 	// Tier conservation: every page that entered the device tier either
-	// left it again or is still resident.
-	if cur.PageMigrationsIn < cur.PageEvictions {
-		return fmt.Errorf("more evictions (%d) than migrations in (%d)", cur.PageEvictions, cur.PageMigrationsIn)
+	// left it again — evicted, or dropped when its frame was quarantined
+	// after an uncorrectable fault — or is still resident.
+	if out := cur.PageEvictions + cur.PoisonPageDrops; cur.PageMigrationsIn < out {
+		return fmt.Errorf("more pages left the device tier (%d evicted + %d poison-dropped) than migrated in (%d)",
+			cur.PageEvictions, cur.PoisonPageDrops, cur.PageMigrationsIn)
 	}
-	if resident := uint64(t.sys.ResidentPages()); cur.PageMigrationsIn-cur.PageEvictions != resident {
-		return fmt.Errorf("tier conservation broken: %d in - %d out != %d resident",
-			cur.PageMigrationsIn, cur.PageEvictions, resident)
+	if resident := uint64(t.sys.ResidentPages()); cur.PageMigrationsIn-cur.PageEvictions-cur.PoisonPageDrops != resident {
+		return fmt.Errorf("tier conservation broken: %d in - %d evicted - %d poison-dropped != %d resident",
+			cur.PageMigrationsIn, cur.PageEvictions, cur.PoisonPageDrops, resident)
 	}
 
 	switch t.model {
@@ -200,10 +229,11 @@ func (t *systemTarget) CheckInvariants() error {
 				got, cur.PageEvictions, chunks)
 		}
 	case securemem.ModelConventional:
-		// One re-encryption per sector per tier crossing, full pages only.
+		// One re-encryption per sector per tier crossing, full pages only;
+		// sectors of quarantined chunks are skipped but accounted.
 		sectors := uint64(t.cfg.Geometry.SectorsPerPage())
-		if got, want := cur.RelocationReEncryptions, sectors*(cur.PageMigrationsIn+cur.PageEvictions); got != want {
-			return fmt.Errorf("conventional relocation re-encryptions = %d, want %d (one per sector per crossing)", got, want)
+		if got, want := cur.RelocationReEncryptions+cur.PoisonSkippedRelocations, sectors*(cur.PageMigrationsIn+cur.PageEvictions); got != want {
+			return fmt.Errorf("conventional relocation re-encryptions + poison-skips = %d, want %d (one per sector per crossing)", got, want)
 		}
 		if cur.FullPageWritebacks != cur.PageEvictions {
 			return fmt.Errorf("full-page writebacks %d != evictions %d", cur.FullPageWritebacks, cur.PageEvictions)

@@ -1,0 +1,228 @@
+// Package fault models the hardware failure modes of a two-tier
+// GPU + CXL memory system: transient link errors (a CXL flit fails CRC
+// and is retried), uncorrectable media errors (the device reports poison
+// for a region whose data is lost), and stuck-at media bits (a cell that
+// no longer stores what is written, detected by ECC as uncorrectable).
+//
+// The package is purely descriptive: injectors decide *when* a physical
+// access faults and *how*; the recovery machinery (retry with backoff,
+// frame quarantine, page pinning) lives in internal/securemem, which
+// consults an Injector at every raw access to either tier's media.
+//
+// Injectors are deterministic. A RatePlan is driven by a seeded PRNG, so
+// the same seed replays the same fault schedule — the property the chaos
+// mode of internal/check relies on to shrink failing sequences. A
+// ScriptPlan fires at exact access ordinals, which is what precise
+// accounting tests want.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tier identifies which physical memory an access touches.
+type Tier uint8
+
+const (
+	// TierHome is the CXL expansion memory (the home tier).
+	TierHome Tier = iota
+	// TierDevice is the GPU-local device memory.
+	TierDevice
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierHome:
+		return "home"
+	case TierDevice:
+		return "device"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Kind classifies a fault.
+type Kind uint8
+
+const (
+	// Transient is a link-level error (CRC failure, dropped flit). The
+	// data in the media is intact; re-issuing the access can succeed.
+	Transient Kind = iota
+	// Poison is an uncorrectable media error: the stored data is lost and
+	// the device reports poison on access. Not retryable.
+	Poison
+	// StuckBit is a stuck-at media cell detected by ECC as uncorrectable.
+	// Like Poison the data is lost; unlike Poison the failure is bound to
+	// a physical location, so the containing frame must be retired.
+	StuckBit
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Poison:
+		return "poison"
+	case StuckBit:
+		return "stuck-bit"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Recoverable reports whether a fault of this kind can be survived
+// without data loss by retrying the access.
+func (k Kind) Recoverable() bool { return k == Transient }
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind Kind
+	// Bit is the stuck bit position (0..7) for StuckBit faults; it is
+	// diagnostic only.
+	Bit uint8
+}
+
+// Access describes one raw access to tier media, as presented to an
+// injector. Addr is a byte address within the tier's own address space
+// (home address for TierHome, device address for TierDevice).
+type Access struct {
+	Tier  Tier
+	Addr  uint64
+	Write bool
+	// Attempt is 0 for the first issue of an access and n for its nth
+	// retry. Retries of one access share the Tier/Addr/Write of the
+	// original, so injectors can model fault persistence across retries.
+	Attempt int
+}
+
+// Injector decides whether a raw media access faults. Implementations
+// must be deterministic functions of their construction parameters and
+// the access stream; Inject returns nil for a clean access.
+type Injector interface {
+	Inject(a Access) *Fault
+}
+
+// Rates configures a RatePlan: independent per-access fault
+// probabilities, each in [0, 1].
+type Rates struct {
+	Transient float64
+	Poison    float64
+	StuckBit  float64
+}
+
+// RatePlan injects faults at seeded pseudo-random rates. Transient
+// faults persist for a bounded burst of consecutive attempts (1 up to
+// MaxBurst), modelling a link glitch that outlives a single retry; keep
+// MaxBurst at or below the retry budget of the consuming RetryPolicy or
+// a "recoverable" plan can still exhaust retries.
+type RatePlan struct {
+	rng       *rand.Rand
+	rates     Rates
+	maxBurst  int
+	burstLeft int // further attempts of the current access that still fail
+}
+
+// NewRatePlan builds a seeded rate-based injector. maxBurst < 1 is
+// treated as 1 (every transient fault clears on the first retry).
+func NewRatePlan(seed int64, rates Rates, maxBurst int) *RatePlan {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	return &RatePlan{rng: rand.New(rand.NewSource(seed)), rates: rates, maxBurst: maxBurst}
+}
+
+// Recoverable reports whether the plan can only emit retryable faults.
+func (p *RatePlan) Recoverable() bool { return p.rates.Poison == 0 && p.rates.StuckBit == 0 }
+
+// Inject implements Injector.
+func (p *RatePlan) Inject(a Access) *Fault {
+	if a.Attempt > 0 {
+		// Retry of an access this plan transiently faulted: fail it while
+		// the burst lasts, succeed after.
+		if p.burstLeft > 0 {
+			p.burstLeft--
+			return &Fault{Kind: Transient}
+		}
+		return nil
+	}
+	p.burstLeft = 0
+	x := p.rng.Float64()
+	switch {
+	case x < p.rates.Poison:
+		return &Fault{Kind: Poison}
+	case x < p.rates.Poison+p.rates.StuckBit:
+		return &Fault{Kind: StuckBit, Bit: uint8(p.rng.Intn(8))}
+	case x < p.rates.Poison+p.rates.StuckBit+p.rates.Transient:
+		p.burstLeft = p.rng.Intn(p.maxBurst)
+		return &Fault{Kind: Transient}
+	}
+	return nil
+}
+
+// Event is one scripted fault: it fires on the Nth first-attempt access
+// to its tier (1-based), as counted by the plan.
+type Event struct {
+	Tier Tier
+	N    uint64 // access ordinal within the tier, 1-based
+	Kind Kind
+	// Burst is the number of consecutive attempts that fail for Transient
+	// events (a value < 1 means exactly one). Ignored for other kinds.
+	Burst int
+	// Bit is the stuck bit position for StuckBit events.
+	Bit uint8
+}
+
+// ScriptPlan fires an explicit list of fault events at exact access
+// ordinals, for tests that assert precise retry and recovery accounting.
+type ScriptPlan struct {
+	events    []Event
+	fired     []bool
+	count     map[Tier]uint64
+	burstLeft int
+}
+
+// NewScriptPlan builds a scripted injector over events (order is
+// irrelevant; each event fires at most once).
+func NewScriptPlan(events []Event) *ScriptPlan {
+	return &ScriptPlan{
+		events: append([]Event(nil), events...),
+		fired:  make([]bool, len(events)),
+		count:  map[Tier]uint64{},
+	}
+}
+
+// Recoverable reports whether every scripted event is retryable.
+func (p *ScriptPlan) Recoverable() bool {
+	for _, e := range p.events {
+		if !e.Kind.Recoverable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject implements Injector.
+func (p *ScriptPlan) Inject(a Access) *Fault {
+	if a.Attempt > 0 {
+		if p.burstLeft > 0 {
+			p.burstLeft--
+			return &Fault{Kind: Transient}
+		}
+		return nil
+	}
+	p.burstLeft = 0
+	p.count[a.Tier]++
+	n := p.count[a.Tier]
+	for i, e := range p.events {
+		if p.fired[i] || e.Tier != a.Tier || e.N != n {
+			continue
+		}
+		p.fired[i] = true
+		if e.Kind == Transient && e.Burst > 1 {
+			p.burstLeft = e.Burst - 1
+		}
+		return &Fault{Kind: e.Kind, Bit: e.Bit}
+	}
+	return nil
+}

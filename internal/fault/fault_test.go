@@ -1,0 +1,157 @@
+package fault
+
+import "testing"
+
+// drive runs n first-attempt accesses through an injector, retrying each
+// transient fault until it clears, and returns the fault kinds observed
+// per access slot plus the total retry count.
+func drive(t *testing.T, inj Injector, tier Tier, n int) (kinds []Kind, retries int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		a := Access{Tier: tier, Addr: uint64(i) * 32}
+		f := inj.Inject(a)
+		if f == nil {
+			kinds = append(kinds, Kind(0xff))
+			continue
+		}
+		kinds = append(kinds, f.Kind)
+		if f.Kind != Transient {
+			continue
+		}
+		for attempt := 1; ; attempt++ {
+			if attempt > 64 {
+				t.Fatalf("access %d: transient fault never cleared", i)
+			}
+			a.Attempt = attempt
+			retries++
+			if inj.Inject(a) == nil {
+				break
+			}
+		}
+	}
+	return kinds, retries
+}
+
+func TestRatePlanDeterministic(t *testing.T) {
+	mk := func() Injector {
+		return NewRatePlan(7, Rates{Transient: 0.2, Poison: 0.01, StuckBit: 0.01}, 3)
+	}
+	k1, r1 := drive(t, mk(), TierDevice, 2000)
+	k2, r2 := drive(t, mk(), TierDevice, 2000)
+	if r1 != r2 {
+		t.Fatalf("retry counts diverged: %d vs %d", r1, r2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("access %d: kind %v vs %v under the same seed", i, k1[i], k2[i])
+		}
+	}
+}
+
+func TestRatePlanRatesRoughlyHold(t *testing.T) {
+	p := NewRatePlan(1, Rates{Transient: 0.25}, 1)
+	kinds, retries := drive(t, p, TierHome, 8000)
+	faults := 0
+	for _, k := range kinds {
+		if k == Transient {
+			faults++
+		}
+	}
+	if faults < 1500 || faults > 2500 {
+		t.Errorf("transient faults = %d over 8000 accesses at rate 0.25", faults)
+	}
+	// MaxBurst 1: every fault clears on its first retry.
+	if retries != faults {
+		t.Errorf("retries = %d, want one per fault (%d)", retries, faults)
+	}
+}
+
+func TestRatePlanBurstBounded(t *testing.T) {
+	p := NewRatePlan(3, Rates{Transient: 0.5}, 4)
+	for i := 0; i < 4000; i++ {
+		a := Access{Tier: TierDevice, Addr: uint64(i)}
+		if p.Inject(a) == nil {
+			continue
+		}
+		cleared := false
+		for attempt := 1; attempt <= 4; attempt++ {
+			a.Attempt = attempt
+			if p.Inject(a) == nil {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			t.Fatalf("access %d: burst exceeded maxBurst=4", i)
+		}
+	}
+}
+
+func TestRatePlanRecoverable(t *testing.T) {
+	if !NewRatePlan(1, Rates{Transient: 0.1}, 2).Recoverable() {
+		t.Error("transient-only rate plan should be recoverable")
+	}
+	if NewRatePlan(1, Rates{Transient: 0.1, Poison: 0.001}, 2).Recoverable() {
+		t.Error("poisoning rate plan should not be recoverable")
+	}
+}
+
+func TestScriptPlanFiresAtOrdinals(t *testing.T) {
+	p := NewScriptPlan([]Event{
+		{Tier: TierDevice, N: 2, Kind: Transient, Burst: 2},
+		{Tier: TierDevice, N: 4, Kind: Poison},
+		{Tier: TierHome, N: 1, Kind: StuckBit, Bit: 5},
+	})
+	if !p.Recoverable() {
+		// Poison and StuckBit events are present.
+	} else {
+		t.Error("script with poison events reported recoverable")
+	}
+
+	// Device access 1: clean.
+	if f := p.Inject(Access{Tier: TierDevice}); f != nil {
+		t.Fatalf("device access 1 faulted: %+v", f)
+	}
+	// Device access 2: transient with burst 2 (fails attempt 0 and 1).
+	if f := p.Inject(Access{Tier: TierDevice}); f == nil || f.Kind != Transient {
+		t.Fatalf("device access 2: got %+v, want transient", f)
+	}
+	if f := p.Inject(Access{Tier: TierDevice, Attempt: 1}); f == nil || f.Kind != Transient {
+		t.Fatalf("device access 2 retry 1: got %+v, want transient", f)
+	}
+	if f := p.Inject(Access{Tier: TierDevice, Attempt: 2}); f != nil {
+		t.Fatalf("device access 2 retry 2: got %+v, want clean", f)
+	}
+	// Home access 1 (independent ordinal space): stuck bit.
+	if f := p.Inject(Access{Tier: TierHome}); f == nil || f.Kind != StuckBit || f.Bit != 5 {
+		t.Fatalf("home access 1: got %+v, want stuck bit 5", f)
+	}
+	// Device access 3: clean; access 4: poison.
+	if f := p.Inject(Access{Tier: TierDevice}); f != nil {
+		t.Fatalf("device access 3 faulted: %+v", f)
+	}
+	if f := p.Inject(Access{Tier: TierDevice}); f == nil || f.Kind != Poison {
+		t.Fatalf("device access 4: got %+v, want poison", f)
+	}
+	// Events fire once.
+	if f := p.Inject(Access{Tier: TierHome}); f != nil {
+		t.Fatalf("home access 2 faulted: %+v", f)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[string]string{
+		Transient.String(): "transient",
+		Poison.String():    "poison",
+		StuckBit.String():  "stuck-bit",
+		TierHome.String():  "home",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if Transient.Recoverable() != true || Poison.Recoverable() || StuckBit.Recoverable() {
+		t.Error("Recoverable flags wrong")
+	}
+}

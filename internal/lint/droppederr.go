@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // DroppedErr flags call statements that silently discard an error
@@ -13,6 +15,13 @@ import (
 // i.e. a detected attack dropped on the floor. Explicitly assigning to
 // the blank identifier (`_ = c.Flush()`) is the sanctioned discard and
 // is not flagged.
+//
+// It also flags dead sentinel checks: an errors.Is/errors.As against a
+// package-level `errors.New` sentinel that the package never wraps with
+// %w nor returns as a value. Such a check can never be true — the classic
+// cause is wrapping the sentinel with %v instead of %w, which hides it
+// from the errors.Is chain. Sentinels defined in other packages are not
+// judged (their wrap sites are out of view).
 type DroppedErr struct{}
 
 // errPackages are the package *names* whose errors must not be dropped.
@@ -30,7 +39,7 @@ func (DroppedErr) Name() string { return "droppederr" }
 
 // Doc implements Analyzer.
 func (DroppedErr) Doc() string {
-	return "flags discarded error returns from securemem/pagecache/sim/salus APIs"
+	return "flags discarded error returns from securemem/pagecache/sim/salus APIs and dead errors.Is sentinel checks"
 }
 
 // Run implements Analyzer.
@@ -54,6 +63,134 @@ func (a DroppedErr) Run(pkg *Package) []Finding {
 				out = append(out, *f)
 			}
 			return true
+		})
+	}
+	out = append(out, a.deadSentinelChecks(pkg)...)
+	return out
+}
+
+// sentinelCheck records one errors.Is/As call against a local sentinel.
+type sentinelCheck struct {
+	obj  types.Object
+	call *ast.CallExpr
+	fn   string // "Is" or "As"
+}
+
+// deadSentinelChecks finds errors.Is/As calls that can never match: the
+// checked sentinel is defined in this package yet is neither wrapped with
+// %w nor returned as a value anywhere in it.
+func (a DroppedErr) deadSentinelChecks(pkg *Package) []Finding {
+	// Package-level sentinels: `var X = errors.New(...)`.
+	sentinels := map[types.Object]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					call, ok := vs.Values[i].(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if callee := calleeFunc(pkg, call); callee != nil && callee.Pkg() != nil &&
+						callee.Pkg().Path() == "errors" && callee.Name() == "New" {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							sentinels[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(sentinels) == 0 {
+		return nil
+	}
+
+	// Classify every sentinel use. A use is "claimed" when it sits in a
+	// context that does not put the sentinel into the error chain: the
+	// second argument of errors.Is/As, or any argument of fmt.Errorf —
+	// with %w the wrap makes it matchable, without (%v and friends) it is
+	// exactly the bug this report exists for.
+	var checks []sentinelCheck
+	wrapped := map[types.Object]bool{}
+	claimed := map[token.Pos]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch {
+			case callee.Pkg().Path() == "errors" && (callee.Name() == "Is" || callee.Name() == "As") && len(call.Args) == 2:
+				if id, ok := call.Args[1].(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil && sentinels[obj] {
+						claimed[id.Pos()] = true
+						checks = append(checks, sentinelCheck{obj: obj, call: call, fn: callee.Name()})
+					}
+				}
+			case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf" && len(call.Args) > 1:
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				wraps := strings.Contains(lit.Value, "%w")
+				for _, arg := range call.Args[1:] {
+					id, ok := arg.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if obj := pkg.Info.Uses[id]; obj != nil && sentinels[obj] {
+						claimed[id.Pos()] = true
+						if wraps {
+							wrapped[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Every unclaimed use produces the sentinel as a value (returned,
+	// assigned, passed on): identity matching keeps errors.Is valid.
+	produced := map[types.Object]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || claimed[id.Pos()] {
+				return true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil && sentinels[obj] {
+				produced[obj] = true
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, c := range checks {
+		if wrapped[c.obj] || produced[c.obj] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(c.call.Pos()),
+			Analyzer: a.Name(),
+			Severity: Error,
+			Message: fmt.Sprintf("errors.%s check against %s can never match: the sentinel is neither wrapped with %%w nor returned in this package",
+				c.fn, c.obj.Name()),
 		})
 	}
 	return out

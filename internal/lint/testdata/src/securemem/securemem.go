@@ -3,11 +3,24 @@
 // package name, so the fixture stays self-contained).
 package securemem
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrIntegrity mirrors the real sentinel: dropping it means ignoring a
 // detected attack.
 var ErrIntegrity = errors.New("integrity violation")
+
+// ErrNeverWrapped is only ever %v-wrapped below, so the errors.Is check
+// against it is dead — the classic %v-instead-of-%w bug.
+var ErrNeverWrapped = errors.New("never wrapped")
+
+// ErrWrapped is wrapped with %w; checking it is valid.
+var ErrWrapped = errors.New("wrapped")
+
+// ErrReturned is returned bare; identity matching keeps errors.Is valid.
+var ErrReturned = errors.New("returned")
 
 // Flush models an error-returning API call.
 func Flush() error { return ErrIntegrity }
@@ -35,4 +48,21 @@ func caller() {
 	if err := Flush(); err != nil { // handled: no finding
 		_ = err
 	}
+}
+
+func wrapWell() error { return fmt.Errorf("context: %w", ErrWrapped) }
+
+func returnBare() error { return ErrReturned }
+
+// BUG (deliberate): %v strips ErrNeverWrapped from the error chain.
+func hideSentinel() error { return fmt.Errorf("context: %v", ErrNeverWrapped) }
+
+func classify(err error) bool {
+	if errors.Is(err, ErrNeverWrapped) { // want: dead sentinel check
+		return true
+	}
+	if errors.Is(err, ErrWrapped) { // wrapped with %w: no finding
+		return true
+	}
+	return errors.Is(err, ErrReturned) // returned bare: no finding
 }

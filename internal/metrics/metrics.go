@@ -46,6 +46,25 @@ func Normalize(value, reference float64) (float64, error) {
 // new over old: 1.30 -> +30%.
 func ImprovementPct(ratio float64) float64 { return (ratio - 1) * 100 }
 
+// Availability returns the fraction of accesses that succeeded,
+// ok/(ok+failed). With no accesses at all there is nothing unavailable,
+// so it returns 1.
+func Availability(ok, failed uint64) float64 {
+	if ok+failed == 0 {
+		return 1
+	}
+	return float64(ok) / float64(ok+failed)
+}
+
+// PerMillion scales an event count against a total into events per
+// million, the usual unit for fault and error rates (0 when total is 0).
+func PerMillion(events, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(events) / float64(total) * 1e6
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

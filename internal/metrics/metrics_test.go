@@ -103,6 +103,30 @@ func TestImprovementPct(t *testing.T) {
 	}
 }
 
+func TestAvailability(t *testing.T) {
+	if got := Availability(0, 0); got != 1 {
+		t.Errorf("Availability(0, 0) = %v, want 1 (nothing was unavailable)", got)
+	}
+	if got := Availability(99, 1); got != 0.99 {
+		t.Errorf("Availability(99, 1) = %v, want 0.99", got)
+	}
+	if got := Availability(0, 5); got != 0 {
+		t.Errorf("Availability(0, 5) = %v, want 0", got)
+	}
+}
+
+func TestPerMillion(t *testing.T) {
+	if got := PerMillion(3, 0); got != 0 {
+		t.Errorf("PerMillion(3, 0) = %v, want 0", got)
+	}
+	if got := PerMillion(5, 1_000_000); got != 5 {
+		t.Errorf("PerMillion(5, 1e6) = %v, want 5", got)
+	}
+	if got := PerMillion(1, 2_000_000); got != 0.5 {
+		t.Errorf("PerMillion(1, 2e6) = %v, want 0.5", got)
+	}
+}
+
 func TestMeanMinMax(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	if Mean(xs) != 2 {

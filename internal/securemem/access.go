@@ -1,6 +1,11 @@
 package securemem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/fault"
+)
 
 // Read copies len(buf) bytes starting at addr into buf, transparently
 // migrating the page to the device tier, decrypting, and verifying
@@ -67,36 +72,76 @@ func (s *System) Write(addr HomeAddr, data []byte) error {
 // accessSector performs one sector-granular access on the device tier,
 // migrating the page in first when needed. For reads, out receives the
 // plaintext. For writes, in is the full new plaintext of the sector.
+//
+// Fault handling: quarantined home chunks refuse access with ErrPoison;
+// pinned pages are served by the home-tier direct path; an uncorrectable
+// device fault retires the frame and — when no dirty data was lost —
+// recovers transparently by remapping or (ModelSalus) pinning the page.
+// The loop is bounded: each turn either completes the access, returns, or
+// retires one more frame.
 func (s *System) accessSector(addr HomeAddr, out []byte, isWrite bool, in []byte) error {
+	if err := s.poisonCheck(addr); err != nil {
+		return err
+	}
 	page := addr.Page(s.geo.PageSize)
-	fi := s.pageTable[page]
-	if fi < 0 {
-		var err error
-		fi, err = s.migrateIn(page)
-		if err != nil {
-			return err
-		}
+	if s.pinned[page] {
+		return s.pinnedAccess(addr, out, isWrite, in)
 	}
-	f := &s.frames[fi]
-	s.lruClock++
-	f.lru = s.lruClock
+	for tries := 0; tries <= len(s.frames); tries++ {
+		fi := s.pageTable[page]
+		if fi < 0 {
+			var err error
+			fi, err = s.migrateIn(page)
+			if errors.Is(err, errNoFrames) {
+				if s.cfg.Model == ModelSalus {
+					// Graceful degradation: the whole device tier is
+					// retired, so serve the page from home for good.
+					s.pinPage(page)
+					return s.pinnedAccess(addr, out, isWrite, in)
+				}
+				return fmt.Errorf("%w: no usable device frame left for page %d", ErrPoison, page)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		f := &s.frames[fi]
+		s.lruClock++
+		f.lru = s.lruClock
 
-	devAddr := FrameAddr(fi, s.geo.PageSize, addr.PageOffset(s.geo.PageSize))
-	switch s.cfg.Model {
-	case ModelNone:
-		if isWrite {
-			copy(s.devData[devAddr:devAddr+32], in)
-			f.dirty |= 1 << uint(s.chunkInPage(addr))
-		} else {
-			copy(out, s.devData[devAddr:devAddr+32])
+		devAddr := FrameAddr(fi, s.geo.PageSize, addr.PageOffset(s.geo.PageSize))
+		if err := s.gate(fault.TierDevice, uint64(devAddr), isWrite); err != nil {
+			if !errors.Is(err, errUncorrectable) {
+				return err // transient budget exhausted
+			}
+			if qerr := s.quarantineResident(fi); qerr != nil {
+				return qerr // dirty chunks lost: wrapped ErrPoison
+			}
+			// Clean frame: the home copy is authoritative. Pin under Salus,
+			// remap elsewhere (next loop turn) otherwise.
+			if s.cfg.Model == ModelSalus {
+				s.pinPage(page)
+				return s.pinnedAccess(addr, out, isWrite, in)
+			}
+			continue
 		}
-		return nil
-	case ModelSalus:
-		return s.salusAccess(addr, devAddr, fi, out, isWrite, in)
-	case ModelConventional:
-		return s.convAccess(addr, devAddr, fi, out, isWrite, in)
+		switch s.cfg.Model {
+		case ModelNone:
+			if isWrite {
+				copy(s.devData[devAddr:devAddr+32], in)
+				f.dirty |= 1 << uint(s.chunkInPage(addr))
+			} else {
+				copy(out, s.devData[devAddr:devAddr+32])
+			}
+			return nil
+		case ModelSalus:
+			return s.salusAccess(addr, devAddr, fi, out, isWrite, in)
+		case ModelConventional:
+			return s.convAccess(addr, devAddr, fi, out, isWrite, in)
+		}
+		return fmt.Errorf("securemem: unknown model %d", s.cfg.Model)
 	}
-	return fmt.Errorf("securemem: unknown model %d", s.cfg.Model)
+	return fmt.Errorf("%w: no usable device frame left for page %d", ErrPoison, page)
 }
 
 func (s *System) chunkInPage(addr HomeAddr) int {
@@ -112,15 +157,24 @@ func (s *System) blockInPage(addr HomeAddr) int {
 // conventional model every sector is decrypted with home-tier metadata and
 // re-encrypted with device-tier metadata.
 func (s *System) migrateIn(page int) (int, error) {
+	// Gate the home-tier read side before any migration state moves: a
+	// transient storm aborts cleanly and an uncorrectable home error
+	// poisons the chunk instead of migrating garbage.
+	if err := s.gateHomePageRead(page); err != nil {
+		return -1, err
+	}
 	fi := -1
 	for i := range s.frames {
-		if s.frames[i].homePage < 0 {
+		if s.frames[i].homePage < 0 && !s.frames[i].quarantined {
 			fi = i
 			break
 		}
 	}
 	if fi < 0 {
 		fi = s.victimFrame()
+		if fi < 0 {
+			return -1, errNoFrames
+		}
 		if err := s.evict(fi); err != nil {
 			return -1, err
 		}
@@ -155,11 +209,15 @@ func (s *System) migrateIn(page int) (int, error) {
 	return fi, nil
 }
 
-// victimFrame returns the LRU frame index.
+// victimFrame returns the LRU frame index among usable frames, or -1 when
+// every frame has been quarantined.
 func (s *System) victimFrame() int {
-	best := 0
-	for i := 1; i < len(s.frames); i++ {
-		if s.frames[i].lru < s.frames[best].lru {
+	best := -1
+	for i := range s.frames {
+		if s.frames[i].quarantined {
+			continue
+		}
+		if best < 0 || s.frames[i].lru < s.frames[best].lru {
 			best = i
 		}
 	}
@@ -194,11 +252,19 @@ func (s *System) evict(fi int) error {
 
 // noneEvict copies dirty chunks back for the unprotected model.
 func (s *System) noneEvict(fi int) error {
+	if err := s.gateEvictWrites(fi, false); err != nil {
+		return err
+	}
 	f := &s.frames[fi]
 	page := f.homePage
 	cs := s.geo.ChunkSize
 	for c := 0; c < s.geo.ChunksPerPage(); c++ {
 		if f.dirty&(1<<uint(c)) == 0 {
+			continue
+		}
+		if s.poisoned[page*s.geo.ChunksPerPage()+c] {
+			// The writeback target died under the eviction gate: the chunk
+			// is quarantined and its data dropped.
 			continue
 		}
 		srcOff := fi*s.geo.PageSize + c*cs

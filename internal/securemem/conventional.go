@@ -174,6 +174,13 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 	ss := s.geo.SectorSize
 	pt := make([]byte, ss)
 	for i := 0; i < s.geo.SectorsPerPage(); i++ {
+		if s.poisoned[page*s.geo.ChunksPerPage()+i*ss/s.geo.ChunkSize] {
+			// Quarantined home chunk: its data is lost, so the sector is
+			// neither verified nor moved. Accesses to it are refused before
+			// they reach the frame copy.
+			s.stats.PoisonSkippedRelocations++
+			continue
+		}
 		ha := uint64(page*s.geo.PageSize + i*ss)
 		da := uint64(fi*s.geo.PageSize + i*ss)
 		srcCT := src[i*ss : (i+1)*ss]
@@ -206,12 +213,22 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 // so the conventional model cannot skip clean data), decrypting with
 // device metadata and re-encrypting with home metadata.
 func (s *System) convEvict(fi int) error {
+	if err := s.gateEvictWrites(fi, true); err != nil {
+		return err
+	}
 	f := &s.frames[fi]
 	page := f.homePage
 	ss := s.geo.SectorSize
 	pt := make([]byte, ss)
 	s.stats.FullPageWritebacks++
 	for i := 0; i < s.geo.SectorsPerPage(); i++ {
+		if s.poisoned[page*s.geo.ChunksPerPage()+i*ss/s.geo.ChunkSize] {
+			// Quarantined home chunk: the writeback target (or, for chunks
+			// skipped on the way in, the frame copy) is invalid — drop the
+			// sector and account for it.
+			s.stats.PoisonSkippedRelocations++
+			continue
+		}
 		ha := uint64(page*s.geo.PageSize + i*ss)
 		da := uint64(fi*s.geo.PageSize + i*ss)
 		ct := s.devData[da : da+uint64(ss)]

@@ -1,6 +1,7 @@
 package securemem
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/salus-sim/salus/internal/security/bmt"
@@ -134,6 +135,9 @@ func (s *System) ReadThrough(addr HomeAddr, buf []byte) error {
 
 // directReadSector decrypts and verifies one CXL-resident sector in place.
 func (s *System) directReadSector(homeAddr HomeAddr, out []byte) error {
+	if err := s.gateHome(homeAddr, false); err != nil {
+		return err
+	}
 	major, minor, err := s.splitPair(homeAddr)
 	if err != nil {
 		return err
@@ -149,6 +153,9 @@ func (s *System) directReadSector(homeAddr HomeAddr, out []byte) error {
 // directWriteSector encrypts one sector in the CXL tier under a bumped
 // doubled-width minor counter.
 func (s *System) directWriteSector(homeAddr HomeAddr, in []byte) error {
+	if err := s.gateHome(homeAddr, true); err != nil {
+		return err
+	}
 	chunk := homeAddr.Chunk(s.geo.ChunkSize)
 	sic := (int(homeAddr) % s.geo.ChunkSize) / s.geo.SectorSize
 	sp := &s.cxlSplit[chunk]
@@ -235,8 +242,23 @@ func (s *System) CheckpointChunk(addr HomeAddr) error {
 		return ErrOutOfRange
 	}
 	chunk := addr.Chunk(s.geo.ChunkSize)
+	if s.poisoned[chunk] {
+		// A quarantined chunk has no data left to protect; treating the
+		// checkpoint as done lets its page still migrate for the sake of
+		// the healthy chunks.
+		return nil
+	}
 	if s.cxlSplit == nil || !s.splitDirty[chunk] {
 		return nil
+	}
+	// The collapse below is a read-modify-write of the whole chunk in the
+	// home tier; gate it before any counter state moves. If the chunk dies
+	// here it is quarantined and the checkpoint becomes moot.
+	if err := s.gateHome(HomeAddr(chunk*s.geo.ChunkSize), true); err != nil {
+		if errors.Is(err, ErrPoison) {
+			return nil
+		}
+		return err
 	}
 	sp := &s.cxlSplit[chunk]
 	old := *sp

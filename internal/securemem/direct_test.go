@@ -179,7 +179,9 @@ func TestDirectPathTamperDetected(t *testing.T) {
 	if err := s.WriteThrough(0, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	s.CorruptHome(0)
+	if !s.CorruptHome(0) {
+		t.Fatal("CorruptHome(0) reported out of range")
+	}
 	err := s.ReadThrough(0, make([]byte, 7))
 	if !errors.Is(err, ErrIntegrity) {
 		t.Errorf("tampered direct read: %v", err)

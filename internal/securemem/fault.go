@@ -1,0 +1,335 @@
+package securemem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/sim"
+)
+
+// Hardware fault handling. A System can be armed with a fault.Injector
+// that models CXL link and media failures on the raw data traffic of both
+// tiers. Recovery is layered:
+//
+//   - Transient link faults (CRC retries) are retried with capped
+//     exponential backoff per the RetryPolicy; the backoff stalls the
+//     attached sim clock. Only exhaustion surfaces, as ErrTransient.
+//   - Uncorrectable device-media faults retire the frame (quarantine).
+//     A clean frame recovers transparently — the home copy is
+//     authoritative — by remapping the page elsewhere, or pinning it to
+//     the home-tier direct path under ModelSalus. Dirty chunks are lost:
+//     their home chunks are poisoned and the access fails with ErrPoison.
+//   - Uncorrectable home-media faults poison the chunk. Poisoned chunks
+//     are a badblock list held in the TCB (it survives Suspend/Resume via
+//     the TrustedRoot): every later access fails with ErrPoison rather
+//     than returning stale bytes.
+//
+// Faults are modelled on data traffic only; metadata traffic (counters,
+// MACs, tree nodes) is assumed to ride the protected on-package path.
+
+// Fault-taxonomy sentinels, alongside ErrIntegrity/ErrFreshness.
+var (
+	// ErrTransient reports a retryable link fault that still failed after
+	// the retry budget was exhausted.
+	ErrTransient = errors.New("securemem: transient fault persisted past the retry budget")
+	// ErrPoison reports an uncorrectable media error: the addressed data
+	// is lost and the region is quarantined.
+	ErrPoison = errors.New("securemem: uncorrectable media error (data poisoned)")
+)
+
+// errUncorrectable is the internal verdict of the retry loop for faults
+// that retries cannot fix; callers translate it into quarantine actions
+// and a wrapped ErrPoison.
+var errUncorrectable = errors.New("securemem: uncorrectable fault")
+
+// errNoFrames reports that no usable (non-quarantined) device frame is
+// left for a migration.
+var errNoFrames = errors.New("securemem: no usable device frame")
+
+// RetryPolicy bounds the transient-fault retry loop. Backoff doubles from
+// BaseBackoff per attempt, capped at MaxBackoff; the delay is charged to
+// the attached sim clock.
+type RetryPolicy struct {
+	MaxRetries  int
+	BaseBackoff sim.Cycle
+	MaxBackoff  sim.Cycle
+}
+
+// DefaultRetryPolicy mirrors a CXL link-layer retry budget: a handful of
+// attempts with short, sharply capped backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 8, BaseBackoff: 16, MaxBackoff: 1024}
+}
+
+// backoff returns the delay before retry number attempt+1.
+func (p RetryPolicy) backoff(attempt int) sim.Cycle {
+	if p.BaseBackoff == 0 {
+		return 0
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := p.BaseBackoff << uint(attempt)
+	if p.MaxBackoff != 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// AttachFaults arms the system with a fault injector. A zero policy means
+// DefaultRetryPolicy. clock may be nil, in which case backoff costs no
+// simulated time (it is still accounted in RetryBackoffCycles).
+func (s *System) AttachFaults(inj fault.Injector, policy RetryPolicy, clock *sim.Engine) {
+	if policy == (RetryPolicy{}) {
+		policy = DefaultRetryPolicy()
+	}
+	s.inj = inj
+	s.retry = policy
+	s.clock = clock
+}
+
+// gate runs one raw media access through the injector, retrying transient
+// faults per the policy. It returns nil (access went through), a wrapped
+// ErrTransient (budget exhausted), or errUncorrectable.
+func (s *System) gate(tier fault.Tier, addr uint64, write bool) error {
+	if s.inj == nil {
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		f := s.inj.Inject(fault.Access{Tier: tier, Addr: addr, Write: write, Attempt: attempt})
+		if f == nil {
+			return nil
+		}
+		switch f.Kind {
+		case fault.Transient:
+			s.stats.TransientFaults++
+			if attempt >= s.retry.MaxRetries {
+				return fmt.Errorf("%w: %v access at %v %#x after %d retries",
+					ErrTransient, rw(write), tier, addr, s.retry.MaxRetries)
+			}
+			s.stats.Retries++
+			d := s.retry.backoff(attempt)
+			s.stats.RetryBackoffCycles += uint64(d)
+			if s.clock != nil {
+				s.clock.Advance(d)
+			}
+		case fault.Poison:
+			s.stats.PoisonFaults++
+			return errUncorrectable
+		default: // fault.StuckBit
+			s.stats.StuckBitFaults++
+			return errUncorrectable
+		}
+	}
+}
+
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// poisonCheck refuses access to a quarantined home chunk.
+func (s *System) poisonCheck(addr HomeAddr) error {
+	if len(s.poisoned) == 0 {
+		return nil
+	}
+	if chunk := addr.Chunk(s.geo.ChunkSize); s.poisoned[chunk] {
+		return fmt.Errorf("%w: home chunk %d is quarantined", ErrPoison, chunk)
+	}
+	return nil
+}
+
+// gateHome guards one home-tier data access: quarantined chunks refuse
+// access outright, transients retry per the policy, and an uncorrectable
+// media error quarantines the chunk before surfacing as ErrPoison.
+func (s *System) gateHome(addr HomeAddr, write bool) error {
+	if err := s.poisonCheck(addr); err != nil {
+		return err
+	}
+	err := s.gate(fault.TierHome, uint64(addr), write)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, errUncorrectable) {
+		s.poisonChunk(addr.Chunk(s.geo.ChunkSize))
+		return fmt.Errorf("%w: uncorrectable home media error at %#x", ErrPoison, uint64(addr))
+	}
+	return err
+}
+
+// gateHomePageRead guards the home-tier read side of a page migration,
+// chunk by chunk, before any migration state moves. Chunks already
+// quarantined are skipped (their sectors are skipped by the copy too);
+// chunks that fail uncorrectably here are poisoned and abort the
+// migration with ErrPoison.
+func (s *System) gateHomePageRead(page int) error {
+	if s.inj == nil {
+		return nil
+	}
+	bad := 0
+	for c := 0; c < s.geo.ChunksPerPage(); c++ {
+		chunk := page*s.geo.ChunksPerPage() + c
+		if s.poisoned[chunk] {
+			continue
+		}
+		err := s.gate(fault.TierHome, uint64(chunk*s.geo.ChunkSize), false)
+		if errors.Is(err, errUncorrectable) {
+			s.poisonChunk(chunk)
+			bad++
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%w: %d home chunk(s) of page %d failed while migrating in", ErrPoison, bad, page)
+	}
+	return nil
+}
+
+// gateEvictWrites guards the home-tier writeback traffic of frame fi
+// before any eviction state moves: transient exhaustion aborts the
+// eviction cleanly, while an uncorrectable error quarantines the
+// destination chunk (the writeback target itself is gone) and the
+// eviction proceeds without it. full selects every chunk (the
+// conventional model's full-page writeback) rather than only dirty ones.
+func (s *System) gateEvictWrites(fi int, full bool) error {
+	if s.inj == nil {
+		return nil
+	}
+	f := &s.frames[fi]
+	for c := 0; c < s.geo.ChunksPerPage(); c++ {
+		if !full && f.dirty&(1<<uint(c)) == 0 {
+			continue
+		}
+		chunk := f.homePage*s.geo.ChunksPerPage() + c
+		if s.poisoned[chunk] {
+			continue
+		}
+		err := s.gate(fault.TierHome, uint64(chunk*s.geo.ChunkSize), true)
+		if errors.Is(err, errUncorrectable) {
+			s.poisonChunk(chunk)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// poisonChunk adds a home chunk to the quarantine list.
+func (s *System) poisonChunk(chunk int) {
+	if s.poisoned[chunk] {
+		return
+	}
+	if s.poisoned == nil {
+		s.poisoned = map[int]bool{}
+	}
+	s.poisoned[chunk] = true
+	s.stats.ChunksPoisoned++
+}
+
+// pinPage pins a home page to the direct CXL access path (ModelSalus
+// degradation after its device frame was retired).
+func (s *System) pinPage(page int) {
+	if s.pinned[page] {
+		return
+	}
+	if s.pinned == nil {
+		s.pinned = map[int]bool{}
+	}
+	s.pinned[page] = true
+	s.stats.PagesPinned++
+}
+
+// quarantineResident retires frame fi after an uncorrectable device media
+// error. A clean frame recovers transparently: the home copy is still
+// authoritative, so the page is simply unmapped. Dirty chunks are lost —
+// their home chunks are poisoned — and the returned error says so.
+func (s *System) quarantineResident(fi int) error {
+	f := &s.frames[fi]
+	f.quarantined = true
+	s.stats.FramesQuarantined++
+	page := f.homePage
+	lost := 0
+	if page >= 0 {
+		for c := 0; c < s.geo.ChunksPerPage(); c++ {
+			if f.dirty&(1<<uint(c)) != 0 {
+				s.poisonChunk(page*s.geo.ChunksPerPage() + c)
+				lost++
+			}
+		}
+		s.pageTable[page] = -1
+		s.stats.PoisonPageDrops++
+	}
+	f.homePage = -1
+	f.dirty, f.macIn, f.ctrIn = 0, 0, 0
+	if lost > 0 {
+		return fmt.Errorf("%w: device frame %d lost %d dirty chunk(s) of page %d", ErrPoison, fi, lost, page)
+	}
+	s.stats.TransparentRecoveries++
+	return nil
+}
+
+// pinnedAccess serves a sector access for a page pinned to the home tier:
+// the Salus direct CXL path with split counters, exactly as
+// WriteThrough/ReadThrough use.
+func (s *System) pinnedAccess(addr HomeAddr, out []byte, isWrite bool, in []byte) error {
+	if !isWrite {
+		return s.directReadSector(addr, out)
+	}
+	if err := s.ensureSplitState(); err != nil {
+		return err
+	}
+	return s.directWriteSector(addr, in)
+}
+
+// PoisonedChunks returns the quarantined home chunks, sorted.
+func (s *System) PoisonedChunks() []int { return sortedKeys(s.poisoned) }
+
+// PinnedPages returns the pages pinned to home-tier access, sorted.
+func (s *System) PinnedPages() []int { return sortedKeys(s.pinned) }
+
+// QuarantinedFrames returns the retired device frames, sorted.
+func (s *System) QuarantinedFrames() []int {
+	var out []int
+	for i := range s.frames {
+		if s.frames[i].quarantined {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PoisonedRange reports whether any byte of [addr, addr+n) lies in a
+// quarantined home chunk. Out-of-range bytes are not poisoned.
+func (s *System) PoisonedRange(addr HomeAddr, n int) bool {
+	if len(s.poisoned) == 0 || n <= 0 || uint64(addr) >= s.Size() {
+		return false
+	}
+	if rem := s.Size() - uint64(addr); uint64(n) > rem {
+		n = int(rem)
+	}
+	cs := s.geo.ChunkSize
+	for c := int(addr) / cs; c <= (int(addr)+n-1)/cs; c++ {
+		if s.poisoned[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,323 @@
+package securemem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/sim"
+)
+
+// quickPolicy keeps fault tests fast: small budget, tiny backoff.
+func quickPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, BaseBackoff: 8, MaxBackoff: 64}
+}
+
+// runPattern performs a fixed op mix and returns the final plaintext of
+// the first two pages, so faulted and fault-free runs can be compared.
+func runPattern(t *testing.T, s *System) []byte {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		addr := HomeAddr(i * 512)
+		if err := s.Write(addr, bytes.Repeat([]byte{byte(i + 1)}, 64)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	out := make([]byte, 2*4096)
+	if err := s.Read(0, out); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	return out
+}
+
+// TestScriptedTransientRetryAccounting is the satellite acceptance test:
+// a scripted plan with N transient faults yields exactly N retries in the
+// stats and plaintext identical to a fault-free run.
+func TestScriptedTransientRetryAccounting(t *testing.T) {
+	const n = 5
+	for _, m := range allModels {
+		clean := newSys(t, m, 4, 2)
+		want := runPattern(t, clean)
+
+		faulty := newSys(t, m, 4, 2)
+		var events []fault.Event
+		for i := 0; i < n; i++ {
+			// Burst 1: each fault clears on its first retry. Spread over
+			// early device accesses so every event fires for every model.
+			events = append(events, fault.Event{Tier: fault.TierDevice, N: uint64(i + 2), Kind: fault.Transient, Burst: 1})
+		}
+		plan := fault.NewScriptPlan(events)
+		if !plan.Recoverable() {
+			t.Fatal("transient-only script should be recoverable")
+		}
+		faulty.AttachFaults(plan, quickPolicy(), nil)
+		got := runPattern(t, faulty)
+
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: plaintext diverged under %d recoverable faults", m, n)
+		}
+		st := faulty.Stats()
+		if st.TransientFaults != n {
+			t.Errorf("%v: TransientFaults = %d, want %d", m, st.TransientFaults, n)
+		}
+		if st.Retries != n {
+			t.Errorf("%v: Retries = %d, want exactly %d", m, st.Retries, n)
+		}
+		if st.PoisonFaults != 0 || st.ChunksPoisoned != 0 || st.FramesQuarantined != 0 {
+			t.Errorf("%v: recoverable plan left quarantine traces: %+v", m, st)
+		}
+	}
+}
+
+func TestTransientExhaustionSurfacesTyped(t *testing.T) {
+	for _, m := range allModels {
+		s := newSys(t, m, 4, 2)
+		// Burst 10 with a budget of 4 retries: the access cannot succeed.
+		s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+			{Tier: fault.TierDevice, N: 1, Kind: fault.Transient, Burst: 10},
+		}), quickPolicy(), nil)
+		err := s.Read(0, make([]byte, 32))
+		if !errors.Is(err, ErrTransient) {
+			t.Errorf("%v: exhausted retries returned %v, want ErrTransient", m, err)
+		}
+		if st := s.Stats(); st.Retries != 4 {
+			t.Errorf("%v: Retries = %d, want the full budget of 4", m, st.Retries)
+		}
+		// The fault was never cleared but nothing was lost: the next access
+		// succeeds (the scripted burst is spent).
+		if err := s.Read(0, make([]byte, 32)); err != nil {
+			t.Errorf("%v: read after transient exhaustion failed: %v", m, err)
+		}
+	}
+}
+
+func TestBackoffCostsSimulatedCycles(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	clock := sim.NewEngine()
+	s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+		{Tier: fault.TierDevice, N: 1, Kind: fault.Transient, Burst: 3},
+	}), RetryPolicy{MaxRetries: 4, BaseBackoff: 16, MaxBackoff: 1024}, clock)
+	if err := s.Read(0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// Three retries with exponential backoff: 16 + 32 + 64 cycles.
+	const want = 16 + 32 + 64
+	if got := clock.Now(); got != want {
+		t.Errorf("clock advanced %d cycles, want %d", got, want)
+	}
+	if st := s.Stats(); st.RetryBackoffCycles != want {
+		t.Errorf("RetryBackoffCycles = %d, want %d", st.RetryBackoffCycles, want)
+	}
+}
+
+// TestDevicePoisonCleanFrameRecovers: an uncorrectable device fault on a
+// frame with no dirty data is survived transparently — the home copy is
+// authoritative. None/Conventional remap the page to another frame; Salus
+// pins it to the home-tier direct path.
+func TestDevicePoisonCleanFrameRecovers(t *testing.T) {
+	for _, m := range allModels {
+		s := newSys(t, m, 4, 2)
+		if err := s.Write(0, []byte("precious payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// The page re-migrates clean; poison its frame on the next device
+		// access after that.
+		s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+			{Tier: fault.TierDevice, N: 1, Kind: fault.Poison},
+		}), quickPolicy(), nil)
+		buf := make([]byte, 16)
+		if err := s.Read(0, buf); err != nil {
+			t.Fatalf("%v: read across clean-frame poison failed: %v", m, err)
+		}
+		if string(buf) != "precious payload" {
+			t.Errorf("%v: recovered read returned %q", m, buf)
+		}
+		st := s.Stats()
+		if st.FramesQuarantined != 1 || st.TransparentRecoveries != 1 {
+			t.Errorf("%v: quarantined=%d recoveries=%d, want 1/1", m, st.FramesQuarantined, st.TransparentRecoveries)
+		}
+		if st.ChunksPoisoned != 0 {
+			t.Errorf("%v: clean-frame fault poisoned %d chunks", m, st.ChunksPoisoned)
+		}
+		if m == ModelSalus {
+			if st.PagesPinned != 1 || s.IsResident(0) {
+				t.Errorf("salus: page should be pinned home (pinned=%d resident=%v)", st.PagesPinned, s.IsResident(0))
+			}
+			// The pinned page stays writable through the direct path.
+			if err := s.Write(0, []byte("still writable!!")); err != nil {
+				t.Fatalf("salus: write to pinned page: %v", err)
+			}
+			if err := s.Read(0, buf); err != nil || string(buf) != "still writable!!" {
+				t.Errorf("salus: pinned round trip got %q, %v", buf, err)
+			}
+		} else if !s.IsResident(0) {
+			t.Errorf("%v: page should have been remapped to the surviving frame", m)
+		}
+		if got := len(s.QuarantinedFrames()); got != 1 {
+			t.Errorf("%v: QuarantinedFrames = %v", m, s.QuarantinedFrames())
+		}
+	}
+}
+
+// TestDevicePoisonDirtyChunkIsLost: when the retired frame held dirty
+// chunks, their data is gone — the access fails with ErrPoison, the home
+// chunks are quarantined, and later reads keep failing instead of
+// returning stale home bytes. Healthy chunks of the page stay readable.
+func TestDevicePoisonDirtyChunkIsLost(t *testing.T) {
+	for _, m := range allModels {
+		s := newSys(t, m, 4, 2)
+		if err := s.Write(0, []byte("doomed")); err != nil { // chunk 0 dirty
+			t.Fatal(err)
+		}
+		s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+			{Tier: fault.TierDevice, N: 1, Kind: fault.StuckBit, Bit: 3},
+		}), quickPolicy(), nil)
+		err := s.Read(0, make([]byte, 4))
+		if !errors.Is(err, ErrPoison) {
+			t.Fatalf("%v: dirty-frame fault returned %v, want ErrPoison", m, err)
+		}
+		// The loss is sticky: the chunk refuses access from now on.
+		if err := s.Read(0, make([]byte, 4)); !errors.Is(err, ErrPoison) {
+			t.Errorf("%v: poisoned chunk re-read returned %v, want ErrPoison", m, err)
+		}
+		if err := s.Write(0, []byte("x")); !errors.Is(err, ErrPoison) {
+			t.Errorf("%v: poisoned chunk write returned %v, want ErrPoison", m, err)
+		}
+		if !s.PoisonedRange(0, 1) || s.PoisonedRange(256, 1) {
+			t.Errorf("%v: PoisonedRange wrong: chunks=%v", m, s.PoisonedChunks())
+		}
+		// A different chunk of the same page re-migrates and reads fine.
+		if err := s.Read(512, make([]byte, 4)); err != nil {
+			t.Errorf("%v: healthy chunk of the page failed: %v", m, err)
+		}
+		st := s.Stats()
+		if st.ChunksPoisoned != 1 || st.StuckBitFaults != 1 || st.PoisonPageDrops != 1 {
+			t.Errorf("%v: poisoned=%d stuck=%d drops=%d, want 1/1/1", m, st.ChunksPoisoned, st.StuckBitFaults, st.PoisonPageDrops)
+		}
+	}
+}
+
+func TestHomePoisonOnDirectPath(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+		{Tier: fault.TierHome, N: 1, Kind: fault.Poison},
+	}), quickPolicy(), nil)
+	err := s.WriteThrough(0, []byte("direct"))
+	if !errors.Is(err, ErrPoison) {
+		t.Fatalf("WriteThrough over home poison returned %v, want ErrPoison", err)
+	}
+	if err := s.ReadThrough(0, make([]byte, 4)); !errors.Is(err, ErrPoison) {
+		t.Errorf("quarantined chunk ReadThrough returned %v, want ErrPoison", err)
+	}
+	if got := s.PoisonedChunks(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("PoisonedChunks = %v, want [0]", got)
+	}
+}
+
+// TestAllFramesQuarantined: the whole device tier dying degrades Salus to
+// home-tier service and surfaces typed errors elsewhere.
+func TestAllFramesQuarantined(t *testing.T) {
+	for _, m := range allModels {
+		s := newSys(t, m, 4, 1) // a single frame
+		s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+			{Tier: fault.TierDevice, N: 1, Kind: fault.Poison},
+		}), quickPolicy(), nil)
+		err := s.Read(0, make([]byte, 8))
+		if m == ModelSalus {
+			if err != nil {
+				t.Errorf("salus: read after total device loss failed: %v", err)
+			}
+			if st := s.Stats(); st.PagesPinned != 1 {
+				t.Errorf("salus: PagesPinned = %d, want 1", st.PagesPinned)
+			}
+		} else if !errors.Is(err, ErrPoison) {
+			t.Errorf("%v: read with no usable frames returned %v, want ErrPoison", m, err)
+		}
+	}
+}
+
+// TestSuspendResumeCarriesQuarantine: the badblock list is TCB state and
+// survives suspend/resume via the TrustedRoot.
+func TestSuspendResumeCarriesQuarantine(t *testing.T) {
+	cfg := Config{Geometry: testGeo(), Model: ModelSalus, TotalPages: 4, DevicePages: 2}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachFaults(fault.NewScriptPlan([]fault.Event{
+		{Tier: fault.TierHome, N: 1, Kind: fault.Poison},
+	}), quickPolicy(), nil)
+	if err := s.WriteThrough(0, []byte("x")); !errors.Is(err, ErrPoison) {
+		t.Fatalf("seeding poison failed: %v", err)
+	}
+	image, root, err := s.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.PoisonedChunks) != 1 {
+		t.Fatalf("root.PoisonedChunks = %v, want one entry", root.PoisonedChunks)
+	}
+	r, err := Resume(cfg, image, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No injector attached to the resumed system: the quarantine must
+	// still hold, or lost data would silently read back as stale bytes.
+	if err := r.Read(0, make([]byte, 4)); !errors.Is(err, ErrPoison) {
+		t.Errorf("resumed read of quarantined chunk returned %v, want ErrPoison", err)
+	}
+	if err := r.Read(256, make([]byte, 4)); err != nil {
+		t.Errorf("resumed read of healthy chunk failed: %v", err)
+	}
+	if got := r.PoisonedChunks(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("resumed PoisonedChunks = %v, want [0]", got)
+	}
+}
+
+func TestResumeRejectsCorruptBadblockList(t *testing.T) {
+	cfg := Config{Geometry: testGeo(), Model: ModelSalus, TotalPages: 2, DevicePages: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, root, err := s.Suspend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range []func(*TrustedRoot){
+		func(r *TrustedRoot) { r.PoisonedChunks = []int{-1} },
+		func(r *TrustedRoot) { r.PoisonedChunks = []int{1 << 20} },
+		func(r *TrustedRoot) { r.QuarantinedFrames = []int{7} },
+		func(r *TrustedRoot) { r.PinnedPages = []int{99} },
+	} {
+		bad := root
+		mut(&bad)
+		if _, err := Resume(cfg, image, bad); err == nil {
+			t.Error("Resume accepted an out-of-range badblock entry")
+		}
+	}
+}
+
+func TestRetryPolicyBackoffCapped(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 100, BaseBackoff: 8, MaxBackoff: 64}
+	want := []sim.Cycle{8, 16, 32, 64, 64, 64}
+	for i, w := range want {
+		if got := p.backoff(i); got != w {
+			t.Errorf("backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Huge attempt numbers must not overflow the shift.
+	if got := p.backoff(1 << 20); got != 64 {
+		t.Errorf("backoff(big) = %d, want cap", got)
+	}
+	if got := (RetryPolicy{}).backoff(3); got != 0 {
+		t.Errorf("zero policy backoff = %d, want 0", got)
+	}
+}

@@ -21,12 +21,15 @@ func (s *System) RawHomeBytes(addr HomeAddr, n int) []byte {
 }
 
 // CorruptHome flips a bit of the stored home-tier data (spoofing attack on
-// the expansion memory). A subsequent read of a non-resident page detects
-// it via MAC verification.
-func (s *System) CorruptHome(addr HomeAddr) {
-	if uint64(addr) < s.Size() {
-		s.cxlData[addr] ^= 0x01
+// the expansion memory) and reports whether addr was in range. A
+// subsequent read of a non-resident page detects the flip via MAC
+// verification.
+func (s *System) CorruptHome(addr HomeAddr) bool {
+	if uint64(addr) >= s.Size() {
+		return false
 	}
+	s.cxlData[addr] ^= 0x01
+	return true
 }
 
 // CorruptDevice flips a bit of the device-tier frame backing addr's page,
@@ -53,6 +56,30 @@ func (s *System) SpliceHome(dst, src HomeAddr) {
 		return
 	}
 	copy(s.cxlData[d:d+ss], s.cxlData[c:c+ss])
+}
+
+// SpliceDevice overwrites the device-tier bytes backing dst's sector with
+// the device-tier bytes backing src's sector (splicing attack relocating
+// valid ciphertext inside the device memory). It reports whether the copy
+// happened: both pages must be device-resident and in range. The secure
+// models detect the splice because the MAC binds the address — the home
+// address under Salus, the device address under the conventional model.
+func (s *System) SpliceDevice(dst, src HomeAddr) bool {
+	ss := uint64(s.geo.SectorSize)
+	d := uint64(dst) / ss * ss
+	c := uint64(src) / ss * ss
+	if d+ss > s.Size() || c+ss > s.Size() {
+		return false
+	}
+	dfi := s.pageTable[HomeAddr(d).Page(s.geo.PageSize)]
+	sfi := s.pageTable[HomeAddr(c).Page(s.geo.PageSize)]
+	if dfi < 0 || sfi < 0 {
+		return false
+	}
+	dOff := FrameAddr(dfi, s.geo.PageSize, HomeAddr(d).PageOffset(s.geo.PageSize))
+	sOff := FrameAddr(sfi, s.geo.PageSize, HomeAddr(c).PageOffset(s.geo.PageSize))
+	copy(s.devData[dOff:dOff+DevAddr(ss)], s.devData[sOff:sOff+DevAddr(ss)])
+	return true
 }
 
 // ChunkSnapshot captures everything an attacker would record to later

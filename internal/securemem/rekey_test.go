@@ -92,7 +92,9 @@ func TestReKeyDetectsPriorTampering(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	s.CorruptHome(0)
+	if !s.CorruptHome(0) {
+		t.Fatal("CorruptHome(0) reported out of range")
+	}
 	if err := s.ReKey([]byte("fedcba9876543210"), []byte("k2")); !errors.Is(err, ErrIntegrity) {
 		t.Errorf("rekey over tampered data: %v", err)
 	}

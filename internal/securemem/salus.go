@@ -176,6 +176,9 @@ func (s *System) salusReencryptChunk(homeAddr HomeAddr, fi int, old, cur *counte
 // land in the home tier. Clean chunks need no traffic at all: their home-
 // tier ciphertext is still valid because it was never re-encrypted.
 func (s *System) salusEvict(fi int) error {
+	if err := s.gateEvictWrites(fi, false); err != nil {
+		return err
+	}
 	f := &s.frames[fi]
 	page := f.homePage
 	cs := s.geo.ChunkSize
@@ -187,11 +190,17 @@ func (s *System) salusEvict(fi int) error {
 			continue
 		}
 		s.stats.DirtyChunkWritebacks++
+		homeChunk := page*s.geo.ChunksPerPage() + c
+		if s.poisoned[homeChunk] {
+			// The writeback target died under the eviction gate: the chunk
+			// is quarantined, its writeback suppressed (still accounted as a
+			// dirty-chunk writeback so the eviction arithmetic stays exact).
+			continue
+		}
 		gi := fi*s.geo.ChunksPerPage() + c
 		g := &s.devGroups[gi]
 		old := *g
 		newMajor, reenc := g.Collapse()
-		homeChunk := page*s.geo.ChunksPerPage() + c
 		chunkHomeBase := uint64(homeChunk * cs)
 		chunkDevBase := uint64(fi*s.geo.PageSize + c*cs)
 		for i := 0; i < s.geo.SectorsPerChunk(); i++ {

@@ -26,10 +26,12 @@ import (
 	"fmt"
 
 	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/fault"
 	"github.com/salus-sim/salus/internal/security/bmt"
 	"github.com/salus-sim/salus/internal/security/counters"
 	"github.com/salus-sim/salus/internal/security/cryptoeng"
 	"github.com/salus-sim/salus/internal/security/maclib"
+	"github.com/salus-sim/salus/internal/sim"
 )
 
 // Model selects the protection scheme.
@@ -119,15 +121,34 @@ type OpStats struct {
 	BMTUpdates  uint64
 
 	KeyRotations uint64 // completed ReKey sweeps
+
+	// Hardware fault accounting (populated only when a fault.Injector is
+	// attached). All fields are monotone uint64s like the rest of OpStats.
+	TransientFaults       uint64 // link faults observed (including each burst attempt)
+	PoisonFaults          uint64 // uncorrectable media faults observed
+	StuckBitFaults        uint64 // stuck-at media faults observed
+	Retries               uint64 // transient-fault retries issued
+	RetryBackoffCycles    uint64 // simulated cycles spent in retry backoff
+	TransparentRecoveries uint64 // device faults survived with no data loss
+	FramesQuarantined     uint64 // device frames retired
+	ChunksPoisoned        uint64 // home chunks quarantined (data lost)
+	PagesPinned           uint64 // pages degraded to home-tier direct access
+	PoisonPageDrops       uint64 // resident pages unmapped by a frame quarantine
+	// PoisonSkippedRelocations counts sectors the conventional model's
+	// migration/eviction sweeps skipped because their home chunk is
+	// quarantined; together with RelocationReEncryptions it keeps the
+	// per-page sector accounting exact under faults.
+	PoisonSkippedRelocations uint64
 }
 
 // frame describes one device-tier page frame.
 type frame struct {
-	homePage int // index of the resident page, -1 when free
-	lru      uint64
-	dirty    uint64 // per-chunk dirty bitmask (fine-grained tracking)
-	macIn    uint64 // per-block mask: MAC sector fetched (Salus fetch-on-access)
-	ctrIn    uint64 // per-chunk mask: device counter group initialised
+	homePage    int // index of the resident page, -1 when free
+	lru         uint64
+	dirty       uint64 // per-chunk dirty bitmask (fine-grained tracking)
+	macIn       uint64 // per-block mask: MAC sector fetched (Salus fetch-on-access)
+	ctrIn       uint64 // per-chunk mask: device counter group initialised
+	quarantined bool   // retired after an uncorrectable media fault
 }
 
 // System is a two-tier protected memory.
@@ -160,6 +181,15 @@ type System struct {
 	convDevMACs []uint64                      // per device sector
 	convCXLTree *bmt.Tree
 	convDevTree *bmt.Tree
+
+	// Fault model (see fault.go). inj is nil when no faults are armed.
+	// poisoned and pinned are TCB badblock state: they survive
+	// Suspend/Resume through the TrustedRoot.
+	inj      fault.Injector
+	retry    RetryPolicy
+	clock    *sim.Engine
+	poisoned map[int]bool // home chunk -> quarantined
+	pinned   map[int]bool // home page -> pinned to home-tier access
 
 	stats OpStats
 }

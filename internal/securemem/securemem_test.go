@@ -276,10 +276,15 @@ func TestTamperHomeDetected(t *testing.T) {
 		if err := s.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		s.CorruptHome(0)
+		if !s.CorruptHome(0) {
+			t.Fatalf("%v: in-range CorruptHome reported failure", m)
+		}
 		err := s.Read(0, make([]byte, 8))
 		if !errors.Is(err, ErrIntegrity) {
 			t.Errorf("%v: tampered home read returned %v, want ErrIntegrity", m, err)
+		}
+		if s.CorruptHome(HomeAddr(s.Size())) {
+			t.Errorf("%v: out-of-range CorruptHome reported success", m)
 		}
 	}
 }
@@ -318,6 +323,59 @@ func TestSpliceDetected(t *testing.T) {
 		if !errors.Is(err, ErrIntegrity) {
 			t.Errorf("%v: spliced read returned %v, want ErrIntegrity", m, err)
 		}
+	}
+}
+
+func TestSpliceDeviceDetected(t *testing.T) {
+	// Device-resident splice: valid ciphertext relocated inside the device
+	// memory. Both secure models bind the MAC to an address (home under
+	// Salus, device under conventional), so the moved sector fails
+	// verification; ModelNone has no MACs and is blind to it — the
+	// baseline the secure models are measured against.
+	for _, m := range allModels {
+		s := newSys(t, m, 4, 2)
+		if err := s.Write(0, bytes.Repeat([]byte{1}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(32, bytes.Repeat([]byte{2}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		if !s.IsResident(0) {
+			t.Fatalf("%v: page 0 not resident after writes", m)
+		}
+		// Move sector 1's device-resident ciphertext over sector 0.
+		if !s.SpliceDevice(0, 32) {
+			t.Fatalf("%v: resident SpliceDevice reported failure", m)
+		}
+		buf := make([]byte, 32)
+		err := s.Read(0, buf)
+		if m == ModelNone {
+			if err != nil {
+				t.Errorf("none: spliced read returned %v, want silent acceptance", err)
+			} else if !bytes.Equal(buf, bytes.Repeat([]byte{2}, 32)) {
+				t.Errorf("none: spliced read returned %v, want the relocated bytes", buf)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			t.Errorf("%v: device-spliced read returned %v, want ErrIntegrity", m, err)
+		}
+	}
+}
+
+func TestSpliceDeviceRejectsNonResidentAndOutOfRange(t *testing.T) {
+	s := newSys(t, ModelSalus, 4, 2)
+	if s.SpliceDevice(0, 32) {
+		t.Error("SpliceDevice on non-resident pages reported success")
+	}
+	if err := s.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.SpliceDevice(0, HomeAddr(s.Size())) {
+		t.Error("SpliceDevice with out-of-range source reported success")
+	}
+	if s.SpliceDevice(HomeAddr(s.Size()), 0) {
+		t.Error("SpliceDevice with out-of-range destination reported success")
 	}
 }
 

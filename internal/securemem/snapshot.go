@@ -27,11 +27,19 @@ import (
 // snapshotMagic identifies the image format.
 var snapshotMagic = []byte("SALUSIMG1")
 
-// TrustedRoot is the TCB state of a suspended system.
+// TrustedRoot is the TCB state of a suspended system. Besides the tree
+// roots it carries the fault-containment badblock list: quarantined
+// chunks, retired frames, and pinned pages must survive a suspend/resume
+// cycle, or a resumed system would silently serve stale home bytes for
+// data that was lost to an uncorrectable fault.
 type TrustedRoot struct {
 	CXLRoot   [32]byte
 	SplitRoot [32]byte // zero when the split state was never used
 	HasSplit  bool
+
+	PoisonedChunks    []int
+	QuarantinedFrames []int
+	PinnedPages       []int
 }
 
 // Suspend flushes the device tier and serialises the untrusted state. It
@@ -79,6 +87,9 @@ func (s *System) Suspend() (image []byte, root TrustedRoot, err error) {
 		w64(0)
 	}
 	root.CXLRoot = s.cxlTree.Root()
+	root.PoisonedChunks = s.PoisonedChunks()
+	root.QuarantinedFrames = s.QuarantinedFrames()
+	root.PinnedPages = s.PinnedPages()
 	return buf.Bytes(), root, nil
 }
 
@@ -166,6 +177,31 @@ func Resume(cfg Config, image []byte, root TrustedRoot) (*System, error) {
 		}
 	} else if hasSplit == 1 {
 		return nil, fmt.Errorf("%w: image carries split state the trusted root does not know", ErrFreshness)
+	}
+	// Restore the fault-containment badblock list from the TCB.
+	for _, c := range root.PoisonedChunks {
+		if c < 0 || c >= cfg.TotalPages*cfg.Geometry.ChunksPerPage() {
+			return nil, fmt.Errorf("securemem: trusted root quarantines out-of-range chunk %d", c)
+		}
+		if s.poisoned == nil {
+			s.poisoned = map[int]bool{}
+		}
+		s.poisoned[c] = true
+	}
+	for _, fi := range root.QuarantinedFrames {
+		if fi < 0 || fi >= len(s.frames) {
+			return nil, fmt.Errorf("securemem: trusted root retires out-of-range frame %d", fi)
+		}
+		s.frames[fi].quarantined = true
+	}
+	for _, p := range root.PinnedPages {
+		if p < 0 || p >= cfg.TotalPages {
+			return nil, fmt.Errorf("securemem: trusted root pins out-of-range page %d", p)
+		}
+		if s.pinned == nil {
+			s.pinned = map[int]bool{}
+		}
+		s.pinned[p] = true
 	}
 	return s, nil
 }

@@ -131,6 +131,23 @@ func (e *Engine) Run(limit Cycle) Cycle {
 	return e.now
 }
 
+// Advance moves simulated time forward by d cycles, dispatching any events
+// that fall due in the crossed interval, and returns the new current time.
+// Components that consume time without scheduling callbacks (e.g. a memory
+// controller stalling on a link retry backoff) use this to charge latency
+// to the clock.
+func (e *Engine) Advance(d Cycle) Cycle {
+	if d == 0 {
+		return e.now
+	}
+	target := e.now + d
+	for len(e.events) > 0 && e.events[0].when <= target {
+		e.Step()
+	}
+	e.now = target
+	return e.now
+}
+
 // RunUntil dispatches events while cond() is true and events remain, up to
 // the optional time limit (0 = none). It returns the stop cycle.
 func (e *Engine) RunUntil(limit Cycle, cond func() bool) Cycle {

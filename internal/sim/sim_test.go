@@ -107,6 +107,35 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineAdvance(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	e.At(5, func() { fired = append(fired, e.Now()) })
+	e.At(20, func() { fired = append(fired, e.Now()) })
+	if got := e.Advance(0); got != 0 {
+		t.Errorf("Advance(0) = %d, want 0", got)
+	}
+	if got := e.Advance(10); got != 10 {
+		t.Errorf("Advance(10) = %d, want 10", got)
+	}
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Errorf("events fired during first advance = %v, want [5]", fired)
+	}
+	// Time moves even with an empty due window, and pending events survive.
+	if got := e.Advance(5); got != 15 {
+		t.Errorf("Advance to 15 = %d", got)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	if got := e.Advance(10); got != 25 {
+		t.Errorf("Advance to 25 = %d", got)
+	}
+	if len(fired) != 2 || fired[1] != 20 {
+		t.Errorf("fired = %v, want the cycle-20 event dispatched en route", fired)
+	}
+}
+
 func TestEngineMonotonicTime(t *testing.T) {
 	// Property: dispatch order never goes backwards in time, for any set of
 	// scheduled delays.

@@ -126,6 +126,23 @@ type Ops struct {
 	MappingCacheHits     uint64
 	MappingCacheMisses   uint64
 	MappingInvalidations uint64 // directed invalidation messages sent to GPC mapping caches
+
+	// Fault-model activity; all zero in a fault-free run.
+	FaultsTransient       uint64 // transient link faults injected
+	FaultsPoison          uint64 // uncorrectable media errors injected
+	FaultsStuckBit        uint64 // stuck-at media bits injected
+	Retries               uint64 // transient-fault retries issued
+	RetryBackoffCycles    uint64 // simulated cycles spent backing off
+	TransparentRecoveries uint64 // frame quarantines with no data loss
+	FramesQuarantined     uint64 // device frames retired
+	ChunksPoisoned        uint64 // home chunks quarantined
+	PagesPinned           uint64 // pages pinned to home-tier access
+}
+
+// HasFaults reports whether any fault-model activity was recorded.
+func (o *Ops) HasFaults() bool {
+	return o.FaultsTransient != 0 || o.FaultsPoison != 0 || o.FaultsStuckBit != 0 ||
+		o.Retries != 0 || o.FramesQuarantined != 0 || o.ChunksPoisoned != 0 || o.PagesPinned != 0
 }
 
 // Run is the full measurement record of one simulation.
@@ -182,6 +199,12 @@ func (r *Run) String() string {
 	fmt.Fprintf(&b, "  migrations in=%d evictions=%d chunksBack=%d reenc=%d lazyMAC=%d\n",
 		r.Ops.PagesMigratedIn, r.Ops.PagesEvicted, r.Ops.ChunksWrittenBack,
 		r.Ops.ReEncryptions, r.Ops.MACFetchesLazy)
+	if r.Ops.HasFaults() {
+		fmt.Fprintf(&b, "  faults transient=%d poison=%d stuckBit=%d retries=%d backoff=%d recovered=%d quarantinedFrames=%d poisonedChunks=%d pinnedPages=%d\n",
+			r.Ops.FaultsTransient, r.Ops.FaultsPoison, r.Ops.FaultsStuckBit,
+			r.Ops.Retries, r.Ops.RetryBackoffCycles, r.Ops.TransparentRecoveries,
+			r.Ops.FramesQuarantined, r.Ops.ChunksPoisoned, r.Ops.PagesPinned)
+	}
 	if len(r.CacheHitRates) > 0 {
 		keys := make([]string, 0, len(r.CacheHitRates))
 		for k := range r.CacheHitRates {

@@ -68,6 +68,28 @@ func TestRunString(t *testing.T) {
 	}
 }
 
+func TestRunStringFaultsLine(t *testing.T) {
+	r := Run{Workload: "bfs", Model: "salus"}
+	if strings.Contains(r.String(), "faults ") {
+		t.Errorf("fault-free run should not render a faults line:\n%s", r.String())
+	}
+	if r.Ops.HasFaults() {
+		t.Error("zero Ops reported HasFaults")
+	}
+	r.Ops.FaultsTransient = 7
+	r.Ops.Retries = 7
+	r.Ops.ChunksPoisoned = 2
+	if !r.Ops.HasFaults() {
+		t.Error("non-zero fault counters not reported by HasFaults")
+	}
+	s := r.String()
+	for _, frag := range []string{"faults transient=7", "retries=7", "poisonedChunks=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
 func TestTierClassString(t *testing.T) {
 	if Device.String() != "device" || CXL.String() != "cxl" {
 		t.Error("tier names wrong")

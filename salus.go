@@ -77,7 +77,20 @@ var (
 	ErrFreshness = securemem.ErrFreshness
 	// ErrOutOfRange reports an access beyond the home address space.
 	ErrOutOfRange = securemem.ErrOutOfRange
+	// ErrTransient reports a retryable link fault that persisted past the
+	// retry budget (only with a fault injector attached).
+	ErrTransient = securemem.ErrTransient
+	// ErrPoison reports an uncorrectable media error: the addressed data
+	// is lost and its region quarantined.
+	ErrPoison = securemem.ErrPoison
 )
+
+// RetryPolicy bounds the transient-fault retry loop of a fault-armed
+// System; see System.AttachFaults.
+type RetryPolicy = securemem.RetryPolicy
+
+// DefaultRetryPolicy mirrors a CXL link-layer retry budget.
+func DefaultRetryPolicy() RetryPolicy { return securemem.DefaultRetryPolicy() }
 
 // DefaultGeometry returns the paper's layout: 32 B sectors, 128 B blocks,
 // 256 B interleaving chunks, 4 KiB pages.

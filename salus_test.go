@@ -46,7 +46,9 @@ func TestPublicErrorValues(t *testing.T) {
 	if err := sys.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	sys.CorruptHome(0)
+	if !sys.CorruptHome(0) {
+		t.Fatal("CorruptHome(0) reported out of range")
+	}
 	if err := sys.Read(0, make([]byte, 1)); !errors.Is(err, salus.ErrIntegrity) {
 		t.Errorf("tampered read: %v", err)
 	}
