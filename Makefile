@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke ci
 
 all: build test
 
@@ -34,10 +34,14 @@ race:
 	$(GO) test -race ./internal/securemem ./internal/sim ./internal/pagecache \
 		./internal/metrics ./internal/trace
 
-# fuzz-smoke gives the trace-parser fuzzer a short budget on top of the
-# checked-in corpus (internal/trace/testdata/fuzz).
+# fuzz-smoke gives the untrusted-input fuzzers a short budget each on top
+# of any checked-in corpora: the trace parser, and the two persistence
+# decoders (suspend images and checkpoint journals + marshalled roots).
+# Go fuzzing takes exactly one target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^FuzzReadTrace$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
+	$(GO) test ./internal/securemem -run '^FuzzResume$$' -fuzz '^FuzzResume$$' -fuzztime 10s
+	$(GO) test ./internal/securemem -run '^FuzzRecover$$' -fuzz '^FuzzRecover$$' -fuzztime 10s
 
 # check-smoke runs the differential model-equivalence checker under the
 # race detector with the CI budget: 25 seeds × 200 randomized ops against
@@ -53,4 +57,13 @@ chaos-smoke:
 	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200 -chaos recoverable
 	$(GO) run -race ./cmd/salus-check -seeds 25 -ops 200 -chaos unrecoverable
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke
+# crash-smoke runs power-loss injection on the checkpoint journal under
+# the race detector: every seed's journal tape is cut at every write/sync
+# boundary under every damage mode, and each cut must recover the last
+# committed epoch byte-identically or fail with a typed torn/rollback
+# error. The deeper acceptance campaign is the same command with
+# -seeds 50.
+crash-smoke:
+	$(GO) run -race ./cmd/salus-check -crash -seeds 8 -ops 72 -pages 8 -devpages 2
+
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke

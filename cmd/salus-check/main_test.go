@@ -28,6 +28,23 @@ func TestSingleModelRun(t *testing.T) {
 	}
 }
 
+func TestCrashRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-crash", "-seeds", "2", "-ops", "24", "-pages", "4", "-devpages", "2", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "crash PASS") {
+		t.Errorf("missing crash PASS summary: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "cuts enumerated") {
+		t.Errorf("missing enumeration accounting: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "epochs") {
+		t.Errorf("-v produced no per-seed crash progress: %q", errOut.String())
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-model", "quantum"},
@@ -36,6 +53,7 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-devpages", "9", "-pages", "3"},
 		{"-nonsense"},
 		{"stray-positional"},
+		{"-crash", "-chaos", "recoverable"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -74,7 +74,7 @@ func main() {
 
 	fmt.Println("attack 3 — tamper with at-rest ciphertext (caught lazily)")
 	evil = append([]byte(nil), image...)
-	evil[32] ^= 0x01 // first data byte region
+	evil[9+6*8] ^= 0x01 // first data byte, just past the magic + dimension header
 	lazy, err := salus.Resume(cfg, evil, root)
 	if err != nil {
 		log.Fatalf("resume unexpectedly failed early: %v", err)

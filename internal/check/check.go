@@ -44,6 +44,11 @@ const (
 	OpCheckpoint
 	OpFlush
 	OpSuspendResume
+	// OpEpochCheckpoint commits one incremental checkpoint epoch to the
+	// crash journal. It is generated only for crash-mode sequences (see
+	// crash.go); the plain replay treats it as a no-op because without a
+	// journal it has no observable plaintext effect.
+	OpEpochCheckpoint
 )
 
 // String returns the op name.
@@ -63,6 +68,8 @@ func (k OpKind) String() string {
 		return "flush"
 	case OpSuspendResume:
 		return "suspend-resume"
+	case OpEpochCheckpoint:
+		return "epoch-checkpoint"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -81,7 +88,7 @@ func (o Op) String() string {
 	switch o.Kind {
 	case OpCheckpoint:
 		return fmt.Sprintf("%v addr=%#x", o.Kind, o.Addr)
-	case OpFlush, OpSuspendResume:
+	case OpFlush, OpSuspendResume, OpEpochCheckpoint:
 		return o.Kind.String()
 	case OpWrite, OpWriteThrough:
 		return fmt.Sprintf("%v addr=%#x len=%d tag=%d", o.Kind, o.Addr, o.Len, o.Tag)
@@ -170,12 +177,18 @@ type Failure struct {
 	OpIdx  int      // failing op index; len(Seq.Ops) = final sweep, -1 = setup
 	Target string   // name of the diverging target
 	Reason string
+	// Loc, when non-empty, overrides the op-index location. Crash-mode
+	// failures use it to name the crash point ("cut 17/80 (torn)") that
+	// the whole sequence, not one op, led to.
+	Loc string
 }
 
 // String renders the failure with its location inside the sequence.
 func (f *Failure) String() string {
 	loc := "setup"
 	switch {
+	case f.Loc != "":
+		loc = f.Loc
 	case f.OpIdx >= 0 && f.OpIdx < len(f.Seq.Ops):
 		loc = fmt.Sprintf("op %d (%v)", f.OpIdx, f.Seq.Ops[f.OpIdx])
 	case f.OpIdx == len(f.Seq.Ops):
@@ -295,7 +308,7 @@ func (st *replayState) mismatch(ti int, addr uint64, got, want []byte) int {
 func (st *replayState) wantErr(op Op) bool {
 	size := uint64(len(st.oracle))
 	switch op.Kind {
-	case OpFlush, OpSuspendResume:
+	case OpFlush, OpSuspendResume, OpEpochCheckpoint:
 		return false
 	case OpCheckpoint:
 		return op.Addr >= size
@@ -334,6 +347,9 @@ func (st *replayState) apply(op Op) *Failure {
 			err = safely(t.Flush)
 		case OpSuspendResume:
 			err = safely(t.SuspendResume)
+		case OpEpochCheckpoint:
+			// Journal-backed epoch checkpoints only exist in crash mode;
+			// the plain differential replay passes them through.
 		default:
 			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("generator produced unknown op kind %d", op.Kind)}
 		}

@@ -7,13 +7,30 @@ import (
 
 // kindIdent maps op kinds to their exported identifiers for emitted code.
 var kindIdent = map[OpKind]string{
-	OpRead:          "check.OpRead",
-	OpWrite:         "check.OpWrite",
-	OpReadThrough:   "check.OpReadThrough",
-	OpWriteThrough:  "check.OpWriteThrough",
-	OpCheckpoint:    "check.OpCheckpoint",
-	OpFlush:         "check.OpFlush",
-	OpSuspendResume: "check.OpSuspendResume",
+	OpRead:            "check.OpRead",
+	OpWrite:           "check.OpWrite",
+	OpReadThrough:     "check.OpReadThrough",
+	OpWriteThrough:    "check.OpWriteThrough",
+	OpCheckpoint:      "check.OpCheckpoint",
+	OpFlush:           "check.OpFlush",
+	OpSuspendResume:   "check.OpSuspendResume",
+	OpEpochCheckpoint: "check.OpEpochCheckpoint",
+}
+
+// writeOps renders a sequence's op list as Go composite-literal lines.
+func writeOps(b *strings.Builder, ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpFlush, OpSuspendResume, OpEpochCheckpoint:
+			fmt.Fprintf(b, "\t\t{Kind: %s},\n", kindIdent[op.Kind])
+		case OpCheckpoint:
+			fmt.Fprintf(b, "\t\t{Kind: %s, Addr: %#x},\n", kindIdent[op.Kind], op.Addr)
+		case OpWrite, OpWriteThrough:
+			fmt.Fprintf(b, "\t\t{Kind: %s, Addr: %#x, Len: %d, Tag: %d},\n", kindIdent[op.Kind], op.Addr, op.Len, op.Tag)
+		default:
+			fmt.Fprintf(b, "\t\t{Kind: %s, Addr: %#x, Len: %d},\n", kindIdent[op.Kind], op.Addr, op.Len)
+		}
+	}
 }
 
 // GoTest renders the failure's (shrunk) sequence as a runnable Go
@@ -37,20 +54,30 @@ func (f *Failure) GoTest(cfg Config, name string) string {
 		fmt.Fprintf(&b, "\tcfg = check.ChaosConfig(cfg, %v)\n", cfg.Fault.Unrecoverable)
 	}
 	fmt.Fprintf(&b, "\tseq := check.Sequence{Seed: %d, Ops: []check.Op{\n", f.Seq.Seed)
-	for _, op := range f.Seq.Ops {
-		switch op.Kind {
-		case OpFlush, OpSuspendResume:
-			fmt.Fprintf(&b, "\t\t{Kind: %s},\n", kindIdent[op.Kind])
-		case OpCheckpoint:
-			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x},\n", kindIdent[op.Kind], op.Addr)
-		case OpWrite, OpWriteThrough:
-			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x, Len: %d, Tag: %d},\n", kindIdent[op.Kind], op.Addr, op.Len, op.Tag)
-		default:
-			fmt.Fprintf(&b, "\t\t{Kind: %s, Addr: %#x, Len: %d},\n", kindIdent[op.Kind], op.Addr, op.Len)
-		}
-	}
+	writeOps(&b, f.Seq.Ops)
 	b.WriteString("\t}}\n")
 	b.WriteString("\tif f := check.ReplaySequence(cfg, seq); f != nil {\n")
+	b.WriteString("\t\tt.Fatalf(\"regression reproduced: %v\", f)\n")
+	b.WriteString("\t}\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// CrashGoTest renders the failure's (shrunk) crash-mode sequence as a
+// runnable Go regression test replaying it — golden run, every enumerated
+// crash point, and the rollback probe — under plan's sizing.
+func (f *Failure) CrashGoTest(plan CrashPlan, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Regression test emitted by the salus-check crash shrinker.\n")
+	fmt.Fprintf(&b, "// Original failure: %s\n", f)
+	fmt.Fprintf(&b, "func TestCrashRegression_%s(t *testing.T) {\n", name)
+	b.WriteString("\tplan := check.DefaultCrashPlan()\n")
+	fmt.Fprintf(&b, "\tplan.TotalPages = %d\n", plan.TotalPages)
+	fmt.Fprintf(&b, "\tplan.DevicePages = %d\n", plan.DevicePages)
+	fmt.Fprintf(&b, "\tseq := check.Sequence{Seed: %d, Ops: []check.Op{\n", f.Seq.Seed)
+	writeOps(&b, f.Seq.Ops)
+	b.WriteString("\t}}\n")
+	b.WriteString("\tif f := check.ReplayCrashSequence(plan, seq); f != nil {\n")
 	b.WriteString("\t\tt.Fatalf(\"regression reproduced: %v\", f)\n")
 	b.WriteString("\t}\n")
 	b.WriteString("}\n")

@@ -9,10 +9,23 @@ package check
 // Replay is deterministic, so the result is reproducible: replaying the
 // returned sequence fails with the same class of violation.
 func Shrink(cfg Config, seq Sequence) Sequence {
-	fails := func(ops []Op) *Failure {
+	return shrinkOps(seq, func(ops []Op) *Failure {
 		return ReplaySequence(cfg, Sequence{Seed: seq.Seed, Ops: ops})
-	}
+	})
+}
 
+// ShrinkCrash is Shrink for crash-mode sequences: the reduction predicate
+// is the full crash replay (golden run plus every enumerated cut), so the
+// minimal sequence still reaches the failing crash point.
+func ShrinkCrash(plan CrashPlan, seq Sequence) Sequence {
+	return shrinkOps(seq, func(ops []Op) *Failure {
+		return ReplayCrashSequence(plan, Sequence{Seed: seq.Seed, Ops: ops})
+	})
+}
+
+// shrinkOps is the ddmin core shared by the replay modes; fails replays a
+// candidate op list under the original seed.
+func shrinkOps(seq Sequence, fails func(ops []Op) *Failure) Sequence {
 	ops := append([]Op(nil), seq.Ops...)
 	f := fails(ops)
 	if f == nil {

@@ -65,6 +65,16 @@ func PerMillion(events, total uint64) float64 {
 	return float64(events) / float64(total) * 1e6
 }
 
+// Per returns the zero-guarded ratio n/d for per-unit counter figures —
+// journal bytes per checkpoint epoch, retries per fault, and the like (0
+// when d is 0).
+func Per(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -127,6 +127,18 @@ func TestPerMillion(t *testing.T) {
 	}
 }
 
+func TestPer(t *testing.T) {
+	if got := Per(3, 0); got != 0 {
+		t.Errorf("Per(3, 0) = %v, want 0", got)
+	}
+	if got := Per(6, 4); got != 1.5 {
+		t.Errorf("Per(6, 4) = %v, want 1.5", got)
+	}
+	if got := Per(0, 9); got != 0 {
+		t.Errorf("Per(0, 9) = %v, want 0", got)
+	}
+}
+
 func TestMeanMinMax(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	if Mean(xs) != 2 {

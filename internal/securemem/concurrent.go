@@ -1,6 +1,10 @@
 package securemem
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/salus-sim/salus/internal/crash"
+)
 
 // Concurrent wraps a System with a mutex so multiple goroutines can share
 // it. The underlying System is single-threaded by design (the hardware it
@@ -54,6 +58,29 @@ func (c *Concurrent) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Flush()
+}
+
+// Checkpoint is a goroutine-safe System.Checkpoint: the epoch is
+// serialised against concurrent accesses, so a checkpoint taken under
+// load captures a consistent point-in-time state.
+func (c *Concurrent) Checkpoint(j *crash.Journal) (TrustedRoot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Checkpoint(j)
+}
+
+// Suspend is a goroutine-safe System.Suspend.
+func (c *Concurrent) Suspend() ([]byte, TrustedRoot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Suspend()
+}
+
+// Epoch is a goroutine-safe System.Epoch.
+func (c *Concurrent) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Epoch()
 }
 
 // Stats is a goroutine-safe System.Stats.

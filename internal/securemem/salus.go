@@ -56,6 +56,7 @@ func (s *System) salusHomeMajor(homeChunk int) (uint32, error) {
 // salusSetHomeMajor updates the collapsed major of a home chunk and the
 // CXL tree.
 func (s *System) salusSetHomeMajor(homeChunk int, major uint32) error {
+	s.markCkptDirty(homeChunk * s.geo.ChunkSize / s.geo.PageSize)
 	si := homeChunk / counters.CollapsedMajors
 	s.collapsed[si].Majors[homeChunk%counters.CollapsedMajors] = major
 	s.stats.BMTUpdates++

@@ -139,6 +139,15 @@ type OpStats struct {
 	// quarantined; together with RelocationReEncryptions it keeps the
 	// per-page sector accounting exact under faults.
 	PoisonSkippedRelocations uint64
+
+	// Incremental checkpoint accounting (see checkpoint.go). A checkpoint
+	// journals exactly one page record per dirty page, so
+	// CheckpointPages is also the journal record count net of commits.
+	Checkpoints          uint64 // committed checkpoint epochs
+	CheckpointPages      uint64 // page records journaled
+	CheckpointWritebacks uint64 // dirty resident chunks collapsed home by checkpoints
+	CheckpointBytes      uint64 // journal bytes written (records + commits)
+	CheckpointCycles     uint64 // simulated cycles charged to checkpointing
 }
 
 // frame describes one device-tier page frame.
@@ -190,6 +199,11 @@ type System struct {
 	clock    *sim.Engine
 	poisoned map[int]bool // home chunk -> quarantined
 	pinned   map[int]bool // home page -> pinned to home-tier access
+
+	// Incremental checkpoint state (ModelSalus, see checkpoint.go): the
+	// committed epoch and the per-page dirty map feeding the next epoch.
+	epoch     uint64
+	ckptDirty []bool
 
 	stats OpStats
 }
@@ -253,6 +267,9 @@ func New(cfg Config) (*System, error) {
 		if err := s.initialEncrypt(); err != nil {
 			return nil, err
 		}
+		// Allocated after initialEncrypt so the deterministic initial
+		// state counts as clean: untouched pages need no journal records.
+		s.ckptDirty = make([]bool, cfg.TotalPages)
 	case ModelConventional:
 		homeSectors := cfg.TotalPages * g.SectorsPerPage()
 		devSectors := cfg.DevicePages * g.SectorsPerPage()
@@ -318,10 +335,13 @@ func (s *System) homeCounterPair(addr HomeAddr) (major, minor uint64) {
 	return 0, 0
 }
 
-// storeHomeMAC records the MAC of a home-tier sector.
+// storeHomeMAC records the MAC of a home-tier sector. Every home data or
+// MAC mutation funnels through here, making it (with salusSetHomeMajor)
+// the chokepoint for checkpoint dirty-page tracking.
 func (s *System) storeHomeMAC(addr HomeAddr, mac uint64) error {
 	switch s.cfg.Model {
 	case ModelSalus:
+		s.markCkptDirty(addr.Page(s.geo.PageSize))
 		block := int(addr) / s.geo.BlockSize
 		secInBlock := (int(addr) % s.geo.BlockSize) / s.geo.SectorSize
 		return s.macSectors[block].SetMAC(secInBlock, mac)

@@ -84,9 +84,9 @@ func TestResumeRejectsTamperedCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The counter section sits after magic + 2×8 header + data + MACs.
+	// The counter section sits after magic + 6×8 header + data + MACs.
 	g := testGeo()
-	ctrOff := len(snapshotMagic) + 16 + 4*g.PageSize + 4*g.BlocksPerPage()*32
+	ctrOff := len(snapshotMagic) + 48 + 4*g.PageSize + 4*g.BlocksPerPage()*32
 	image[ctrOff] ^= 0x01
 	if _, err := Resume(salusCfg(4, 2), image, root); !errors.Is(err, ErrFreshness) {
 		t.Errorf("tampered counter image: %v", err)
@@ -102,7 +102,7 @@ func TestResumeDetectsTamperedDataOnAccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	image[len(snapshotMagic)+16] ^= 0x01 // first data byte
+	image[len(snapshotMagic)+48] ^= 0x01 // first data byte
 	restored, err := Resume(salusCfg(4, 2), image, root)
 	if err != nil {
 		t.Fatalf("resume should succeed (data tampering caught lazily): %v", err)
@@ -151,11 +151,11 @@ func mustRoot(t *testing.T, s *System) TrustedRoot {
 }
 
 func TestResumeRejectsGarbage(t *testing.T) {
-	if _, err := Resume(salusCfg(4, 2), []byte("not an image"), TrustedRoot{}); err == nil {
-		t.Error("garbage image accepted")
+	if _, err := Resume(salusCfg(4, 2), []byte("not an image"), TrustedRoot{}); !errors.Is(err, ErrImageMismatch) {
+		t.Errorf("garbage image: %v; want ErrImageMismatch", err)
 	}
-	if _, err := Resume(salusCfg(4, 2), nil, TrustedRoot{}); err == nil {
-		t.Error("nil image accepted")
+	if _, err := Resume(salusCfg(4, 2), nil, TrustedRoot{}); !errors.Is(err, ErrImageMismatch) {
+		t.Errorf("nil image: %v; want ErrImageMismatch", err)
 	}
 	// Truncated image.
 	s := newSys(t, ModelSalus, 4, 2)
@@ -166,9 +166,19 @@ func TestResumeRejectsGarbage(t *testing.T) {
 	if _, err := Resume(salusCfg(4, 2), image[:len(image)/2], root); err == nil {
 		t.Error("truncated image accepted")
 	}
-	// Wrong geometry.
-	if _, err := Resume(salusCfg(8, 2), image, root); err == nil {
-		t.Error("mismatched geometry accepted")
+	// Disagreeing page counts must be rejected up front, typed — not by
+	// mis-indexing the sections.
+	if _, err := Resume(salusCfg(8, 2), image, root); !errors.Is(err, ErrImageMismatch) {
+		t.Errorf("mismatched page count: %v; want ErrImageMismatch", err)
+	}
+	if _, err := Resume(salusCfg(4, 3), image, root); !errors.Is(err, ErrImageMismatch) {
+		t.Errorf("mismatched device pages: %v; want ErrImageMismatch", err)
+	}
+	// Disagreeing layout geometry likewise.
+	badGeo := salusCfg(4, 2)
+	badGeo.Geometry.PageSize *= 2
+	if _, err := Resume(badGeo, image, root); !errors.Is(err, ErrImageMismatch) {
+		t.Errorf("mismatched page size: %v; want ErrImageMismatch", err)
 	}
 }
 

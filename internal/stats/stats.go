@@ -137,12 +137,26 @@ type Ops struct {
 	FramesQuarantined     uint64 // device frames retired
 	ChunksPoisoned        uint64 // home chunks quarantined
 	PagesPinned           uint64 // pages pinned to home-tier access
+
+	// Checkpoint-journal activity; all zero when no incremental
+	// checkpoints are taken.
+	Checkpoints          uint64 // checkpoint epochs committed
+	CheckpointPages      uint64 // dirty pages journaled across all epochs
+	CheckpointWritebacks uint64 // dirty resident chunks collapsed home pre-journal
+	CheckpointBytes      uint64 // framed journal bytes written
+	CheckpointCycles     uint64 // simulated cycles charged to persistence
 }
 
 // HasFaults reports whether any fault-model activity was recorded.
 func (o *Ops) HasFaults() bool {
 	return o.FaultsTransient != 0 || o.FaultsPoison != 0 || o.FaultsStuckBit != 0 ||
 		o.Retries != 0 || o.FramesQuarantined != 0 || o.ChunksPoisoned != 0 || o.PagesPinned != 0
+}
+
+// HasCheckpoints reports whether any checkpoint-journal activity was
+// recorded.
+func (o *Ops) HasCheckpoints() bool {
+	return o.Checkpoints != 0 || o.CheckpointPages != 0 || o.CheckpointBytes != 0
 }
 
 // Run is the full measurement record of one simulation.
@@ -204,6 +218,15 @@ func (r *Run) String() string {
 			r.Ops.FaultsTransient, r.Ops.FaultsPoison, r.Ops.FaultsStuckBit,
 			r.Ops.Retries, r.Ops.RetryBackoffCycles, r.Ops.TransparentRecoveries,
 			r.Ops.FramesQuarantined, r.Ops.ChunksPoisoned, r.Ops.PagesPinned)
+	}
+	if r.Ops.HasCheckpoints() {
+		perEpoch := 0.0
+		if r.Ops.Checkpoints > 0 {
+			perEpoch = float64(r.Ops.CheckpointBytes) / float64(r.Ops.Checkpoints)
+		}
+		fmt.Fprintf(&b, "  checkpoints epochs=%d pages=%d writebacks=%d journalBytes=%d (%.0fB/epoch) cycles=%d\n",
+			r.Ops.Checkpoints, r.Ops.CheckpointPages, r.Ops.CheckpointWritebacks,
+			r.Ops.CheckpointBytes, perEpoch, r.Ops.CheckpointCycles)
 	}
 	if len(r.CacheHitRates) > 0 {
 		keys := make([]string, 0, len(r.CacheHitRates))

@@ -90,6 +90,30 @@ func TestRunStringFaultsLine(t *testing.T) {
 	}
 }
 
+func TestRunStringCheckpointLine(t *testing.T) {
+	r := Run{Workload: "bfs", Model: "salus"}
+	if strings.Contains(r.String(), "checkpoints ") {
+		t.Errorf("checkpoint-free run should not render a checkpoints line:\n%s", r.String())
+	}
+	if r.Ops.HasCheckpoints() {
+		t.Error("zero Ops reported HasCheckpoints")
+	}
+	r.Ops.Checkpoints = 4
+	r.Ops.CheckpointPages = 9
+	r.Ops.CheckpointWritebacks = 5
+	r.Ops.CheckpointBytes = 4000
+	r.Ops.CheckpointCycles = 300
+	if !r.Ops.HasCheckpoints() {
+		t.Error("non-zero checkpoint counters not reported by HasCheckpoints")
+	}
+	s := r.String()
+	for _, frag := range []string{"checkpoints epochs=4", "pages=9", "writebacks=5", "journalBytes=4000", "(1000B/epoch)", "cycles=300"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
 func TestTierClassString(t *testing.T) {
 	if Device.String() != "device" || CXL.String() != "cxl" {
 		t.Error("tier names wrong")

@@ -23,6 +23,7 @@ package salus
 
 import (
 	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/crash"
 	"github.com/salus-sim/salus/internal/securemem"
 )
 
@@ -83,6 +84,18 @@ var (
 	// ErrPoison reports an uncorrectable media error: the addressed data
 	// is lost and its region quarantined.
 	ErrPoison = securemem.ErrPoison
+	// ErrImageMismatch reports a Resume whose config or geometry disagrees
+	// with the image's recorded dimensions.
+	ErrImageMismatch = securemem.ErrImageMismatch
+	// ErrTornCheckpoint reports checkpoint-journal damage before the
+	// trusted epoch's commit record during Recover.
+	ErrTornCheckpoint = crash.ErrTornCheckpoint
+	// ErrRollback reports a checkpoint journal whose commits stop short of
+	// the trusted epoch: a stale journal replayed against a newer root.
+	ErrRollback = crash.ErrRollback
+	// ErrPowerLost reports a write or sync on a crash-injected store after
+	// its configured power-cut point.
+	ErrPowerLost = crash.ErrPowerLost
 )
 
 // RetryPolicy bounds the transient-fault retry loop of a fault-armed
@@ -130,4 +143,67 @@ type TrustedRoot = securemem.TrustedRoot
 // System.Suspend.
 func Resume(cfg Config, image []byte, root TrustedRoot) (*System, error) {
 	return securemem.Resume(cfg, image, root)
+}
+
+// UnmarshalTrustedRoot decodes a TrustedRoot serialised with
+// TrustedRoot.MarshalBinary, rejecting damaged or truncated encodings. The
+// encoding carries no authentication — the root must still travel through
+// trusted storage.
+func UnmarshalTrustedRoot(data []byte) (TrustedRoot, error) {
+	return securemem.UnmarshalTrustedRoot(data)
+}
+
+// StableStore is the durability interface a checkpoint journal writes
+// through: appending writes separated by explicit sync barriers.
+type StableStore = crash.StableStore
+
+// MemStore is an always-durable in-memory StableStore for checkpoint
+// journals.
+type MemStore = crash.MemStore
+
+// NewMemStore returns an empty in-memory journal store.
+func NewMemStore() *MemStore { return crash.NewMemStore() }
+
+// Journal is a write-ahead checkpoint journal with two-phase epoch commit;
+// pass one to System.Checkpoint.
+type Journal = crash.Journal
+
+// NewJournal returns a checkpoint journal writing through store.
+func NewJournal(store StableStore) *Journal { return crash.NewJournal(store) }
+
+// CrashStore is a StableStore that simulates power loss at a chosen write
+// boundary, for crash-recovery testing; see crash.NewCrashStore.
+type CrashStore = crash.CrashStore
+
+// DamageMode selects how a CrashStore's unsynced writes appear on the
+// medium after the cut.
+type DamageMode = crash.DamageMode
+
+// Damage modes for NewCrashStore.
+const (
+	// CutClean drops every unsynced write.
+	CutClean = crash.CutClean
+	// CutTorn applies a prefix of the unsynced writes, tearing the last.
+	CutTorn = crash.CutTorn
+	// CutReorder applies an arbitrary subset at their natural offsets.
+	CutReorder = crash.CutReorder
+	// CutCorrupt additionally flips a bit in the synced region.
+	CutCorrupt = crash.CutCorrupt
+)
+
+// NewCrashStore returns a store that loses power at event boundary
+// cutAfter (writes and syncs both count), damaging the unsynced tail per
+// mode; deterministic in (cutAfter, mode, seed).
+func NewCrashStore(cutAfter int, mode DamageMode, seed int64) *CrashStore {
+	return crash.NewCrashStore(cutAfter, mode, seed)
+}
+
+// Recover reconstructs a Salus system from a checkpoint journal and the
+// trusted root of the epoch to restore. Journal damage before the trusted
+// epoch's commit surfaces as ErrTornCheckpoint, a journal whose commits
+// stop short of the trusted epoch as ErrRollback, and a journal whose
+// counters disagree with the trusted roots as ErrFreshness. See
+// System.Checkpoint.
+func Recover(cfg Config, journal []byte, root TrustedRoot) (*System, error) {
+	return securemem.Recover(cfg, journal, root)
 }

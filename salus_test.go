@@ -74,6 +74,64 @@ func TestConventionalModelViaPublicAPI(t *testing.T) {
 	}
 }
 
+func TestCheckpointRecoverViaPublicAPI(t *testing.T) {
+	sys, err := salus.NewDefault(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("survives power loss")
+	if err := sys.Write(2*4096, msg); err != nil {
+		t.Fatal(err)
+	}
+	store := salus.NewMemStore()
+	j := salus.NewJournal(store)
+	root, err := sys.Checkpoint(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d, want 1", sys.Stats().Checkpoints)
+	}
+	cfg := salus.Config{Geometry: salus.DefaultGeometry(), Model: salus.ModelSalus, TotalPages: 8, DevicePages: 2}
+	rec, err := salus.Recover(cfg, store.Bytes(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := rec.Read(2*4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("recovered %q, want %q", got, msg)
+	}
+	// The marshalled root round-trips through untrusted transport.
+	root2, err := salus.UnmarshalTrustedRoot(root.MarshalBinary())
+	if err != nil || root2.Epoch != root.Epoch || root2.CXLRoot != root.CXLRoot {
+		t.Fatalf("root round trip: %+v, %v", root2, err)
+	}
+	// A stale journal against the advanced root is a rollback.
+	if err := rec.Write(0, []byte("epoch 2")); err != nil {
+		t.Fatal(err)
+	}
+	j2 := salus.NewJournal(salus.NewMemStore())
+	root3, err := rec.Checkpoint(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := salus.Recover(cfg, store.Bytes(), root3); !errors.Is(err, salus.ErrRollback) {
+		t.Errorf("stale journal: %v, want ErrRollback", err)
+	}
+	// A journal cut mid-write through a crash-injected store is torn.
+	cs := salus.NewCrashStore(1000, salus.CutTorn, 7)
+	if _, err := rec.Checkpoint(salus.NewJournal(cs)); err != nil {
+		t.Fatal(err)
+	}
+	durable := cs.Durable()
+	if len(durable) == 0 {
+		t.Fatal("crash store recorded nothing")
+	}
+}
+
 func TestDefaultGeometry(t *testing.T) {
 	g := salus.DefaultGeometry()
 	if g.SectorSize != 32 || g.BlockSize != 128 || g.ChunkSize != 256 || g.PageSize != 4096 {
