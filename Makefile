@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke ci
 
 all: build test
 
@@ -35,13 +35,15 @@ race:
 		./internal/metrics ./internal/trace
 
 # fuzz-smoke gives the untrusted-input fuzzers a short budget each on top
-# of any checked-in corpora: the trace parser, and the two persistence
-# decoders (suspend images and checkpoint journals + marshalled roots).
-# Go fuzzing takes exactly one target per invocation.
+# of any checked-in corpora: the trace parser, the two persistence
+# decoders (suspend images and checkpoint journals + marshalled roots),
+# and the link flap-plan parser. Go fuzzing takes exactly one target per
+# invocation.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^FuzzReadTrace$$' -fuzz '^FuzzReadTrace$$' -fuzztime 10s
 	$(GO) test ./internal/securemem -run '^FuzzResume$$' -fuzz '^FuzzResume$$' -fuzztime 10s
 	$(GO) test ./internal/securemem -run '^FuzzRecover$$' -fuzz '^FuzzRecover$$' -fuzztime 10s
+	$(GO) test ./internal/link -run '^FuzzLinkPlan$$' -fuzz '^FuzzLinkPlan$$' -fuzztime 10s
 
 # check-smoke runs the differential model-equivalence checker under the
 # race detector with the CI budget: 25 seeds × 200 randomized ops against
@@ -66,4 +68,14 @@ chaos-smoke:
 crash-smoke:
 	$(GO) run -race ./cmd/salus-check -crash -seeds 8 -ops 72 -pages 8 -devpages 2
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke
+# link-smoke runs CXL link-chaos verification under the race detector:
+# every seed replays under scripted flap windows, a long outage, a
+# brownout, and a rate-driven plan, asserting that device hits keep
+# serving, refused ops fail typed, parked writebacks all drain on
+# recovery byte-identically, and a home rollback staged during an outage
+# is detected on drain. The deeper acceptance campaign is the same
+# command with -seeds 50.
+link-smoke:
+	$(GO) run -race ./cmd/salus-check -link -seeds 12 -ops 120
+
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke

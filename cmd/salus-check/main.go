@@ -12,11 +12,21 @@
 //	salus-check -chaos recoverable       # inject transient link faults
 //	salus-check -chaos unrecoverable     # also inject uncorrectable media errors
 //	salus-check -crash                   # power-loss injection on the checkpoint journal
+//	salus-check -link                    # CXL link flaps + degraded-mode verification
+//	salus-check -link -linkplan down@40..70 -queuecap 4
 //
 // Chaos mode arms every model with a deterministic fault injector. Under a
 // recoverable plan the replay still demands byte-identical plaintext; under
 // an unrecoverable plan every fault must surface as a typed error or
 // quarantine — a silent divergence fails the run either way.
+//
+// Link mode (exclusive with -chaos and -crash, Salus-only) replays every
+// seed under a set of deterministic CXL link flap plans — scripted outage
+// windows, brownout latency, and rate-driven episodes — asserting the
+// degraded-mode contract: device-resident hits keep serving, every refused
+// op fails with a typed link error, parked writebacks all drain on
+// recovery, the post-drain state is byte-identical to a no-outage run, and
+// a home-tier rollback staged during an outage is detected on drain.
 //
 // Crash mode (exclusive with -chaos, Salus-only) journals incremental
 // checkpoints of a generated workload onto a write/sync tape, then cuts
@@ -38,6 +48,8 @@ import (
 	"strings"
 
 	"github.com/salus-sim/salus/internal/check"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/metrics"
 	"github.com/salus-sim/salus/internal/securemem"
 )
 
@@ -80,6 +92,9 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	devPages := flag.Int("devpages", def.DevicePages, "device frames (< pages forces eviction churn)")
 	chaos := flag.String("chaos", "", "fault plan: recoverable (transient link faults) or unrecoverable (plus media errors)")
 	crashMode := flag.Bool("crash", false, "power-loss injection: enumerate every crash point of the checkpoint journal (Salus-only, exclusive with -chaos)")
+	linkMode := flag.Bool("link", false, "CXL link chaos: replay every seed under deterministic flap plans and verify degraded-mode operation (Salus-only, exclusive with -chaos and -crash)")
+	linkPlan := flag.String("linkplan", "", "with -link: a single link plan spec (see internal/link.ParsePlan) replacing the default plan set")
+	queueCap := flag.Int("queuecap", 0, "with -link: dirty-writeback queue capacity (0 = campaign default)")
 	verbose := flag.Bool("v", false, "print per-seed progress")
 	if err := flag.Parse(args); err != nil {
 		return 2
@@ -98,12 +113,27 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "salus-check: -seeds, -ops, -pages, -devpages must be positive and -devpages <= -pages")
 		return 2
 	}
+	if *crashMode && *linkMode {
+		fmt.Fprintln(stderr, "salus-check: -crash and -link are exclusive")
+		return 2
+	}
 	if *crashMode {
 		if *chaos != "" {
 			fmt.Fprintln(stderr, "salus-check: -crash and -chaos are exclusive")
 			return 2
 		}
 		return crashMain(*seeds, *ops, *seed, *pages, *devPages, *verbose, stdout, stderr)
+	}
+	if *linkMode {
+		if *chaos != "" {
+			fmt.Fprintln(stderr, "salus-check: -link and -chaos are exclusive")
+			return 2
+		}
+		return linkMain(*seeds, *ops, *seed, *pages, *devPages, *queueCap, *linkPlan, *verbose, stdout, stderr)
+	}
+	if *linkPlan != "" || *queueCap != 0 {
+		fmt.Fprintln(stderr, "salus-check: -linkplan and -queuecap require -link")
+		return 2
 	}
 
 	cfg := def
@@ -156,6 +186,55 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 			faults.PoisonFaults, faults.StuckBitFaults, faults.TransparentRecoveries,
 			faults.FramesQuarantined, faults.ChunksPoisoned, faults.PagesPinned)
 	}
+	return 0
+}
+
+// linkMain runs the link-chaos campaign. The -model flag is ignored:
+// degraded-mode operation is a ModelSalus feature.
+func linkMain(seeds, ops int, firstSeed int64, pages, devPages, queueCap int, planSpec string, verbose bool, stdout, stderr io.Writer) int {
+	plan := check.DefaultLinkPlan()
+	plan.Seeds = seeds
+	plan.Ops = ops
+	plan.FirstSeed = firstSeed
+	plan.TotalPages = pages
+	plan.DevicePages = devPages
+	if queueCap > 0 {
+		plan.QueueCap = queueCap
+	}
+	if planSpec != "" {
+		if _, err := link.ParsePlan(planSpec); err != nil {
+			fmt.Fprintf(stderr, "salus-check: -linkplan: %v\n", err)
+			return 2
+		}
+		plan.Plans = []check.NamedLinkPlan{{Name: "custom", Spec: planSpec}}
+	}
+	if verbose {
+		plan.Verbose = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+
+	res := check.RunLink(plan)
+	if f := res.Failure; f != nil {
+		fmt.Fprintf(stdout, "salus-check: link FAIL: %s\n\n", f)
+		fmt.Fprintf(stdout, "minimal reproducer (%d ops):\n", len(f.Seq.Ops))
+		for i, op := range f.Seq.Ops {
+			fmt.Fprintf(stdout, "  %3d: %v\n", i, op)
+		}
+		np := plan.Plans[0]
+		for _, cand := range plan.Plans {
+			if f.Target == "salus-link/"+cand.Name {
+				np = cand
+			}
+		}
+		fmt.Fprintf(stdout, "\nregression test:\n\n%s", f.LinkGoTest(plan, np, fmt.Sprintf("seed%d", f.Seq.Seed)))
+		return 1
+	}
+	fmt.Fprintf(stdout, "salus-check: link PASS: %d seeds × %d plans, %d ops, %d flaps, %d rollback probes detected\n",
+		res.SeedsRun, len(plan.Plans), res.OpsRun, res.Flaps, res.RollbackProbes)
+	fmt.Fprintf(stdout, "salus-check: link availability: %.2f%% of ops served during outages (%d ok, %d refused typed: %d down, %d breaker fast-fails)\n",
+		100*metrics.Availability(res.OpsOK, res.OpsRefused), res.OpsOK, res.OpsRefused, res.Refusals, res.FastFails)
+	fmt.Fprintf(stdout, "salus-check: link writebacks: %d queued = %d drained (%d backpressure drops, peak depth %d, mean depth %.2f, mean parked age %.1f ops)\n",
+		res.Queued, res.Drained, res.Dropped, res.QueuePeak,
+		metrics.Per(res.DepthSum, res.DepthSamples), metrics.Per(res.AgeSum, res.AgeCount))
 	return 0
 }
 

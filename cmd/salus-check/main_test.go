@@ -45,6 +45,38 @@ func TestCrashRunExitsZero(t *testing.T) {
 	}
 }
 
+func TestLinkRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-link", "-seeds", "2", "-ops", "60", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "link PASS") {
+		t.Errorf("missing link PASS summary: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "availability") || !strings.Contains(out.String(), "writebacks") {
+		t.Errorf("missing availability/writeback report: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "rollback probes detected") {
+		t.Errorf("missing rollback probe accounting: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "clean") {
+		t.Errorf("-v produced no per-seed link progress: %q", errOut.String())
+	}
+}
+
+func TestLinkCustomPlanAndQueueCap(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-link", "-seeds", "1", "-ops", "60",
+		"-linkplan", "down@30..80", "-queuecap", "4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 plans") {
+		t.Errorf("custom plan did not replace the default set: %q", out.String())
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-model", "quantum"},
@@ -54,6 +86,11 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-nonsense"},
 		{"stray-positional"},
 		{"-crash", "-chaos", "recoverable"},
+		{"-crash", "-link"},
+		{"-link", "-chaos", "recoverable"},
+		{"-linkplan", "down@0..5"},
+		{"-queuecap", "4"},
+		{"-link", "-linkplan", "down@5..2"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -49,6 +49,11 @@ const (
 	// crash.go); the plain replay treats it as a no-op because without a
 	// journal it has no observable plaintext effect.
 	OpEpochCheckpoint
+	// OpDrainWritebacks drains the dirty-writeback queue parked by a link
+	// outage. It is generated only for link-mode sequences (see
+	// linkchaos.go); the plain replay treats it as a no-op because without
+	// an attached link nothing ever parks.
+	OpDrainWritebacks
 )
 
 // String returns the op name.
@@ -70,6 +75,8 @@ func (k OpKind) String() string {
 		return "suspend-resume"
 	case OpEpochCheckpoint:
 		return "epoch-checkpoint"
+	case OpDrainWritebacks:
+		return "drain-writebacks"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -88,7 +95,7 @@ func (o Op) String() string {
 	switch o.Kind {
 	case OpCheckpoint:
 		return fmt.Sprintf("%v addr=%#x", o.Kind, o.Addr)
-	case OpFlush, OpSuspendResume, OpEpochCheckpoint:
+	case OpFlush, OpSuspendResume, OpEpochCheckpoint, OpDrainWritebacks:
 		return o.Kind.String()
 	case OpWrite, OpWriteThrough:
 		return fmt.Sprintf("%v addr=%#x len=%d tag=%d", o.Kind, o.Addr, o.Len, o.Tag)
@@ -308,7 +315,7 @@ func (st *replayState) mismatch(ti int, addr uint64, got, want []byte) int {
 func (st *replayState) wantErr(op Op) bool {
 	size := uint64(len(st.oracle))
 	switch op.Kind {
-	case OpFlush, OpSuspendResume, OpEpochCheckpoint:
+	case OpFlush, OpSuspendResume, OpEpochCheckpoint, OpDrainWritebacks:
 		return false
 	case OpCheckpoint:
 		return op.Addr >= size
@@ -347,9 +354,9 @@ func (st *replayState) apply(op Op) *Failure {
 			err = safely(t.Flush)
 		case OpSuspendResume:
 			err = safely(t.SuspendResume)
-		case OpEpochCheckpoint:
-			// Journal-backed epoch checkpoints only exist in crash mode;
-			// the plain differential replay passes them through.
+		case OpEpochCheckpoint, OpDrainWritebacks:
+			// Journal-backed epoch checkpoints and writeback drains only
+			// exist in crash/link mode; the plain replay passes them through.
 		default:
 			return &Failure{Target: t.Name(), Reason: fmt.Sprintf("generator produced unknown op kind %d", op.Kind)}
 		}

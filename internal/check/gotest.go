@@ -15,13 +15,14 @@ var kindIdent = map[OpKind]string{
 	OpFlush:           "check.OpFlush",
 	OpSuspendResume:   "check.OpSuspendResume",
 	OpEpochCheckpoint: "check.OpEpochCheckpoint",
+	OpDrainWritebacks: "check.OpDrainWritebacks",
 }
 
 // writeOps renders a sequence's op list as Go composite-literal lines.
 func writeOps(b *strings.Builder, ops []Op) {
 	for _, op := range ops {
 		switch op.Kind {
-		case OpFlush, OpSuspendResume, OpEpochCheckpoint:
+		case OpFlush, OpSuspendResume, OpEpochCheckpoint, OpDrainWritebacks:
 			fmt.Fprintf(b, "\t\t{Kind: %s},\n", kindIdent[op.Kind])
 		case OpCheckpoint:
 			fmt.Fprintf(b, "\t\t{Kind: %s, Addr: %#x},\n", kindIdent[op.Kind], op.Addr)

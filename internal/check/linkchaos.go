@@ -1,0 +1,555 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/securemem"
+)
+
+// Link-chaos mode: the harness replays a generated Salus workload while a
+// deterministic link plan flaps the CXL transport — scripted windows,
+// rate-driven episodes, and brownout latency — and asserts the
+// degraded-mode contract op by op:
+//
+//   - every in-range operation either succeeds or fails with a typed link
+//     error (ErrLinkDown, ErrDegraded, ErrQueueFull) — never an untyped
+//     error, never a retry/backoff spin charged to the transient fault
+//     budget, never a panic;
+//   - every successful read returns the oracle's bytes (modulo ranges a
+//     link-failed write may have half-applied, tainted until a later
+//     write lands);
+//   - after the final recovery — link forced up, writeback queue drained,
+//     everything flushed — the home tier is byte-identical to a no-outage
+//     golden run of the same successful writes, and the queue accounting
+//     closes: every writeback ever queued has drained;
+//   - per seed, a rollback of home state staged during an outage window
+//     is detected as ErrFreshness when the queue drains — the outage is
+//     never an integrity holiday.
+//
+// A violation shrinks (ShrinkLink) to a minimal sequence and renders as a
+// regression test (LinkGoTest), like any other checker failure.
+
+// NamedLinkPlan pairs a link.ParsePlan spec with a campaign-stable name
+// used in failure reports and reproducers.
+type NamedLinkPlan struct {
+	Name string
+	Spec string
+}
+
+// LinkPlan sizes a link-chaos campaign. Every seed replays once per entry
+// in Plans; rate plans are reseeded per sequence so shrunk reproducers
+// replay the same flap schedule.
+type LinkPlan struct {
+	Seeds     int   // seeds run by RunLink
+	Ops       int   // operations per generated sequence
+	FirstSeed int64 // RunLink covers [FirstSeed, FirstSeed+Seeds)
+
+	TotalPages  int // home (CXL) pages
+	DevicePages int // device frames; << TotalPages keeps eviction pressure up
+	Geometry    config.Geometry
+
+	// QueueCap bounds the dirty-writeback queue; <= 0 selects
+	// securemem.DefaultWritebackQueueCap. The default campaign keeps it
+	// tiny so ErrQueueFull backpressure is exercised, not just possible.
+	QueueCap int
+
+	// Plans are the link schedules each seed replays under.
+	Plans []NamedLinkPlan
+
+	// Verbose, when non-nil, receives per-seed progress lines.
+	Verbose func(string)
+}
+
+// DefaultLinkPlan returns the smoke-budget link campaign used by
+// `make link-smoke`: 12 seeds × 120 ops over an 8-page home space and 2
+// device frames with a 2-deep writeback queue, each seed replayed under a
+// short-flap script, a long-outage script, a brownout script, and a
+// rate-driven plan. Window ordinals are home-transfer counts: one miss
+// fill consumes ChunksPerPage ordinals, so the windows below land inside
+// the first few dozen operations of every sequence.
+func DefaultLinkPlan() LinkPlan {
+	return LinkPlan{
+		Seeds:     12,
+		Ops:       120,
+		FirstSeed: 1,
+
+		TotalPages:  8,
+		DevicePages: 2,
+		Geometry:    config.Geometry{SectorSize: 32, BlockSize: 128, ChunkSize: 256, PageSize: 4096},
+
+		QueueCap: 2,
+		Plans: []NamedLinkPlan{
+			{Name: "flap-short", Spec: "down@40..70,down@300..340,down@800..860"},
+			{Name: "flap-long", Spec: "down@100..500"},
+			{Name: "brownout", Spec: "deg@50..600:24,down@700..760"},
+			{Name: "rate", Spec: "rate:seed=1,flap=0.02,downlen=24,deg=0.02,deglen=16,lat=12"},
+		},
+	}
+}
+
+// size returns the home address-space size in bytes.
+func (p LinkPlan) size() uint64 { return uint64(p.TotalPages) * uint64(p.Geometry.PageSize) }
+
+// memConfig returns the securemem configuration of the checked system.
+func (p LinkPlan) memConfig() securemem.Config {
+	return securemem.Config{
+		Geometry:    p.Geometry,
+		Model:       securemem.ModelSalus,
+		TotalPages:  p.TotalPages,
+		DevicePages: p.DevicePages,
+	}
+}
+
+// LinkResult summarises a RunLink campaign.
+type LinkResult struct {
+	SeedsRun int
+	PlansRun int // seed × plan replays completed
+	OpsRun   int
+
+	OpsOK      uint64 // in-range ops that succeeded
+	OpsRefused uint64 // in-range ops that failed with a typed link error
+
+	Flaps     uint64 // link state transitions observed
+	Refusals  uint64 // transfers refused by a down link
+	FastFails uint64 // transfers fast-failed by the open breaker
+	Queued    uint64 // writebacks parked on the queue
+	Drained   uint64 // writebacks drained back to the home tier
+	Dropped   uint64 // evictions refused by a full queue
+	QueuePeak uint64 // campaign-wide queue high-water mark
+
+	DepthSum     uint64 // queue depth summed over post-op samples
+	DepthSamples uint64
+	AgeSum       uint64 // ops spent parked, summed over drained writebacks
+	AgeCount     uint64
+
+	RollbackProbes int // per-seed outage-rollback probes that detected
+
+	Failure *Failure
+}
+
+// RunLink generates plan.Seeds sequences and replays each under every
+// named link plan, then runs the per-seed outage-rollback probe. On the
+// first violation it shrinks the sequence to a minimal reproducer under
+// the same link plan and stops.
+func RunLink(plan LinkPlan) LinkResult {
+	var res LinkResult
+	for i := 0; i < plan.Seeds; i++ {
+		seed := plan.FirstSeed + int64(i)
+		seq := GenerateLinkSequence(plan, seed)
+		res.SeedsRun++
+		for _, np := range plan.Plans {
+			res.OpsRun += len(seq.Ops)
+			before := res
+			f := linkReplay(plan, np, seq, &res)
+			if f == nil {
+				res.PlansRun++
+				if plan.Verbose != nil {
+					plan.Verbose(fmt.Sprintf("seed %d, plan %s: %d ops clean (%d refused typed, %d queued, %d drained)",
+						seed, np.Name, len(seq.Ops),
+						res.OpsRefused-before.OpsRefused, res.Queued-before.Queued, res.Drained-before.Drained))
+				}
+				continue
+			}
+			min := ShrinkLink(plan, np, f.Seq)
+			// Re-replay the minimal sequence so the failure describes it.
+			if mf := ReplayLinkSequence(plan, np, min); mf != nil {
+				f = mf
+			}
+			res.Failure = f
+			return res
+		}
+		if f := linkRollbackProbe(plan, seed); f != nil {
+			res.Failure = f
+			return res
+		}
+		res.RollbackProbes++
+	}
+	return res
+}
+
+// ReplayLinkSequence replays one sequence under one named link plan,
+// returning the first contract violation or nil.
+func ReplayLinkSequence(plan LinkPlan, np NamedLinkPlan, seq Sequence) *Failure {
+	var scratch LinkResult
+	return linkReplay(plan, np, seq, &scratch)
+}
+
+// ShrinkLink is Shrink for link-mode sequences: the reduction predicate is
+// the full link replay under the same named plan, so the minimal sequence
+// still reaches the failing outage window.
+func ShrinkLink(plan LinkPlan, np NamedLinkPlan, seq Sequence) Sequence {
+	return shrinkOps(seq, func(ops []Op) *Failure {
+		return ReplayLinkSequence(plan, np, Sequence{Seed: seq.Seed, Ops: ops})
+	})
+}
+
+// GenerateLinkSequence produces the deterministic link-mode workload for
+// one seed: the plain generator's address/length skew over an in-range
+// Salus op set, heavy on writes and flushes (parking pressure) with
+// periodic drains so recovery interleaves with the outage schedule.
+// Hostile probes are omitted — bounds behaviour is the plain checker's
+// job; link mode wants maximal home-tier traffic.
+func GenerateLinkSequence(plan LinkPlan, seed int64) Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	g := plan.Geometry
+
+	genAddr := func() uint64 {
+		page := rng.Intn(plan.TotalPages)
+		var off int
+		switch rng.Intn(4) {
+		case 0: // a few bytes before a chunk boundary: forces a straddle
+			c := 1 + rng.Intn(g.ChunksPerPage()-1)
+			off = c*g.ChunkSize - (1 + rng.Intn(4))
+		case 1: // sector-aligned
+			off = rng.Intn(g.SectorsPerPage()) * g.SectorSize
+		case 2: // chunk-aligned
+			off = rng.Intn(g.ChunksPerPage()) * g.ChunkSize
+		default:
+			off = rng.Intn(g.PageSize)
+		}
+		return uint64(page*g.PageSize + off)
+	}
+	genLen := func() int {
+		switch rng.Intn(6) {
+		case 0:
+			return 1 + rng.Intn(4)
+		case 1:
+			return g.SectorSize
+		case 2:
+			return g.SectorSize + 1
+		case 3:
+			return g.ChunkSize/2 + rng.Intn(g.ChunkSize)
+		default:
+			return 1 + rng.Intn(2*g.SectorSize)
+		}
+	}
+	clampLen := func(addr uint64, n int) int {
+		if max := plan.size() - addr; uint64(n) > max {
+			return int(max)
+		}
+		return n
+	}
+
+	ops := make([]Op, 0, plan.Ops)
+	var tag byte
+	for i := 0; i < plan.Ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 30: // cached write: dirties device chunks, arms parking
+			tag++
+			addr := genAddr()
+			ops = append(ops, Op{Kind: OpWrite, Addr: addr, Len: clampLen(addr, genLen()), Tag: tag})
+		case r < 52: // cached read: migration churn across the link
+			addr := genAddr()
+			ops = append(ops, Op{Kind: OpRead, Addr: addr, Len: clampLen(addr, genLen())})
+		case r < 66: // direct CXL write
+			tag++
+			addr := genAddr()
+			ops = append(ops, Op{Kind: OpWriteThrough, Addr: addr, Len: clampLen(addr, genLen()), Tag: tag})
+		case r < 76: // direct CXL read
+			addr := genAddr()
+			ops = append(ops, Op{Kind: OpReadThrough, Addr: addr, Len: clampLen(addr, genLen())})
+		case r < 84: // chunk checkpoint: collapse traffic over the link
+			ops = append(ops, Op{Kind: OpCheckpoint, Addr: genAddr()})
+		case r < 94: // flush: mass eviction, the main parking source
+			ops = append(ops, Op{Kind: OpFlush})
+		default: // reconciler drain, possibly mid-outage
+			ops = append(ops, Op{Kind: OpDrainWritebacks})
+		}
+	}
+	return Sequence{Seed: seed, Ops: ops}
+}
+
+// linkErr reports whether err is (or wraps) one of the typed link-
+// degradation sentinels an outage is allowed to surface.
+func linkErr(err error) bool {
+	return errors.Is(err, securemem.ErrLinkDown) ||
+		errors.Is(err, securemem.ErrDegraded) ||
+		errors.Is(err, securemem.ErrQueueFull)
+}
+
+// newSeqLink builds the link for one (sequence, plan) replay. Rate plans
+// are reseeded with the sequence seed so the flap schedule is a pure
+// function of (seed, spec) — which is what makes shrunk reproducers and
+// re-replays deterministic.
+func newSeqLink(np NamedLinkPlan, seed int64) (*link.Link, error) {
+	p, err := link.ParsePlan(np.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("plan %s: %v", np.Name, err)
+	}
+	if rp, ok := p.(*link.RatePlan); ok {
+		rp.Reseed(seed)
+	}
+	return link.New(p, link.DefaultConfig()), nil
+}
+
+// linkReplay replays one sequence under one link plan, accumulating
+// campaign counters into res. The oracle tracks the plaintext a no-outage
+// system would hold after the same successful writes; ranges a link-failed
+// write may have half-applied are tainted until a later write lands.
+func linkReplay(plan LinkPlan, np NamedLinkPlan, seq Sequence, res *LinkResult) *Failure {
+	target := "salus-link/" + np.Name
+	fail := func(idx int, format string, a ...any) *Failure {
+		return &Failure{Seq: seq, OpIdx: idx, Target: target, Reason: fmt.Sprintf(format, a...)}
+	}
+
+	sys, err := securemem.New(plan.memConfig())
+	if err != nil {
+		return fail(-1, "target setup: %v", err)
+	}
+	lnk, err := newSeqLink(np, seq.Seed)
+	if err != nil {
+		return fail(-1, "target setup: %v", err)
+	}
+	sys.AttachLink(lnk, nil, plan.QueueCap)
+
+	size := plan.size()
+	oracle := make([]byte, size)
+	taint := make([]bool, size)
+	setTaint := func(addr uint64, n int, v bool) {
+		for i := uint64(0); i < uint64(n); i++ {
+			taint[addr+i] = v
+		}
+	}
+	mismatch := func(addr uint64, got, want []byte) int {
+		for i := range got {
+			if got[i] != want[i] && !taint[addr+uint64(i)] {
+				return i
+			}
+		}
+		return -1
+	}
+	throughOK := func(addr uint64, n int) bool {
+		if sys.IsResident(securemem.HomeAddr(addr)) {
+			return false
+		}
+		return n == 0 || !sys.IsResident(securemem.HomeAddr(addr+uint64(n)-1))
+	}
+
+	// enqueueIdx records, FIFO, the op index at which each parked
+	// writeback was queued; drains pop it to measure queue age in ops.
+	// The queue drains strictly FIFO, so pairing deltas is exact.
+	var enqueueIdx []int
+	prev := sys.Stats()
+	account := func(idx int) {
+		cur := sys.Stats()
+		for n := prev.WritebacksQueued; n < cur.WritebacksQueued; n++ {
+			enqueueIdx = append(enqueueIdx, idx)
+		}
+		for n := prev.WritebacksDrained; n < cur.WritebacksDrained; n++ {
+			res.AgeSum += uint64(idx - enqueueIdx[0])
+			res.AgeCount++
+			enqueueIdx = enqueueIdx[1:]
+		}
+		prev = cur
+		res.DepthSum += uint64(sys.QueuedWritebacks())
+		res.DepthSamples++
+	}
+
+	for i, op := range seq.Ops {
+		if op.Kind != OpFlush && op.Kind != OpDrainWritebacks {
+			if op.Addr >= size || uint64(op.Len) > size-op.Addr {
+				return fail(i, "link sequences must stay in range (addr %#x len %d, size %#x)", op.Addr, op.Len, size)
+			}
+		}
+		var buf []byte
+		var err error
+		switch op.Kind {
+		case OpRead, OpReadThrough:
+			buf = make([]byte, op.Len)
+			err = safely(func() error {
+				if op.Kind == OpReadThrough && throughOK(op.Addr, op.Len) {
+					return sys.ReadThrough(securemem.HomeAddr(op.Addr), buf)
+				}
+				return sys.Read(securemem.HomeAddr(op.Addr), buf)
+			})
+		case OpWrite, OpWriteThrough:
+			data := FillData(op.Tag, op.Len)
+			err = safely(func() error {
+				if op.Kind == OpWriteThrough && throughOK(op.Addr, op.Len) {
+					return sys.WriteThrough(securemem.HomeAddr(op.Addr), data)
+				}
+				return sys.Write(securemem.HomeAddr(op.Addr), data)
+			})
+			if err == nil {
+				copy(oracle[op.Addr:], data)
+				setTaint(op.Addr, op.Len, false)
+			} else {
+				// The write may have landed partially before the link
+				// refused; exclude its range from comparison until a later
+				// write covers it.
+				setTaint(op.Addr, op.Len, true)
+			}
+		case OpCheckpoint:
+			err = safely(func() error { return sys.CheckpointChunk(securemem.HomeAddr(op.Addr)) })
+		case OpFlush:
+			err = safely(sys.Flush)
+		case OpDrainWritebacks:
+			err = safely(func() error { _, derr := sys.DrainWritebacks(); return derr })
+		default:
+			return fail(i, "op kind %v not supported in link replay", op.Kind)
+		}
+
+		if pe, ok := err.(*panicError); ok {
+			return fail(i, "%v", pe)
+		}
+		if err != nil {
+			if !linkErr(err) {
+				return fail(i, "in-range operation failed with a non-link error: %v", err)
+			}
+			res.OpsRefused++
+		} else {
+			res.OpsOK++
+			if op.Kind == OpRead || op.Kind == OpReadThrough {
+				want := oracle[op.Addr : op.Addr+uint64(op.Len)]
+				if d := mismatch(op.Addr, buf, want); d >= 0 {
+					return fail(i, "%s", diffReason("read", op.Addr, d, buf, want))
+				}
+			}
+		}
+		account(i)
+	}
+
+	// --- Recovery: force the link up, drain, flush. From here on every
+	// operation must succeed — the outage is over. ---
+	lnk.ForceUp()
+	if _, err := sys.DrainWritebacks(); err != nil {
+		return fail(len(seq.Ops), "post-recovery drain failed: %v", err)
+	}
+	if err := sys.Flush(); err != nil {
+		return fail(len(seq.Ops), "post-recovery flush failed: %v", err)
+	}
+	account(len(seq.Ops) - 1)
+	if n := sys.QueuedWritebacks(); n != 0 {
+		return fail(len(seq.Ops), "queue not empty after recovery drain: %d parked", n)
+	}
+
+	// Queue accounting closes: every writeback ever parked has drained.
+	st := sys.Stats()
+	if st.WritebacksQueued != st.WritebacksDrained {
+		return fail(len(seq.Ops), "writeback accounting open: %d queued, %d drained",
+			st.WritebacksQueued, st.WritebacksDrained)
+	}
+	// Outage ops fail fast; they never consume the transient retry budget.
+	if st.Retries != 0 || st.RetryBackoffCycles != 0 {
+		return fail(len(seq.Ops), "link outage consumed the transient retry budget: %d retries, %d backoff cycles",
+			st.Retries, st.RetryBackoffCycles)
+	}
+
+	// --- Final sweep: byte-identical to the no-outage golden run, modulo
+	// ranges tainted by link-failed writes. ---
+	stride := uint64(plan.Geometry.ChunkSize)
+	buf := make([]byte, stride)
+	for addr := uint64(0); addr < size; addr += stride {
+		if err := sys.Read(securemem.HomeAddr(addr), buf); err != nil {
+			return fail(len(seq.Ops), "final sweep read at %#x: %v", addr, err)
+		}
+		if d := mismatch(addr, buf, oracle[addr:addr+stride]); d >= 0 {
+			return fail(len(seq.Ops), "%s", diffReason("post-drain read", addr, d, buf, oracle[addr:addr+stride]))
+		}
+	}
+
+	lst := lnk.Stats()
+	res.Flaps += lst.Flaps
+	res.Refusals += lst.DownRefusals
+	res.FastFails += lst.FastFails
+	res.Queued += st.WritebacksQueued
+	res.Drained += st.WritebacksDrained
+	res.Dropped += st.WritebacksDropped
+	if st.WritebackQueuePeak > res.QueuePeak {
+		res.QueuePeak = st.WritebackQueuePeak
+	}
+	return nil
+}
+
+// linkRollbackProbe stages the attack the reconciler exists to catch: a
+// dirty page parks during an outage, the attacker rolls the home copy
+// back to an older epoch while the link is down, and the drain must
+// refuse with ErrFreshness — an outage must never launder a rollback.
+func linkRollbackProbe(plan LinkPlan, seed int64) *Failure {
+	seq := Sequence{Seed: seed}
+	fail := func(format string, a ...any) *Failure {
+		return &Failure{Seq: seq, OpIdx: -1, Target: "salus-link/rollback-probe",
+			Loc: "rollback probe", Reason: fmt.Sprintf(format, a...)}
+	}
+	sys, err := securemem.New(plan.memConfig())
+	if err != nil {
+		return fail("target setup: %v", err)
+	}
+	manual := link.NewManual()
+	lnk := link.New(manual, link.DefaultConfig())
+	sys.AttachLink(lnk, nil, plan.QueueCap)
+
+	cs := plan.Geometry.ChunkSize
+	tag := byte(seed)
+	write := func(t byte) error { return sys.Write(securemem.HomeAddr(0), FillData(t, cs)) }
+
+	// Epoch A reaches the home tier, and the attacker snapshots it.
+	if err := write(tag); err != nil {
+		return fail("epoch A write: %v", err)
+	}
+	if err := sys.Flush(); err != nil {
+		return fail("epoch A flush: %v", err)
+	}
+	snap := sys.SnapshotHomeChunk(securemem.HomeAddr(0))
+
+	// Epoch B advances the home state past the snapshot.
+	if err := write(tag + 1); err != nil {
+		return fail("epoch B write: %v", err)
+	}
+	if err := sys.Flush(); err != nil {
+		return fail("epoch B flush: %v", err)
+	}
+
+	// Epoch C is dirty in the device tier when the link dies and parks.
+	if err := write(tag + 2); err != nil {
+		return fail("epoch C write: %v", err)
+	}
+	manual.Set(link.StateDown)
+	if err := sys.Flush(); err != nil {
+		return fail("outage flush: %v", err)
+	}
+	if sys.QueuedWritebacks() == 0 {
+		return fail("outage flush parked nothing")
+	}
+
+	// The rollback, staged while the system cannot look.
+	sys.ReplayHomeChunk(snap)
+
+	manual.Set(link.StateUp)
+	lnk.ForceUp()
+	if _, err := sys.DrainWritebacks(); !errors.Is(err, securemem.ErrFreshness) {
+		return fail("drain over rolled-back home state: got %v, want ErrFreshness", err)
+	}
+	if sys.QueuedWritebacks() == 0 {
+		return fail("rollback drain freed the parked writeback anyway")
+	}
+	return nil
+}
+
+// LinkGoTest renders the failure's (shrunk) link-mode sequence as a
+// runnable Go regression test replaying it under plan's sizing and the
+// named link plan that exposed it.
+func (f *Failure) LinkGoTest(plan LinkPlan, np NamedLinkPlan, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Regression test emitted by the salus-check link shrinker.\n")
+	fmt.Fprintf(&b, "// Original failure: %s\n", f)
+	fmt.Fprintf(&b, "func TestLinkRegression_%s(t *testing.T) {\n", name)
+	b.WriteString("\tplan := check.DefaultLinkPlan()\n")
+	fmt.Fprintf(&b, "\tplan.TotalPages = %d\n", plan.TotalPages)
+	fmt.Fprintf(&b, "\tplan.DevicePages = %d\n", plan.DevicePages)
+	fmt.Fprintf(&b, "\tplan.QueueCap = %d\n", plan.QueueCap)
+	fmt.Fprintf(&b, "\tnp := check.NamedLinkPlan{Name: %q, Spec: %q}\n", np.Name, np.Spec)
+	fmt.Fprintf(&b, "\tseq := check.Sequence{Seed: %d, Ops: []check.Op{\n", f.Seq.Seed)
+	writeOps(&b, f.Seq.Ops)
+	b.WriteString("\t}}\n")
+	b.WriteString("\tif f := check.ReplayLinkSequence(plan, np, seq); f != nil {\n")
+	b.WriteString("\t\tt.Fatalf(\"regression reproduced: %v\", f)\n")
+	b.WriteString("\t}\n")
+	b.WriteString("}\n")
+	return b.String()
+}

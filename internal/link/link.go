@@ -1,0 +1,192 @@
+// Package link models the CXL link between the GPU device tier and its
+// home (expansion) tier as a deterministic, seeded state machine: Up,
+// Degraded (transfers succeed with an extra-latency surcharge), or Down
+// (transfers refused). A Link wraps a Plan with a circuit breaker so that
+// during an outage callers fail fast instead of paying a refusal — and a
+// retry budget — on every home-tier access.
+//
+// A Link is not goroutine-safe; serialize access through whatever lock
+// guards the memory system it fronts (securemem.Concurrent does this).
+package link
+
+import (
+	"errors"
+
+	"github.com/salus-sim/salus/internal/sim"
+)
+
+// Transfer errors. ErrDown reports a refusal observed directly from the
+// plan; ErrBreakerOpen reports a fast-fail while the breaker cools down
+// (the plan was not consulted).
+var (
+	ErrDown        = errors.New("link: down")
+	ErrBreakerOpen = errors.New("link: breaker open")
+)
+
+// BreakerState is the circuit-breaker position of a Link.
+type BreakerState int
+
+const (
+	// BreakerClosed passes transfers through to the plan.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails transfers without consulting the plan.
+	BreakerOpen
+	// BreakerHalfOpen passes a single probe transfer through; success
+	// closes the breaker, a refusal re-opens it.
+	BreakerHalfOpen
+)
+
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "BreakerState(?)"
+}
+
+// Config tunes the circuit breaker. Both fields are attempt counts, not
+// cycle counts: a down link charges no latency, so the sim clock does not
+// advance during an outage and a time-based cooldown would never elapse.
+type Config struct {
+	// Threshold is the number of consecutive refusals that opens the
+	// breaker.
+	Threshold int
+	// Cooldown is the number of fast-failed transfers an open breaker
+	// absorbs before letting a half-open probe through to the plan.
+	Cooldown int
+}
+
+// DefaultConfig opens after 3 consecutive refusals and probes after 8
+// fast-fails.
+func DefaultConfig() Config { return Config{Threshold: 3, Cooldown: 8} }
+
+// Stats counts what the link did. All fields are monotone.
+type Stats struct {
+	// Transfers counts every Transfer call, including fast-fails.
+	Transfers uint64
+	// Flaps counts observed link-state transitions (fast-fails do not
+	// observe the plan and so cannot flap).
+	Flaps uint64
+	// DownRefusals counts transfers the plan refused (ErrDown).
+	DownRefusals uint64
+	// FastFails counts transfers the open breaker refused without
+	// consulting the plan (ErrBreakerOpen).
+	FastFails uint64
+	// BreakerOpens and BreakerCloses count breaker transitions;
+	// BreakerProbes counts half-open probe admissions.
+	BreakerOpens  uint64
+	BreakerCloses uint64
+	BreakerProbes uint64
+	// DegradedTransfers counts transfers that succeeded in the degraded
+	// state; ExtraLatencyCycles totals their latency surcharge.
+	DegradedTransfers  uint64
+	ExtraLatencyCycles uint64
+}
+
+// Link fronts a Plan with a circuit breaker.
+type Link struct {
+	plan     Plan
+	cfg      Config
+	breaker  BreakerState
+	fails    int // consecutive refusals while closed
+	cool     int // fast-fails remaining before a half-open probe
+	last     State
+	forcedUp bool
+	st       Stats
+}
+
+// New returns a Link over plan. Non-positive Config fields fall back to
+// DefaultConfig.
+func New(plan Plan, cfg Config) *Link {
+	def := DefaultConfig()
+	if cfg.Threshold < 1 {
+		cfg.Threshold = def.Threshold
+	}
+	if cfg.Cooldown < 1 {
+		cfg.Cooldown = def.Cooldown
+	}
+	return &Link{plan: plan, cfg: cfg, last: StateUp}
+}
+
+// Transfer asks the link to carry one chunk-sized home-tier access. It
+// returns the extra latency to charge to the sim clock (non-zero only in
+// the degraded state) or a typed refusal: ErrDown when the plan refused
+// the transfer, ErrBreakerOpen when the open breaker fast-failed it.
+func (l *Link) Transfer() (sim.Cycle, error) {
+	l.st.Transfers++
+	if l.breaker == BreakerOpen {
+		if l.cool > 0 {
+			l.cool--
+			l.st.FastFails++
+			return 0, ErrBreakerOpen
+		}
+		l.breaker = BreakerHalfOpen
+		l.st.BreakerProbes++
+	}
+	if l.forcedUp {
+		l.observe(StateUp)
+		l.recovered()
+		return 0, nil
+	}
+	status := l.plan.Next()
+	l.observe(status.State)
+	switch status.State {
+	case StateDown:
+		l.st.DownRefusals++
+		l.fails++
+		if l.breaker == BreakerHalfOpen || l.fails >= l.cfg.Threshold {
+			if l.breaker != BreakerOpen {
+				l.st.BreakerOpens++
+			}
+			l.breaker = BreakerOpen
+			l.cool = l.cfg.Cooldown
+		}
+		return 0, ErrDown
+	case StateDegraded:
+		l.recovered()
+		l.st.DegradedTransfers++
+		l.st.ExtraLatencyCycles += uint64(status.ExtraLatency)
+		return status.ExtraLatency, nil
+	}
+	l.recovered()
+	return 0, nil
+}
+
+// ForceUp pins the link up without consulting (or advancing) the plan:
+// the reconciler uses it to model an operator-confirmed recovery before
+// draining parked writebacks deterministically.
+func (l *Link) ForceUp() {
+	l.forcedUp = true
+	l.recovered()
+	l.observe(StateUp)
+}
+
+func (l *Link) observe(s State) {
+	if s != l.last {
+		l.st.Flaps++
+		l.last = s
+	}
+}
+
+func (l *Link) recovered() {
+	l.fails = 0
+	if l.breaker != BreakerClosed {
+		l.breaker = BreakerClosed
+		l.st.BreakerCloses++
+	}
+}
+
+// Breaker reports the breaker position.
+func (l *Link) Breaker() BreakerState { return l.breaker }
+
+// LinkState reports the last observed plan state (Up before any
+// transfer). While the breaker is open this is the state that opened it —
+// the plan is not consulted during fast-fails.
+func (l *Link) LinkState() State { return l.last }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats { return l.st }

@@ -1,0 +1,218 @@
+package link
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	plan, err := ParsePlan("down@0..1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(plan, Config{Threshold: 3, Cooldown: 5})
+
+	// Three refusals observed from the plan open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Transfer(); !errors.Is(err, ErrDown) {
+			t.Fatalf("transfer %d: got %v, want ErrDown", i, err)
+		}
+	}
+	if l.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v after threshold refusals, want open", l.Breaker())
+	}
+
+	// The next Cooldown transfers fast-fail without consulting the plan.
+	for i := 0; i < 5; i++ {
+		if _, err := l.Transfer(); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("cooldown transfer %d: got %v, want ErrBreakerOpen", i, err)
+		}
+	}
+
+	// Then a half-open probe consults the plan (still down) and re-opens.
+	if _, err := l.Transfer(); !errors.Is(err, ErrDown) {
+		t.Fatalf("probe: got %v, want ErrDown", err)
+	}
+	st := l.Stats()
+	if st.DownRefusals != 4 || st.FastFails != 5 || st.BreakerOpens != 2 || st.BreakerProbes != 1 {
+		t.Fatalf("stats = %+v, want 4 refusals, 5 fast-fails, 2 opens, 1 probe", st)
+	}
+	// Fast-fails must not have advanced the plan: only 4 ordinals consumed.
+	if got := plan.(*ScriptPlan).ordinal; got != 4 {
+		t.Fatalf("plan ordinal = %d after fast-fails, want 4", got)
+	}
+}
+
+func TestBreakerRecovers(t *testing.T) {
+	plan, err := ParsePlan("down@0..4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(plan, Config{Threshold: 3, Cooldown: 2})
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Transfer(); !errors.Is(err, ErrDown) {
+			t.Fatalf("transfer %d: got %v, want ErrDown", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := l.Transfer(); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("cooldown %d: got %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	// First probe hits ordinal 3 — still inside the window — and re-opens.
+	if _, err := l.Transfer(); !errors.Is(err, ErrDown) {
+		t.Fatalf("probe 1: got %v, want ErrDown", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := l.Transfer(); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("cooldown 2.%d: got %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	// Second probe hits ordinal 4 — past the window — and closes.
+	if _, err := l.Transfer(); err != nil {
+		t.Fatalf("probe 2: got %v, want success", err)
+	}
+	if l.Breaker() != BreakerClosed {
+		t.Fatalf("breaker = %v after recovery, want closed", l.Breaker())
+	}
+	st := l.Stats()
+	if st.BreakerCloses != 1 || st.BreakerProbes != 2 {
+		t.Fatalf("stats = %+v, want 1 close, 2 probes", st)
+	}
+	// A fresh refusal streak is required to re-open: recovery reset fails.
+	if _, err := l.Transfer(); err != nil {
+		t.Fatalf("post-recovery transfer: %v", err)
+	}
+}
+
+func TestDegradedChargesLatency(t *testing.T) {
+	plan, err := ParsePlan("deg@0..3:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(plan, DefaultConfig())
+	for i := 0; i < 3; i++ {
+		lat, err := l.Transfer()
+		if err != nil {
+			t.Fatalf("degraded transfer %d: %v", i, err)
+		}
+		if lat != 24 {
+			t.Fatalf("degraded transfer %d latency = %d, want 24", i, lat)
+		}
+	}
+	if lat, err := l.Transfer(); err != nil || lat != 0 {
+		t.Fatalf("post-window transfer = (%d, %v), want (0, nil)", lat, err)
+	}
+	st := l.Stats()
+	if st.DegradedTransfers != 3 || st.ExtraLatencyCycles != 72 {
+		t.Fatalf("stats = %+v, want 3 degraded transfers, 72 extra cycles", st)
+	}
+	// up -> degraded -> up is two flaps.
+	if st.Flaps != 2 {
+		t.Fatalf("flaps = %d, want 2", st.Flaps)
+	}
+}
+
+func TestForceUpClosesBreakerWithoutPlan(t *testing.T) {
+	plan, err := ParsePlan("down@0..1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(plan, Config{Threshold: 2, Cooldown: 4})
+	for i := 0; i < 2; i++ {
+		l.Transfer()
+	}
+	if l.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", l.Breaker())
+	}
+	consumed := plan.(*ScriptPlan).ordinal
+	l.ForceUp()
+	if l.Breaker() != BreakerClosed || l.LinkState() != StateUp {
+		t.Fatalf("after ForceUp: breaker %v state %v, want closed/up", l.Breaker(), l.LinkState())
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Transfer(); err != nil {
+			t.Fatalf("forced-up transfer %d: %v", i, err)
+		}
+	}
+	// ForceUp pins the state without advancing the plan schedule.
+	if got := plan.(*ScriptPlan).ordinal; got != consumed {
+		t.Fatalf("plan ordinal advanced from %d to %d under ForceUp", consumed, got)
+	}
+}
+
+func TestRatePlanDeterministic(t *testing.T) {
+	mk := func() *RatePlan {
+		p, err := ParsePlan("rate:seed=7,flap=0.1,downlen=6,deg=0.1,deglen=4,lat=8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.(*RatePlan)
+	}
+	a, b := mk(), mk()
+	sawDown, sawDeg := false, false
+	for i := 0; i < 2000; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa != sb {
+			t.Fatalf("ordinal %d: %v != %v for identical seeds", i, sa, sb)
+		}
+		sawDown = sawDown || sa.State == StateDown
+		sawDeg = sawDeg || sa.State == StateDegraded
+	}
+	if !sawDown || !sawDeg {
+		t.Fatalf("rate plan never flapped in 2000 transfers (down=%v deg=%v)", sawDown, sawDeg)
+	}
+	// Reseeding rewinds to a fresh, equally deterministic schedule.
+	a.Reseed(7)
+	c := mk()
+	for i := 0; i < 500; i++ {
+		if sa, sc := a.Next(), c.Next(); sa != sc {
+			t.Fatalf("ordinal %d after Reseed: %v != %v", i, sa, sc)
+		}
+	}
+}
+
+func TestManualConcurrentSet(t *testing.T) {
+	m := NewManual()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Set(State(i % 3))
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		s := m.Next().State
+		if s != StateUp && s != StateDegraded && s != StateDown {
+			t.Fatalf("invalid state %v", s)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlapCounting(t *testing.T) {
+	plan, err := ParsePlan("down@2..4,down@6..8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 1: every refusal opens, so probes keep consulting the plan
+	// after one fast-fail each and the full schedule is observed.
+	l := New(plan, Config{Threshold: 1, Cooldown: 1})
+	for i := 0; i < 20; i++ {
+		l.Transfer()
+	}
+	// up(0,1) down(2,3) up(4,5) down(6,7) up(...) = 4 transitions.
+	if st := l.Stats(); st.Flaps != 4 {
+		t.Fatalf("flaps = %d, want 4 (stats %+v)", st.Flaps, st)
+	}
+}

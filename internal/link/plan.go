@@ -1,0 +1,351 @@
+package link
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"github.com/salus-sim/salus/internal/sim"
+)
+
+// State is the operating condition of the CXL link.
+type State int
+
+const (
+	// StateUp passes transfers at nominal latency.
+	StateUp State = iota
+	// StateDegraded passes transfers but charges extra cycles per
+	// transfer — a latency spike or bandwidth collapse brownout.
+	StateDegraded
+	// StateDown refuses transfers.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Status is the link condition governing one transfer.
+type Status struct {
+	State State
+	// ExtraLatency is the brownout surcharge per transfer; only
+	// meaningful when State is StateDegraded.
+	ExtraLatency sim.Cycle
+}
+
+// A Plan scripts the link condition over time. Next is consulted once per
+// attempted transfer (one ordinal per chunk-sized home-tier access) and
+// returns the condition governing it. Plans must be deterministic — the
+// same plan value replays the same schedule — which is what makes
+// link-chaos failures reproducible. String returns a canonical spec that
+// ParsePlan decodes back into an equivalent fresh plan.
+type Plan interface {
+	Next() Status
+	String() string
+}
+
+// Window is a half-open interval [From, To) of transfer ordinals during
+// which a ScriptPlan reports a non-Up state.
+type Window struct {
+	From, To uint64
+	State    State // StateDown or StateDegraded
+	// ExtraLatency is the per-transfer surcharge; StateDegraded only.
+	ExtraLatency sim.Cycle
+}
+
+// ScriptPlan replays explicit outage windows keyed by transfer ordinal.
+// Ordinals outside every window are Up; the first matching window wins.
+// Note that breaker fast-fails do not consult the plan, so an open
+// breaker freezes the ordinal clock until its next half-open probe.
+type ScriptPlan struct {
+	Windows []Window
+
+	ordinal uint64
+}
+
+// Next reports the condition for the current ordinal and advances it.
+func (p *ScriptPlan) Next() Status {
+	o := p.ordinal
+	p.ordinal++
+	for _, w := range p.Windows {
+		if o >= w.From && o < w.To {
+			return Status{State: w.State, ExtraLatency: w.ExtraLatency}
+		}
+	}
+	return Status{}
+}
+
+// String returns the canonical window spec, e.g. "down@40..70,deg@100..200:24".
+func (p *ScriptPlan) String() string {
+	parts := make([]string, 0, len(p.Windows))
+	for _, w := range p.Windows {
+		tok := "down"
+		if w.State == StateDegraded {
+			tok = "deg"
+		}
+		s := fmt.Sprintf("%s@%d..%d", tok, w.From, w.To)
+		if w.State == StateDegraded && w.ExtraLatency > 0 {
+			s += ":" + strconv.FormatUint(uint64(w.ExtraLatency), 10)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// RatePlan flips the link at seeded random, modelling an unreliable
+// transport: while Up, each transfer starts a Down episode with
+// probability Flap and a Degraded episode with probability Deg. Episode
+// lengths are geometric with means DownLen and DegLen transfers; every
+// degraded transfer carries Lat extra cycles.
+type RatePlan struct {
+	Seed    int64
+	Flap    float64
+	DownLen float64
+	Deg     float64
+	DegLen  float64
+	Lat     sim.Cycle
+
+	rng       *rand.Rand
+	cur       State
+	remaining int
+}
+
+// maxEpisode caps a sampled episode length so a pathological draw cannot
+// take the link down for an entire campaign.
+const maxEpisode = 4096
+
+// Reseed rewinds the plan to a fresh schedule drawn from seed.
+func (p *RatePlan) Reseed(seed int64) {
+	p.Seed = seed
+	p.rng = nil
+	p.cur = StateUp
+	p.remaining = 0
+}
+
+func (p *RatePlan) episode(mean float64) int {
+	n := 1 + int(p.rng.ExpFloat64()*mean)
+	if n > maxEpisode {
+		n = maxEpisode
+	}
+	return n
+}
+
+// Next reports the condition for this transfer and advances the schedule.
+func (p *RatePlan) Next() Status {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	if p.remaining > 0 {
+		p.remaining--
+		if p.cur == StateDegraded {
+			return Status{State: StateDegraded, ExtraLatency: p.Lat}
+		}
+		return Status{State: p.cur}
+	}
+	p.cur = StateUp
+	r := p.rng.Float64()
+	switch {
+	case r < p.Flap:
+		p.cur = StateDown
+		p.remaining = p.episode(p.DownLen) - 1
+		return Status{State: StateDown}
+	case r < p.Flap+p.Deg:
+		p.cur = StateDegraded
+		p.remaining = p.episode(p.DegLen) - 1
+		return Status{State: StateDegraded, ExtraLatency: p.Lat}
+	}
+	return Status{}
+}
+
+// String returns the canonical rate spec with every field explicit.
+func (p *RatePlan) String() string {
+	return fmt.Sprintf("rate:seed=%d,flap=%s,downlen=%s,deg=%s,deglen=%s,lat=%d",
+		p.Seed,
+		strconv.FormatFloat(p.Flap, 'g', -1, 64),
+		strconv.FormatFloat(p.DownLen, 'g', -1, 64),
+		strconv.FormatFloat(p.Deg, 'g', -1, 64),
+		strconv.FormatFloat(p.DegLen, 'g', -1, 64),
+		uint64(p.Lat))
+}
+
+// Manual is a Plan driven externally with Set, for tests and examples
+// that flip the link from another goroutine; Next never blocks and Set is
+// safe to call concurrently with Next.
+type Manual struct {
+	state atomic.Int32
+}
+
+// NewManual returns a manual plan that starts Up.
+func NewManual() *Manual { return &Manual{} }
+
+// Set switches the link condition reported to subsequent transfers.
+func (m *Manual) Set(s State) { m.state.Store(int32(s)) }
+
+// Next reports the condition selected by the last Set (Up initially).
+func (m *Manual) Next() Status { return Status{State: State(m.state.Load())} }
+
+func (m *Manual) String() string { return "manual" }
+
+// defaultRatePlan holds the rate-spec field defaults: a ~2% chance per
+// transfer of a mean-16-transfer outage, a ~2% chance of a mean-12
+// brownout at 16 extra cycles.
+func defaultRatePlan() *RatePlan {
+	return &RatePlan{Seed: 1, Flap: 0.02, DownLen: 16, Deg: 0.02, DegLen: 12, Lat: 16}
+}
+
+// ParsePlan decodes a link-plan spec. Three forms are accepted:
+//
+//	manual                          externally driven (tests, examples)
+//	rate:seed=1,flap=0.02,...       seeded random flapping (keys: seed,
+//	                                flap, downlen, deg, deglen, lat;
+//	                                omitted keys keep their defaults)
+//	down@40..70,deg@100..200:24     explicit windows over transfer
+//	                                ordinals; ":n" adds n cycles of
+//	                                latency to each degraded transfer
+//
+// The returned plan is fresh (its schedule starts at the beginning), and
+// its String method returns a canonical spec ParsePlan accepts.
+func ParsePlan(spec string) (Plan, error) {
+	switch {
+	case spec == "manual":
+		return NewManual(), nil
+	case strings.HasPrefix(spec, "rate:"):
+		return parseRatePlan(strings.TrimPrefix(spec, "rate:"))
+	case spec == "":
+		return nil, fmt.Errorf("link: empty plan spec")
+	}
+	return parseScriptPlan(spec)
+}
+
+func parseRatePlan(body string) (*RatePlan, error) {
+	p := defaultRatePlan()
+	if body == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("link: rate plan field %q is not key=value", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("link: rate plan seed %q: %v", v, err)
+			}
+			p.Seed = n
+		case "flap", "deg":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("link: rate plan %s %q: %v", k, v, err)
+			}
+			// The conjunction rejects NaN as well as out-of-range values.
+			if !(x >= 0 && x <= 1) {
+				return nil, fmt.Errorf("link: rate plan %s %q outside [0,1]", k, v)
+			}
+			if k == "flap" {
+				p.Flap = x
+			} else {
+				p.Deg = x
+			}
+		case "downlen", "deglen":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("link: rate plan %s %q: %v", k, v, err)
+			}
+			if !(x >= 0 && x <= 1e9) {
+				return nil, fmt.Errorf("link: rate plan %s %q outside [0,1e9]", k, v)
+			}
+			if k == "downlen" {
+				p.DownLen = x
+			} else {
+				p.DegLen = x
+			}
+		case "lat":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("link: rate plan lat %q: %v", v, err)
+			}
+			if n > 1e9 {
+				return nil, fmt.Errorf("link: rate plan lat %q exceeds 1e9 cycles", v)
+			}
+			p.Lat = sim.Cycle(n)
+		default:
+			return nil, fmt.Errorf("link: unknown rate plan field %q", k)
+		}
+	}
+	if p.Flap+p.Deg > 1 {
+		return nil, fmt.Errorf("link: rate plan flap+deg %g exceeds 1", p.Flap+p.Deg)
+	}
+	return p, nil
+}
+
+func parseScriptPlan(spec string) (*ScriptPlan, error) {
+	p := &ScriptPlan{}
+	for _, tok := range strings.Split(spec, ",") {
+		w, err := parseWindow(tok)
+		if err != nil {
+			return nil, err
+		}
+		p.Windows = append(p.Windows, w)
+	}
+	return p, nil
+}
+
+func parseWindow(tok string) (Window, error) {
+	var w Window
+	st, rest, ok := strings.Cut(tok, "@")
+	if !ok {
+		return w, fmt.Errorf("link: window %q has no state@range", tok)
+	}
+	switch st {
+	case "down":
+		w.State = StateDown
+	case "deg":
+		w.State = StateDegraded
+	default:
+		return w, fmt.Errorf("link: window state %q is not down or deg", st)
+	}
+	rangePart := rest
+	if r, lat, found := strings.Cut(rest, ":"); found {
+		if w.State != StateDegraded {
+			return w, fmt.Errorf("link: window %q: latency is only valid on deg windows", tok)
+		}
+		n, err := strconv.ParseUint(lat, 10, 64)
+		if err != nil {
+			return w, fmt.Errorf("link: window %q latency: %v", tok, err)
+		}
+		if n > 1e9 {
+			return w, fmt.Errorf("link: window %q latency exceeds 1e9 cycles", tok)
+		}
+		w.ExtraLatency = sim.Cycle(n)
+		rangePart = r
+	}
+	from, to, ok := strings.Cut(rangePart, "..")
+	if !ok {
+		return w, fmt.Errorf("link: window %q range is not from..to", tok)
+	}
+	f, err := strconv.ParseUint(from, 10, 64)
+	if err != nil {
+		return w, fmt.Errorf("link: window %q from: %v", tok, err)
+	}
+	t, err := strconv.ParseUint(to, 10, 64)
+	if err != nil {
+		return w, fmt.Errorf("link: window %q to: %v", tok, err)
+	}
+	if f >= t {
+		return w, fmt.Errorf("link: window %q is empty (from >= to)", tok)
+	}
+	w.From, w.To = f, t
+	return w, nil
+}

@@ -1,0 +1,139 @@
+package link
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScriptPlanSchedule(t *testing.T) {
+	p, err := ParsePlan("down@2..4,deg@6..8:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Status{
+		{State: StateUp}, {State: StateUp},
+		{State: StateDown}, {State: StateDown},
+		{State: StateUp}, {State: StateUp},
+		{State: StateDegraded, ExtraLatency: 24}, {State: StateDegraded, ExtraLatency: 24},
+		{State: StateUp},
+	}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("ordinal %d: got %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestScriptPlanFirstMatchWins(t *testing.T) {
+	p := &ScriptPlan{Windows: []Window{
+		{From: 0, To: 10, State: StateDegraded, ExtraLatency: 8},
+		{From: 5, To: 15, State: StateDown},
+	}}
+	for i := 0; i < 10; i++ {
+		if got := p.Next(); got.State != StateDegraded {
+			t.Fatalf("ordinal %d: got %v, want degraded (first match)", i, got.State)
+		}
+	}
+	if got := p.Next(); got.State != StateDown {
+		t.Fatalf("ordinal 10: got %v, want down", got.State)
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	specs := []string{
+		"down@40..70",
+		"down@40..70,deg@100..200:24",
+		"deg@0..18446744073709551615:1000000000",
+		"rate:seed=1,flap=0.02,downlen=16,deg=0.02,deglen=12,lat=16",
+		"rate:seed=-9,flap=0.001,downlen=1e+06,deg=0,deglen=0,lat=0",
+		"manual",
+	}
+	for _, spec := range specs {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Fatalf("ParsePlan(%q).String() = %q, want round-trip", spec, got)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"sideways@1..2",
+		"down@1..2:9",           // latency on a down window
+		"down@5..5",             // empty window
+		"down@7..3",             // inverted window
+		"down@..3",              // missing from
+		"down@1--3",             // bad range separator
+		"rate:flap=1.5",         // probability out of range
+		"rate:flap=nan",         // non-finite probability
+		"rate:deg=-0.1",         // negative probability
+		"rate:flap=0.9,deg=0.9", // probabilities sum past 1
+		"rate:downlen=inf",      // non-finite length
+		"rate:lat=-4",           // negative latency
+		"rate:bogus=1",          // unknown key
+		"rate:seed",             // not key=value
+	}
+	for _, spec := range bad {
+		if p, err := ParsePlan(spec); err == nil {
+			t.Fatalf("ParsePlan(%q) = %v, want error", spec, p)
+		}
+	}
+}
+
+func TestParsePlanRateDefaults(t *testing.T) {
+	p, err := ParsePlan("rate:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, ok := p.(*RatePlan)
+	if !ok {
+		t.Fatalf("ParsePlan(rate:) = %T, want *RatePlan", p)
+	}
+	def := defaultRatePlan()
+	if rp.Seed != def.Seed || rp.Flap != def.Flap || rp.Lat != def.Lat {
+		t.Fatalf("rate defaults = %+v, want %+v", rp, def)
+	}
+}
+
+// FuzzLinkPlan drives the flap-plan decoder with arbitrary specs: any
+// spec that parses must produce a canonical String that re-parses to the
+// same canonical form, and a fresh plan from it must emit only valid
+// link states with latency confined to the degraded state.
+func FuzzLinkPlan(f *testing.F) {
+	f.Add("down@40..70,deg@100..200:24")
+	f.Add("rate:seed=3,flap=0.1,downlen=8,deg=0.2,deglen=4,lat=32")
+	f.Add("rate:")
+	f.Add("manual")
+	f.Add("deg@0..1:0,down@1..2")
+	f.Add(strings.Repeat("down@1..2,", 40) + "down@1..2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q from %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical spec is not a fixed point: %q -> %q", canon, got)
+		}
+		for i := 0; i < 200; i++ {
+			st := p2.Next()
+			switch st.State {
+			case StateUp, StateDown:
+				if st.ExtraLatency != 0 {
+					t.Fatalf("ordinal %d: latency %d outside degraded state", i, st.ExtraLatency)
+				}
+			case StateDegraded:
+			default:
+				t.Fatalf("ordinal %d: invalid state %d", i, int(st.State))
+			}
+		}
+	})
+}

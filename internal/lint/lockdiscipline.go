@@ -3,7 +3,9 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -12,7 +14,11 @@ import (
 // acquire that mutex before touching any sibling field. It also watches
 // the known escape hatch pattern in tests — calling an Unwrap-style
 // method (which hands out the unsynchronized inner value) while spawned
-// goroutines may still be running.
+// goroutines may still be running — and flags home-tier operations issued
+// while a writeback-queue mutex is held: the home tier sits across the
+// CXL link, whose transfers can stall in retry/backoff or an outage, and
+// a queue lock held across that stall starves every device-resident
+// access that only wanted the queue.
 type LockDiscipline struct{}
 
 // Name implements Analyzer.
@@ -35,6 +41,7 @@ func (a LockDiscipline) Run(pkg *Package) []Finding {
 				continue
 			}
 			out = append(out, a.checkMethod(pkg, guarded, fn)...)
+			out = append(out, a.checkQueueMutexHomeCalls(pkg, fn)...)
 			if isTest {
 				out = append(out, a.checkUnwrapLiveness(pkg, fn)...)
 			}
@@ -152,6 +159,97 @@ func (a LockDiscipline) checkMethod(pkg *Package, guarded map[*types.Named]*guar
 		Message: fmt.Sprintf("exported method %s.%s touches guarded field %q without acquiring the mutex",
 			named.Obj().Name(), fn.Name.Name, first.Sel.Name),
 	}}
+}
+
+// homeTierCalls names the operations whose latency is bounded by the CXL
+// link, not device memory: each one can stall in the fault-retry budget
+// or fail an entire outage long. Holding a queue mutex across them blocks
+// the fast path behind the slow one.
+var homeTierCalls = map[string]bool{
+	"gateHome":         true,
+	"gateHomePageRead": true,
+	"gateEvictWrites":  true,
+	"ReadThrough":      true,
+	"WriteThrough":     true,
+	"CheckpointChunk":  true,
+	"DrainWritebacks":  true,
+	"drainOne":         true,
+}
+
+// checkQueueMutexHomeCalls flags home-tier calls made while a mutex whose
+// name contains "queue" is held. Lock/Unlock pairs are tracked in source
+// position order; a deferred Unlock means the mutex is held to the end of
+// the function, so everything after the Lock counts as under it.
+func (a LockDiscipline) checkQueueMutexHomeCalls(pkg *Package, fn *ast.FuncDecl) []Finding {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	const (
+		evLock = iota
+		evUnlock
+		evHomeCall
+	)
+	type event struct {
+		pos  token.Pos
+		kind int
+		name string
+	}
+	var events []event
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok &&
+			strings.Contains(strings.ToLower(inner.Sel.Name), "queue") &&
+			isSyncMutex(pkg.Info.TypeOf(inner)) {
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				events = append(events, event{call.Pos(), evLock, inner.Sel.Name})
+			case "Unlock", "RUnlock":
+				if !deferred[call] {
+					events = append(events, event{call.Pos(), evUnlock, inner.Sel.Name})
+				}
+			}
+			return true
+		}
+		if homeTierCalls[sel.Sel.Name] {
+			events = append(events, event{call.Pos(), evHomeCall, sel.Sel.Name})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var out []Finding
+	held := ""
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held = ev.name
+		case evUnlock:
+			held = ""
+		case evHomeCall:
+			if held != "" {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(ev.pos),
+					Analyzer: a.Name(),
+					Severity: Error,
+					Message: fmt.Sprintf("home-tier call %s while holding writeback-queue mutex %q; a link stall here starves every queue user",
+						ev.name, held),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // checkUnwrapLiveness flags x.Unwrap() calls in test functions that occur

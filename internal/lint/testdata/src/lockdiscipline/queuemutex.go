@@ -1,0 +1,52 @@
+package lockdiscipline
+
+import "sync"
+
+// homeStore stands in for the securemem home-tier surface.
+type homeStore struct{}
+
+func (homeStore) WriteThrough(addr uint64, data []byte) error { return nil }
+func (homeStore) ReadThrough(addr uint64, buf []byte) error   { return nil }
+func (homeStore) DrainWritebacks() (int, error)               { return 0, nil }
+
+// WritebackQueue parks dirty frames awaiting link recovery.
+type WritebackQueue struct {
+	queueMu sync.Mutex
+	parked  []int
+	home    homeStore
+}
+
+// DrainBad issues the home-tier writeback while still holding the queue
+// mutex (the deferred Unlock keeps it held to the end of the function):
+// a link stall here blocks every reader that only wanted the queue.
+func (q *WritebackQueue) DrainBad(data []byte) error {
+	q.queueMu.Lock()
+	defer q.queueMu.Unlock()
+	fi := q.parked[0]
+	return q.home.WriteThrough(uint64(fi), data) // want: home-tier call under queue mutex
+}
+
+// DrainExplicitBad holds the lock across the call with an explicit unlock
+// after it.
+func (q *WritebackQueue) DrainExplicitBad(data []byte) error {
+	q.queueMu.Lock()
+	err := q.home.WriteThrough(0, data) // want: home-tier call under queue mutex
+	q.queueMu.Unlock()
+	return err
+}
+
+// DrainGood copies the queue head under the lock, releases it, and only
+// then crosses the link; no finding.
+func (q *WritebackQueue) DrainGood(data []byte) error {
+	q.queueMu.Lock()
+	fi := q.parked[0]
+	q.queueMu.Unlock()
+	return q.home.WriteThrough(uint64(fi), data)
+}
+
+// RequeueGood never crosses the link at all; no finding.
+func (q *WritebackQueue) RequeueGood(fi int) {
+	q.queueMu.Lock()
+	defer q.queueMu.Unlock()
+	q.parked = append(q.parked, fi)
+}

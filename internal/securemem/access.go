@@ -171,12 +171,43 @@ func (s *System) migrateIn(page int) (int, error) {
 		}
 	}
 	if fi < 0 {
-		fi = s.victimFrame()
-		if fi < 0 {
-			return -1, errNoFrames
+		for {
+			v := s.victimFrame()
+			if v < 0 {
+				break
+			}
+			err := s.evict(v)
+			if err == nil {
+				fi = v
+				break
+			}
+			var pe *parkedError
+			if !errors.As(err, &pe) {
+				return -1, err
+			}
+			// The victim parked on the writeback queue (link outage): it
+			// stays resident and keeps serving; try the next-best victim.
 		}
-		if err := s.evict(fi); err != nil {
-			return -1, err
+		if fi < 0 {
+			// No free or evictable frame left. When frames are parked
+			// awaiting the link, try to drain the queue head to free one —
+			// on a live link this succeeds immediately; during an outage
+			// the miss fails typed instead of blocking or degrading the
+			// page to a permanent home-tier pin.
+			if len(s.wbq) > 0 {
+				if err := s.drainOne(); err != nil {
+					return -1, err
+				}
+				for i := range s.frames {
+					if s.frames[i].homePage < 0 && !s.frames[i].quarantined {
+						fi = i
+						break
+					}
+				}
+			}
+			if fi < 0 {
+				return -1, errNoFrames
+			}
 		}
 	}
 	// Split chunks (direct CXL writes) must be checkpointed back to the
@@ -210,11 +241,11 @@ func (s *System) migrateIn(page int) (int, error) {
 }
 
 // victimFrame returns the LRU frame index among usable frames, or -1 when
-// every frame has been quarantined.
+// every frame has been quarantined or parked on the writeback queue.
 func (s *System) victimFrame() int {
 	best := -1
 	for i := range s.frames {
-		if s.frames[i].quarantined {
+		if s.frames[i].quarantined || s.frames[i].parked {
 			continue
 		}
 		if best < 0 || s.frames[i].lru < s.frames[best].lru {
@@ -225,13 +256,20 @@ func (s *System) victimFrame() int {
 }
 
 // evict writes a frame back to the home tier per the active model and
-// frees it.
+// frees it. An eviction the link refuses parks the frame on the
+// dirty-writeback queue instead (see link.go); PageEvictions counts only
+// completed evictions, so the tier-conservation and per-chunk eviction
+// arithmetic stay exact when an eviction parks or aborts.
 func (s *System) evict(fi int) error {
 	f := &s.frames[fi]
 	if f.homePage < 0 {
 		return nil
 	}
-	s.stats.PageEvictions++
+	if f.parked {
+		// Parked frames leave only through the writeback queue (drainOne
+		// clears the flag first), preserving the FIFO drain order.
+		return &parkedError{cause: ErrLinkDown}
+	}
 	var err error
 	switch s.cfg.Model {
 	case ModelNone:
@@ -242,8 +280,12 @@ func (s *System) evict(fi int) error {
 		err = s.convEvict(fi)
 	}
 	if err != nil {
+		if errors.Is(err, ErrLinkDown) || errors.Is(err, ErrDegraded) {
+			return s.park(fi, err)
+		}
 		return err
 	}
+	s.stats.PageEvictions++
 	s.pageTable[f.homePage] = -1
 	f.homePage = -1
 	f.dirty, f.macIn, f.ctrIn = 0, 0, 0
@@ -274,10 +316,21 @@ func (s *System) noneEvict(fi int) error {
 	return nil
 }
 
-// Flush evicts every resident page, as at kernel completion.
+// Flush evicts every resident page, as at kernel completion. During a
+// link outage, evictions the link refuses park on the dirty-writeback
+// queue — those pages stay resident (check QueuedWritebacks) and drain
+// on recovery via DrainWritebacks; Flush itself fails only on real
+// errors, including ErrQueueFull backpressure when a park does not fit.
 func (s *System) Flush() error {
 	for fi := range s.frames {
+		if s.frames[fi].parked {
+			continue
+		}
 		if err := s.evict(fi); err != nil {
+			var pe *parkedError
+			if errors.As(err, &pe) {
+				continue
+			}
 			return err
 		}
 	}

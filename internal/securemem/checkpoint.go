@@ -85,6 +85,13 @@ func (s *System) Checkpoint(j *crash.Journal) (TrustedRoot, error) {
 	if j == nil {
 		return root, ErrJournalRequired
 	}
+	// Consult the link for every home writeback this epoch needs before
+	// anything (including the epoch number) moves: a checkpoint that
+	// cannot reach the home tier is an atomic typed no-op, never a
+	// half-written epoch with cleared dirty bits.
+	if err := s.linkPrecheckCheckpoint(); err != nil {
+		return root, err
+	}
 	epoch := s.epoch + 1
 	s.epoch = epoch // consumed even on failure; see above
 	startBytes := j.BytesWritten()

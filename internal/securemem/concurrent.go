@@ -76,6 +76,34 @@ func (c *Concurrent) Suspend() ([]byte, TrustedRoot, error) {
 	return c.sys.Suspend()
 }
 
+// DrainWritebacks is a goroutine-safe System.DrainWritebacks. Each
+// queued writeback drains under its own lock acquisition, so concurrent
+// device-resident reads interleave with a long drain instead of stalling
+// behind it.
+func (c *Concurrent) DrainWritebacks() (int, error) {
+	n := 0
+	for {
+		c.mu.Lock()
+		if c.sys.QueuedWritebacks() == 0 {
+			c.mu.Unlock()
+			return n, nil
+		}
+		err := c.sys.drainOne()
+		c.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// QueuedWritebacks is a goroutine-safe System.QueuedWritebacks.
+func (c *Concurrent) QueuedWritebacks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.QueuedWritebacks()
+}
+
 // Epoch is a goroutine-safe System.Epoch.
 func (c *Concurrent) Epoch() uint64 {
 	c.mu.Lock()

@@ -150,6 +150,11 @@ func (s *System) gateHome(addr HomeAddr, write bool) error {
 	if err := s.poisonCheck(addr); err != nil {
 		return err
 	}
+	// The link refusal comes before the fault-retry gate: a dead link
+	// fails fast instead of spinning through the transient retry budget.
+	if err := s.linkCheck(); err != nil {
+		return err
+	}
 	err := s.gate(fault.TierHome, uint64(addr), write)
 	if err == nil {
 		return nil
@@ -167,7 +172,7 @@ func (s *System) gateHome(addr HomeAddr, write bool) error {
 // chunks that fail uncorrectably here are poisoned and abort the
 // migration with ErrPoison.
 func (s *System) gateHomePageRead(page int) error {
-	if s.inj == nil {
+	if s.inj == nil && s.lnk == nil {
 		return nil
 	}
 	bad := 0
@@ -175,6 +180,9 @@ func (s *System) gateHomePageRead(page int) error {
 		chunk := page*s.geo.ChunksPerPage() + c
 		if s.poisoned[chunk] {
 			continue
+		}
+		if err := s.linkCheck(); err != nil {
+			return err
 		}
 		err := s.gate(fault.TierHome, uint64(chunk*s.geo.ChunkSize), false)
 		if errors.Is(err, errUncorrectable) {
@@ -199,7 +207,7 @@ func (s *System) gateHomePageRead(page int) error {
 // eviction proceeds without it. full selects every chunk (the
 // conventional model's full-page writeback) rather than only dirty ones.
 func (s *System) gateEvictWrites(fi int, full bool) error {
-	if s.inj == nil {
+	if s.inj == nil && s.lnk == nil {
 		return nil
 	}
 	f := &s.frames[fi]
@@ -210,6 +218,9 @@ func (s *System) gateEvictWrites(fi int, full bool) error {
 		chunk := f.homePage*s.geo.ChunksPerPage() + c
 		if s.poisoned[chunk] {
 			continue
+		}
+		if err := s.linkCheck(); err != nil {
+			return err
 		}
 		err := s.gate(fault.TierHome, uint64(chunk*s.geo.ChunkSize), true)
 		if errors.Is(err, errUncorrectable) {

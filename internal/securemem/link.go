@@ -1,0 +1,296 @@
+package securemem
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/sim"
+)
+
+// CXL link degradation. A System can be armed with a link.Link that
+// models the transport to the home tier as a first-class degradable
+// resource: Up, Degraded (every home transfer pays a latency surcharge,
+// charged to the sim clock), or Down (home transfers refused). The
+// degraded-mode policy is:
+//
+//   - Device-memory hits keep serving: resident pages never touch the
+//     link, so reads and writes to them proceed at full speed.
+//   - Misses fail fast with ErrLinkDown (the plan refused the transfer)
+//     or ErrDegraded (the circuit breaker fast-failed it) — never a
+//     retry/backoff spin against a dead transport.
+//   - Evictions that cannot reach the home tier park the frame on a
+//     bounded dirty-writeback queue instead of blocking: the page stays
+//     resident and keeps serving, and the queue's FIFO order is the
+//     eventual writeback order. A full queue pushes back with
+//     ErrQueueFull.
+//   - On recovery, DrainWritebacks empties the queue in FIFO-per-page
+//     order. Every drained page's home-tier state is first re-verified
+//     against the integrity tree, so a link outage can never be used to
+//     mask a rollback or splice of home state: the outage window ends
+//     with ErrFreshness, not silent acceptance.
+//
+// Link refusals are modelled on data traffic to the home tier only, at
+// the same chokepoints as the fault gates (gateHome, gateHomePageRead,
+// gateEvictWrites); device-tier traffic never consults the link.
+
+// Link-taxonomy sentinels, alongside ErrTransient/ErrPoison.
+var (
+	// ErrLinkDown reports a home-tier access refused because the CXL
+	// link is down.
+	ErrLinkDown = errors.New("securemem: CXL link down")
+	// ErrDegraded reports a home-tier access fast-failed by the open
+	// circuit breaker while the link recovers.
+	ErrDegraded = errors.New("securemem: CXL link degraded (circuit breaker open)")
+	// ErrQueueFull reports an eviction that could not park on the
+	// dirty-writeback queue because it is at capacity.
+	ErrQueueFull = errors.New("securemem: dirty-writeback queue full")
+	// ErrWritebacksPending reports a Suspend attempted while parked
+	// writebacks still wait for the link; drain them first.
+	ErrWritebacksPending = errors.New("securemem: parked writebacks pending (drain before suspend)")
+)
+
+// DefaultWritebackQueueCap bounds the dirty-writeback queue when
+// AttachLink is given no explicit capacity.
+const DefaultWritebackQueueCap = 8
+
+// parkedError reports an eviction that parked its frame on the
+// writeback queue instead of completing. It wraps the link error that
+// caused the park, so errors.Is sees ErrLinkDown/ErrDegraded through it.
+type parkedError struct {
+	cause error
+}
+
+func (e *parkedError) Error() string {
+	return fmt.Sprintf("securemem: eviction parked on writeback queue: %v", e.cause)
+}
+
+func (e *parkedError) Unwrap() error { return e.cause }
+
+// AttachLink arms the system with a CXL link model. queueCap bounds the
+// dirty-writeback queue (non-positive selects DefaultWritebackQueueCap).
+// clock may be nil, in which case degraded-transfer latency costs no
+// simulated time (it is still accounted in LinkLatencyCycles).
+func (s *System) AttachLink(l *link.Link, clock *sim.Engine, queueCap int) {
+	s.lnk = l
+	if clock != nil {
+		s.clock = clock
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultWritebackQueueCap
+	}
+	s.wbqCap = queueCap
+}
+
+// Link returns the attached link model, or nil.
+func (s *System) Link() *link.Link { return s.lnk }
+
+// linkCheck consults the link for one chunk-sized home-tier transfer:
+// nil means the transfer may proceed (any brownout surcharge has been
+// charged to the clock); otherwise the typed refusal to surface. It runs
+// before the fault-retry gate so a dead link fails fast instead of
+// consuming the transient retry/backoff budget.
+func (s *System) linkCheck() error {
+	if s.lnk == nil {
+		return nil
+	}
+	lat, err := s.lnk.Transfer()
+	if err != nil {
+		if errors.Is(err, link.ErrBreakerOpen) {
+			return fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+		return fmt.Errorf("%w: %v", ErrLinkDown, err)
+	}
+	if lat > 0 && s.clock != nil {
+		s.clock.Advance(lat)
+	}
+	return nil
+}
+
+// syncLinkStats mirrors the link's counters into OpStats.
+func (s *System) syncLinkStats() {
+	if s.lnk == nil {
+		return
+	}
+	lst := s.lnk.Stats()
+	s.stats.LinkFlaps = lst.Flaps
+	s.stats.LinkDownRefusals = lst.DownRefusals
+	s.stats.LinkFastFails = lst.FastFails
+	s.stats.BreakerOpens = lst.BreakerOpens
+	s.stats.BreakerCloses = lst.BreakerCloses
+	s.stats.BreakerProbes = lst.BreakerProbes
+	s.stats.LinkDegradedTransfers = lst.DegradedTransfers
+	s.stats.LinkLatencyCycles = lst.ExtraLatencyCycles
+}
+
+// wbqContains reports whether frame fi is already on the writeback
+// queue. The queue is tiny (wbqCap entries), so a linear scan is fine.
+func (s *System) wbqContains(fi int) bool {
+	for _, q := range s.wbq {
+		if q == fi {
+			return true
+		}
+	}
+	return false
+}
+
+// park turns a link-refused eviction of frame fi into a queued
+// writeback: the frame stays resident (and keeps serving) with its
+// parked flag set, and the queue records the FIFO drain order. A frame
+// already queued keeps its position, which is what makes a drain
+// interrupted by a second flap idempotent. A full queue refuses with
+// ErrQueueFull; otherwise the returned error is a parkedError wrapping
+// cause.
+func (s *System) park(fi int, cause error) error {
+	f := &s.frames[fi]
+	if !f.parked {
+		if !s.wbqContains(fi) {
+			if len(s.wbq) >= s.wbqCap {
+				s.stats.WritebacksDropped++
+				return fmt.Errorf("%w: %d writebacks already parked", ErrQueueFull, len(s.wbq))
+			}
+			s.wbq = append(s.wbq, fi)
+			s.stats.WritebacksQueued++
+			if n := uint64(len(s.wbq)); n > s.stats.WritebackQueuePeak {
+				s.stats.WritebackQueuePeak = n
+			}
+		}
+		f.parked = true
+	}
+	return &parkedError{cause: cause}
+}
+
+// QueuedWritebacks returns how many frames are parked on the
+// dirty-writeback queue.
+func (s *System) QueuedWritebacks() int { return len(s.wbq) }
+
+// DrainWritebacks is the reconciler: it evicts parked frames in FIFO
+// order, re-verifying each page's home-tier freshness before the
+// writeback touches home state. It returns how many writebacks drained.
+// A link refusal mid-drain leaves the head parked (the next drain
+// resumes exactly there) and surfaces typed; an ErrFreshness or
+// ErrIntegrity verdict means the home tier was tampered with during the
+// outage and is never silently accepted.
+func (s *System) DrainWritebacks() (int, error) {
+	n := 0
+	for len(s.wbq) > 0 {
+		if err := s.drainOne(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// drainOne drains the queue head: freshness-verify, then a real evict.
+func (s *System) drainOne() error {
+	fi := s.wbq[0]
+	f := &s.frames[fi]
+	if f.homePage < 0 || !f.parked {
+		// The frame was freed behind the queue's back (cannot happen
+		// through the public API: parked frames refuse plain evictions).
+		s.wbq = s.wbq[1:]
+		f.parked = false
+		s.stats.WritebacksDrained++
+		return nil
+	}
+	if err := s.verifyParkedFreshness(fi); err != nil {
+		return err
+	}
+	f.parked = false
+	if err := s.evict(fi); err != nil {
+		var pe *parkedError
+		if errors.As(err, &pe) {
+			// Re-parked: the link flapped again mid-drain. The frame kept
+			// its queue position, so the next drain resumes at the head.
+			return pe.cause
+		}
+		f.parked = true // still queued; keep the flag consistent
+		return err
+	}
+	s.wbq = s.wbq[1:]
+	s.stats.WritebacksDrained++
+	return nil
+}
+
+// verifyParkedFreshness re-verifies the home-tier state of a parked page
+// before its drain writes anything back. The collapsed major of every
+// chunk must still verify against the CXL integrity tree — a rollback or
+// splice of home state during the outage surfaces as ErrFreshness — and
+// the home ciphertext of every clean chunk must still carry a valid MAC
+// under that major, so tampered bytes surface as ErrIntegrity. Without
+// this check a link outage would be an integrity holiday: the attacker
+// rewinds the home tier while the system cannot look, and the drain
+// would bless the rewind by writing fresh chunks around it.
+func (s *System) verifyParkedFreshness(fi int) error {
+	if s.cfg.Model != ModelSalus {
+		return nil
+	}
+	f := &s.frames[fi]
+	page := f.homePage
+	cs := s.geo.ChunkSize
+	ss := s.geo.SectorSize
+	for c := 0; c < s.geo.ChunksPerPage(); c++ {
+		homeChunk := page*s.geo.ChunksPerPage() + c
+		if s.poisoned[homeChunk] {
+			continue
+		}
+		major, err := s.salusHomeMajor(homeChunk)
+		if err != nil {
+			return fmt.Errorf("parked page %d chunk %d: %w", page, c, err)
+		}
+		if f.dirty&(1<<uint(c)) != 0 {
+			// The drain is about to overwrite this chunk's home copy; the
+			// tree check above is the bar a rollback must clear.
+			continue
+		}
+		if s.splitDirty != nil && s.splitDirty[homeChunk] {
+			// Split-state chunks are MAC'd under per-sector split pairs;
+			// their freshness rides the split tree instead.
+			continue
+		}
+		base := uint64(homeChunk * cs)
+		for i := 0; i < s.geo.SectorsPerChunk(); i++ {
+			ha := base + uint64(i*ss)
+			ct := s.cxlData[ha : ha+uint64(ss)]
+			s.stats.MACVerifies++
+			if !s.eng.VerifyMAC(ct, ha, uint64(major), 0, s.homeMAC(HomeAddr(ha))) {
+				return fmt.Errorf("%w: parked page %d home address %#x changed during outage",
+					ErrIntegrity, page, ha)
+			}
+		}
+	}
+	return nil
+}
+
+// linkPrecheckCheckpoint consults the link for every home writeback a
+// Checkpoint is about to perform, before any state (including the epoch
+// number) moves: a checkpoint that cannot reach the home tier is an
+// atomic no-op rather than a half-written epoch with cleared dirty bits.
+func (s *System) linkPrecheckCheckpoint() error {
+	if s.lnk == nil {
+		return nil
+	}
+	for page, d := range s.ckptDirty {
+		if !d {
+			continue
+		}
+		fi := s.pageTable[page]
+		if fi < 0 {
+			continue
+		}
+		f := &s.frames[fi]
+		for c := 0; c < s.geo.ChunksPerPage(); c++ {
+			if f.dirty&(1<<uint(c)) == 0 {
+				continue
+			}
+			if s.poisoned[page*s.geo.ChunksPerPage()+c] {
+				continue
+			}
+			if err := s.linkCheck(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/link"
 	"github.com/salus-sim/salus/internal/security/bmt"
 	"github.com/salus-sim/salus/internal/security/counters"
 	"github.com/salus-sim/salus/internal/security/cryptoeng"
@@ -140,6 +141,23 @@ type OpStats struct {
 	// per-page sector accounting exact under faults.
 	PoisonSkippedRelocations uint64
 
+	// CXL link degradation accounting (populated only when a link.Link is
+	// attached; see link.go). The first block mirrors the link's own
+	// counters; the second tracks the dirty-writeback queue. All fields
+	// are monotone, including the queue high-water mark.
+	LinkFlaps             uint64 // observed link-state transitions
+	LinkDownRefusals      uint64 // home transfers the link refused
+	LinkFastFails         uint64 // home transfers the open breaker fast-failed
+	BreakerOpens          uint64 // closed/half-open -> open transitions
+	BreakerCloses         uint64 // open/half-open -> closed transitions
+	BreakerProbes         uint64 // half-open probe admissions
+	LinkDegradedTransfers uint64 // transfers that paid a brownout surcharge
+	LinkLatencyCycles     uint64 // total brownout cycles charged
+	WritebacksQueued      uint64 // evictions parked on the writeback queue
+	WritebacksDrained     uint64 // parked writebacks completed on recovery
+	WritebacksDropped     uint64 // parks refused by a full queue (ErrQueueFull)
+	WritebackQueuePeak    uint64 // queue high-water mark
+
 	// Incremental checkpoint accounting (see checkpoint.go). A checkpoint
 	// journals exactly one page record per dirty page, so
 	// CheckpointPages is also the journal record count net of commits.
@@ -158,6 +176,7 @@ type frame struct {
 	macIn       uint64 // per-block mask: MAC sector fetched (Salus fetch-on-access)
 	ctrIn       uint64 // per-chunk mask: device counter group initialised
 	quarantined bool   // retired after an uncorrectable media fault
+	parked      bool   // eviction deferred to the dirty-writeback queue (link outage)
 }
 
 // System is a two-tier protected memory.
@@ -199,6 +218,13 @@ type System struct {
 	clock    *sim.Engine
 	poisoned map[int]bool // home chunk -> quarantined
 	pinned   map[int]bool // home page -> pinned to home-tier access
+
+	// Link degradation state (see link.go). lnk is nil when no link model
+	// is armed; wbq holds the frame indices of parked dirty writebacks in
+	// FIFO drain order.
+	lnk    *link.Link
+	wbq    []int
+	wbqCap int
 
 	// Incremental checkpoint state (ModelSalus, see checkpoint.go): the
 	// committed epoch and the per-page dirty map feeding the next epoch.
@@ -391,7 +417,10 @@ func (s *System) Size() uint64 { return uint64(len(s.cxlData)) }
 func (s *System) Model() Model { return s.cfg.Model }
 
 // Stats returns a copy of the operation counters.
-func (s *System) Stats() OpStats { return s.stats }
+func (s *System) Stats() OpStats {
+	s.syncLinkStats()
+	return s.stats
+}
 
 // ResidentPages returns how many pages currently sit in the device tier.
 func (s *System) ResidentPages() int {

@@ -59,9 +59,14 @@ func (s *System) Suspend() (image []byte, root TrustedRoot, err error) {
 	if s.cfg.Model != ModelSalus {
 		return nil, root, errors.New("securemem: Suspend requires ModelSalus")
 	}
-	// Everything must be home: flush the device tier.
+	// Everything must be home: flush the device tier. Writebacks parked
+	// by a link outage cannot be serialised — their home copies are
+	// stale — so a suspend must wait for the queue to drain.
 	if err := s.Flush(); err != nil {
 		return nil, root, err
+	}
+	if len(s.wbq) > 0 {
+		return nil, root, fmt.Errorf("%w: %d parked", ErrWritebacksPending, len(s.wbq))
 	}
 	var buf bytes.Buffer
 	buf.Write(snapshotMagic)

@@ -145,12 +145,38 @@ type Ops struct {
 	CheckpointWritebacks uint64 // dirty resident chunks collapsed home pre-journal
 	CheckpointBytes      uint64 // framed journal bytes written
 	CheckpointCycles     uint64 // simulated cycles charged to persistence
+
+	// CXL link degradation activity; all zero when no link model is
+	// attached.
+	LinkFlaps          uint64 // link state transitions observed
+	LinkDownRefusals   uint64 // home transfers refused by a down link
+	LinkFastFails      uint64 // home transfers fast-failed by the open breaker
+	BreakerOpens       uint64 // circuit-breaker closed/half-open -> open transitions
+	BreakerCloses      uint64 // circuit-breaker -> closed recoveries
+	LinkLatencyCycles  uint64 // brownout latency surcharge, simulated cycles
+	WritebacksQueued   uint64 // evictions parked on the dirty-writeback queue
+	WritebacksDrained  uint64 // parked writebacks drained back home
+	WritebacksDropped  uint64 // evictions refused by a full queue
+	WritebackQueuePeak uint64 // queue depth high-water mark
 }
 
-// HasFaults reports whether any fault-model activity was recorded.
+// HasFaults reports whether any fault-model activity was recorded. Every
+// fault counter participates — including the trailing backoff/recovery
+// categories — so a run whose only activity is in a trailing category
+// still renders its faults line and the columns stay comparable across
+// runs.
 func (o *Ops) HasFaults() bool {
 	return o.FaultsTransient != 0 || o.FaultsPoison != 0 || o.FaultsStuckBit != 0 ||
-		o.Retries != 0 || o.FramesQuarantined != 0 || o.ChunksPoisoned != 0 || o.PagesPinned != 0
+		o.Retries != 0 || o.RetryBackoffCycles != 0 || o.TransparentRecoveries != 0 ||
+		o.FramesQuarantined != 0 || o.ChunksPoisoned != 0 || o.PagesPinned != 0
+}
+
+// HasLink reports whether any link-degradation activity was recorded.
+func (o *Ops) HasLink() bool {
+	return o.LinkFlaps != 0 || o.LinkDownRefusals != 0 || o.LinkFastFails != 0 ||
+		o.BreakerOpens != 0 || o.BreakerCloses != 0 || o.LinkLatencyCycles != 0 ||
+		o.WritebacksQueued != 0 || o.WritebacksDrained != 0 || o.WritebacksDropped != 0 ||
+		o.WritebackQueuePeak != 0
 }
 
 // HasCheckpoints reports whether any checkpoint-journal activity was
@@ -218,6 +244,13 @@ func (r *Run) String() string {
 			r.Ops.FaultsTransient, r.Ops.FaultsPoison, r.Ops.FaultsStuckBit,
 			r.Ops.Retries, r.Ops.RetryBackoffCycles, r.Ops.TransparentRecoveries,
 			r.Ops.FramesQuarantined, r.Ops.ChunksPoisoned, r.Ops.PagesPinned)
+	}
+	if r.Ops.HasLink() {
+		fmt.Fprintf(&b, "  link flaps=%d downRefusals=%d fastFails=%d breakerOpens=%d breakerCloses=%d latencyCycles=%d wbQueued=%d wbDrained=%d wbDropped=%d wbPeak=%d\n",
+			r.Ops.LinkFlaps, r.Ops.LinkDownRefusals, r.Ops.LinkFastFails,
+			r.Ops.BreakerOpens, r.Ops.BreakerCloses, r.Ops.LinkLatencyCycles,
+			r.Ops.WritebacksQueued, r.Ops.WritebacksDrained, r.Ops.WritebacksDropped,
+			r.Ops.WritebackQueuePeak)
 	}
 	if r.Ops.HasCheckpoints() {
 		perEpoch := 0.0

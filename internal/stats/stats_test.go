@@ -90,6 +90,69 @@ func TestRunStringFaultsLine(t *testing.T) {
 	}
 }
 
+func TestHasFaultsIncludesTrailingCategories(t *testing.T) {
+	// The faults line must render (with its full, stable column set) even
+	// when only a trailing category is non-zero; the old predicate skipped
+	// RetryBackoffCycles and TransparentRecoveries, silently dropping the
+	// line from such runs.
+	backoff := Run{}
+	backoff.Ops.RetryBackoffCycles = 64
+	if !backoff.Ops.HasFaults() {
+		t.Error("backoff-only Ops not reported by HasFaults")
+	}
+	if !strings.Contains(backoff.String(), "backoff=64") {
+		t.Errorf("backoff-only run dropped its faults line:\n%s", backoff.String())
+	}
+	recovered := Run{}
+	recovered.Ops.TransparentRecoveries = 3
+	if !recovered.Ops.HasFaults() {
+		t.Error("recovery-only Ops not reported by HasFaults")
+	}
+	if !strings.Contains(recovered.String(), "recovered=3") {
+		t.Errorf("recovery-only run dropped its faults line:\n%s", recovered.String())
+	}
+	// Column stability: the line carries every category even when zero.
+	for _, frag := range []string{"transient=0", "poison=0", "stuckBit=0", "retries=0",
+		"recovered=0", "quarantinedFrames=0", "poisonedChunks=0", "pinnedPages=0"} {
+		if !strings.Contains(backoff.String(), frag) {
+			t.Errorf("faults line missing stable column %q:\n%s", frag, backoff.String())
+		}
+	}
+}
+
+func TestRunStringLinkLine(t *testing.T) {
+	r := Run{Workload: "bfs", Model: "salus"}
+	if strings.Contains(r.String(), "link ") {
+		t.Errorf("link-free run should not render a link line:\n%s", r.String())
+	}
+	if r.Ops.HasLink() {
+		t.Error("zero Ops reported HasLink")
+	}
+	r.Ops.LinkFlaps = 4
+	r.Ops.LinkDownRefusals = 9
+	r.Ops.BreakerOpens = 2
+	r.Ops.WritebacksQueued = 3
+	r.Ops.WritebacksDrained = 3
+	r.Ops.WritebackQueuePeak = 2
+	if !r.Ops.HasLink() {
+		t.Error("non-zero link counters not reported by HasLink")
+	}
+	s := r.String()
+	for _, frag := range []string{"link flaps=4", "downRefusals=9", "breakerOpens=2",
+		"wbQueued=3", "wbDrained=3", "wbDropped=0", "wbPeak=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+	// A drain with zero flaps (e.g. only breaker fast-fails recorded)
+	// still renders the line.
+	just := Run{}
+	just.Ops.WritebackQueuePeak = 1
+	if !just.Ops.HasLink() || !strings.Contains(just.String(), "wbPeak=1") {
+		t.Error("trailing-only link counter dropped the link line")
+	}
+}
+
 func TestRunStringCheckpointLine(t *testing.T) {
 	r := Run{Workload: "bfs", Model: "salus"}
 	if strings.Contains(r.String(), "checkpoints ") {

@@ -24,6 +24,7 @@ package salus
 import (
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/link"
 	"github.com/salus-sim/salus/internal/securemem"
 )
 
@@ -96,6 +97,18 @@ var (
 	// ErrPowerLost reports a write or sync on a crash-injected store after
 	// its configured power-cut point.
 	ErrPowerLost = crash.ErrPowerLost
+	// ErrLinkDown reports a home-tier operation refused because the CXL
+	// link is down (only with a link attached; see System.AttachLink).
+	ErrLinkDown = securemem.ErrLinkDown
+	// ErrDegraded reports a home-tier operation refused while the link
+	// circuit breaker is open after repeated failures.
+	ErrDegraded = securemem.ErrDegraded
+	// ErrQueueFull reports an eviction writeback that could not be parked
+	// because the dirty-writeback queue is at capacity.
+	ErrQueueFull = securemem.ErrQueueFull
+	// ErrWritebacksPending reports a Suspend or Checkpoint attempted while
+	// parked writebacks have not yet been drained.
+	ErrWritebacksPending = securemem.ErrWritebacksPending
 )
 
 // RetryPolicy bounds the transient-fault retry loop of a fault-armed
@@ -132,6 +145,57 @@ func NewDefault(totalPages, devicePages int) (*System, error) {
 func NewConcurrent(cfg Config) (*Concurrent, error) {
 	return securemem.NewConcurrent(cfg)
 }
+
+// Link models the CXL interconnect between the device and home tiers: a
+// deterministic Up/Degraded/Down state machine driven by a LinkPlan, with
+// a circuit breaker in front of it. Attach one with System.AttachLink to
+// enable degraded-mode operation.
+type Link = link.Link
+
+// LinkPlan scripts the link's behaviour over time; see ParseLinkPlan.
+type LinkPlan = link.Plan
+
+// ManualLink is a LinkPlan driven explicitly via Set, for tests and
+// operational toggles.
+type ManualLink = link.Manual
+
+// LinkState is the instantaneous health of the link.
+type LinkState = link.State
+
+// Link states.
+const (
+	// LinkUp means transfers succeed at nominal latency.
+	LinkUp = link.StateUp
+	// LinkDegraded means transfers succeed but carry extra latency.
+	LinkDegraded = link.StateDegraded
+	// LinkDown means transfers are refused.
+	LinkDown = link.StateDown
+)
+
+// BreakerConfig tunes the link circuit breaker: Threshold consecutive
+// failures open it; while open, Cooldown attempts fast-fail before a
+// half-open probe.
+type BreakerConfig = link.Config
+
+// DefaultBreakerConfig returns the standard breaker tuning.
+func DefaultBreakerConfig() BreakerConfig { return link.DefaultConfig() }
+
+// NewLink wraps plan in a circuit breaker. Pass the result to
+// System.AttachLink.
+func NewLink(plan LinkPlan, cfg BreakerConfig) *Link { return link.New(plan, cfg) }
+
+// NewManualLink returns a plan that stays Up until Set is called.
+func NewManualLink() *ManualLink { return link.NewManual() }
+
+// ParseLinkPlan parses a flap-plan spec: either scripted windows such as
+// "down@40..70,deg@100..200:16" (ordinal ranges, an optional :latency on
+// degraded windows) or a seeded stochastic plan such as
+// "rate:seed=1,flap=0.02,downlen=24,deg=0.02,deglen=16,lat=12".
+func ParseLinkPlan(spec string) (LinkPlan, error) { return link.ParsePlan(spec) }
+
+// DefaultWritebackQueueCap is the dirty-writeback queue capacity used when
+// System.AttachLink is given a non-positive queueCap.
+const DefaultWritebackQueueCap = securemem.DefaultWritebackQueueCap
 
 // TrustedRoot is the TCB state of a suspended System: the integrity-tree
 // roots that must be kept in trusted storage while the (untrusted) image
