@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-baseline ci
 
 all: build test
 
@@ -14,11 +14,15 @@ test:
 	$(GO) test ./...
 
 # lint runs the standard toolchain checks plus the project's custom
-# analyzers (address domains, lock discipline, dropped errors, counter
-# widths). gofmt -l prints offending files; the subshell turns any
-# output into a failure.
+# analyzers — the per-package suite (address domains, lock discipline,
+# dropped errors, counter widths) and the interprocedural suite
+# (plaintext taint flow, lock-order cycles, sim-clock determinism) over
+# one shared type-checked load. gofmt -l prints offending files; the
+# subshell turns any output into a failure.
+# SALUS_LINT_FLAGS lets CI pass -gha (inline PR annotations) without a
+# second target.
 lint: vet fmt
-	$(GO) run ./cmd/salus-lint ./...
+	$(GO) run ./cmd/salus-lint $(SALUS_LINT_FLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -77,5 +81,12 @@ crash-smoke:
 # command with -seeds 50.
 link-smoke:
 	$(GO) run -race ./cmd/salus-check -link -seeds 12 -ops 120
+
+# bench-baseline refreshes the checked-in perf baseline: the quick
+# variant of every salus-bench workload, in JSON, written to
+# BENCH_seed.json. Later PRs compare against it to hold the ROADMAP
+# item-2 perf trajectory; regenerate only on machine-class changes.
+bench-baseline:
+	$(GO) run ./cmd/salus-bench -quick -all -format json > BENCH_seed.json
 
 ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke

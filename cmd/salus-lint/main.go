@@ -4,18 +4,25 @@
 //
 // Usage:
 //
-//	salus-lint [-only analyzer[,analyzer]] [package-dir | ./...]
+//	salus-lint [-only analyzer[,analyzer]] [-json] [-gha] [-lockreport] [package-dir | ./...]
 //
 // With no argument (or "./...") every package under the enclosing module
 // is checked, testdata and vendor directories excluded. A single
 // directory argument checks just that directory's packages.
 //
+// Exit codes: 0 when the scan is clean, 1 when any finding survives
+// suppression, 2 on a usage or load/type-check error.
+//
 // Findings can be suppressed with a trailing or preceding comment:
 //
 //	//salus-lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a reasonless ignore suppresses nothing and is
+// itself reported as a finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +31,24 @@ import (
 	"github.com/salus-sim/salus/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape of one finding under -json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	gha := flag.Bool("gha", false, "emit GitHub Actions ::error/::warning annotations alongside text output")
+	lockReport := flag.Bool("lockreport", false, "print the interprocedural lock-acquisition order report and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: salus-lint [-only names] [dir | ./...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: salus-lint [-only names] [-json] [-gha] [-lockreport] [dir | ./...]\n\n"+
+			"exit codes: 0 clean, 1 findings, 2 load/usage error\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name(), a.Doc())
 		}
@@ -83,9 +104,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	// One type-checked load, one call graph, shared by every analyzer.
+	prog := lint.BuildProgram(pkgs)
+
+	if *lockReport {
+		fmt.Print(lint.LockOrderReport(prog))
+		return
+	}
+
+	findings := lint.RunProgram(prog, analyzers)
+	switch {
+	case *jsonOut:
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Severity: f.Severity.String(),
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "salus-lint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+			if *gha {
+				level := "error"
+				if f.Severity == lint.Warning {
+					level = "warning"
+				}
+				// GitHub Actions workflow-command annotation: surfaces the
+				// finding inline on the PR diff.
+				fmt.Printf("::%s file=%s,line=%d,col=%d::%s [%s]\n",
+					level, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+			}
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "salus-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

@@ -12,12 +12,21 @@
 // positions and a severity; cmd/salus-lint turns any finding into a
 // non-zero exit.
 //
+// Analyzers come in two shapes. A PackageAnalyzer sees one type-checked
+// package at a time (the original per-package suite). A ProgramAnalyzer
+// sees the whole Program — every loaded package plus a static call graph
+// with interface dispatch resolved by method-set matching — and can
+// therefore reason across function and package boundaries (taint flows
+// laundered through helpers, lock orders spanning call chains). Both run
+// under the same Run entry point over one shared type-checked load.
+//
 // A finding can be suppressed by placing a comment of the form
 //
 //	//salus-lint:ignore <analyzer> <reason>
 //
 // on the offending line or the line directly above it. The reason is
-// mandatory by convention (the linter does not parse it, reviewers do).
+// mandatory and machine-enforced: an ignore comment with no written
+// reason suppresses nothing and is itself reported as a finding.
 package lint
 
 import (
@@ -76,15 +85,29 @@ type Package struct {
 	Info *types.Info
 }
 
-// An Analyzer checks one invariant over a package.
+// An Analyzer checks one invariant. Every analyzer also implements
+// PackageAnalyzer or ProgramAnalyzer, which carry the actual entry point.
 type Analyzer interface {
 	// Name is the analyzer's identifier, used in findings and in
-	// salus-lint:ignore comments.
+	// ignore comments.
 	Name() string
 	// Doc is a one-line description for the CLI's usage text.
 	Doc() string
+}
+
+// A PackageAnalyzer checks one invariant a package at a time.
+type PackageAnalyzer interface {
+	Analyzer
 	// Run returns the analyzer's findings for pkg.
 	Run(pkg *Package) []Finding
+}
+
+// A ProgramAnalyzer checks one invariant over the whole program, with the
+// call graph available for interprocedural reasoning.
+type ProgramAnalyzer interface {
+	Analyzer
+	// RunProgram returns the analyzer's findings for prog.
+	RunProgram(prog *Program) []Finding
 }
 
 // All returns the full analyzer suite in stable order.
@@ -94,22 +117,39 @@ func All() []Analyzer {
 		LockDiscipline{},
 		DroppedErr{},
 		CtrWidth{},
+		PlaintextFlow{},
+		LockOrder{},
+		SimClock{},
 	}
 }
 
-// Run applies every analyzer to every package, drops suppressed findings,
-// and returns the rest sorted by position.
+// Run builds the whole-program view once and applies every analyzer to
+// it: the type-checked load and call graph are shared across analyzers,
+// which is what keeps a full-suite run on the real tree within the CI
+// budget. Suppressed findings are dropped; the rest come back sorted by
+// position with exact duplicates collapsed.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
-		sup := newSuppressions(pkg)
-		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if sup.covers(a.Name(), f.Pos) {
-					continue
-				}
-				out = append(out, f)
+	return RunProgram(BuildProgram(pkgs), analyzers)
+}
+
+// RunProgram is Run for a pre-built Program.
+func RunProgram(prog *Program, analyzers []Analyzer) []Finding {
+	sup, out := newSuppressions(prog.Packages)
+	for _, a := range analyzers {
+		var fs []Finding
+		switch a := a.(type) {
+		case ProgramAnalyzer:
+			fs = a.RunProgram(prog)
+		case PackageAnalyzer:
+			for _, pkg := range prog.Packages {
+				fs = append(fs, a.Run(pkg)...)
 			}
+		}
+		for _, f := range fs {
+			if sup.covers(a.Name(), f.Pos) {
+				continue
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -120,10 +160,30 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+	// Collapse exact duplicates: a file shared between two package views
+	// (a package and its test variant) must not double-report.
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
 }
+
+// SuppressionAnalyzer names the pseudo-analyzer that findings about the
+// ignore mechanism itself (a salus-lint:ignore with no written reason)
+// are attributed to.
+const SuppressionAnalyzer = "suppression"
 
 // suppressions indexes salus-lint:ignore comments by file, line, and
 // analyzer name.
@@ -133,39 +193,59 @@ type suppressions struct {
 	byFile map[string]map[int]map[string]bool
 }
 
-func newSuppressions(pkg *Package) *suppressions {
+// newSuppressions builds one global index over every package — a finding
+// is matched against every ignore comment in the program, not only those
+// of the package whose analysis produced it — and returns a finding for
+// each ignore comment that carries no written reason. A reasonless
+// comment suppresses nothing: the invariant "every suppression carries a
+// justification" is itself machine-checked.
+func newSuppressions(pkgs []*Package) (*suppressions, []Finding) {
 	s := &suppressions{byFile: map[string]map[int]map[string]bool{}}
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "salus-lint:ignore") {
-					continue
-				}
-				fields := strings.Fields(strings.TrimPrefix(text, "salus-lint:ignore"))
-				name := "*"
-				if len(fields) > 0 {
-					name = fields[0]
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := s.byFile[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					s.byFile[pos.Filename] = lines
-				}
-				// The comment covers its own line (trailing comment) and
-				// the next line (comment above the statement).
-				for _, ln := range []int{pos.Line, pos.Line + 1} {
-					if lines[ln] == nil {
-						lines[ln] = map[string]bool{}
+	var out []Finding
+	seen := map[token.Position]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "salus-lint:ignore") {
+						continue
 					}
-					lines[ln][name] = true
+					fields := strings.Fields(strings.TrimPrefix(text, "salus-lint:ignore"))
+					pos := pkg.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						// Name but no reason, or neither: not a suppression.
+						if !seen[pos] {
+							seen[pos] = true
+							out = append(out, Finding{
+								Pos:      pos,
+								Analyzer: SuppressionAnalyzer,
+								Severity: Error,
+								Message:  "salus-lint:ignore without a written reason suppresses nothing; state why the finding is acceptable",
+							})
+						}
+						continue
+					}
+					name := fields[0]
+					lines := s.byFile[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						s.byFile[pos.Filename] = lines
+					}
+					// The comment covers its own line (trailing comment) and
+					// the next line (comment above the statement).
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						if lines[ln] == nil {
+							lines[ln] = map[string]bool{}
+						}
+						lines[ln][name] = true
+					}
 				}
 			}
 		}
 	}
-	return s
+	return s, out
 }
 
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
@@ -181,6 +261,8 @@ func exprString(e ast.Expr) string {
 	case *ast.SelectorExpr:
 		return exprString(e.X) + "." + e.Sel.Name
 	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
 		return exprString(e.X) + "[...]"
 	case *ast.CallExpr:
 		return exprString(e.Fun) + "(...)"

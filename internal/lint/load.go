@@ -139,8 +139,11 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 
 // pathForDir synthesizes the import path for a package group in dir.
 func (l *Loader) pathForDir(dir, pkgName string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
 	rel, err := filepath.Rel(l.ModuleDir, dir)
-	if err != nil || rel == "." {
+	if err != nil || rel == "." || strings.HasPrefix(rel, "..") {
 		rel = ""
 	}
 	path := l.ModulePath

@@ -11,14 +11,17 @@ import (
 
 // LockDiscipline enforces the locking convention of mutex-bearing types:
 // an exported method on a struct that embeds a sync.Mutex/RWMutex must
-// acquire that mutex before touching any sibling field. It also watches
-// the known escape hatch pattern in tests — calling an Unwrap-style
-// method (which hands out the unsynchronized inner value) while spawned
-// goroutines may still be running — and flags home-tier operations issued
-// while a writeback-queue mutex is held: the home tier sits across the
-// CXL link, whose transfers can stall in retry/backoff or an outage, and
-// a queue lock held across that stall starves every device-resident
-// access that only wanted the queue.
+// acquire that mutex before touching any sibling field. The check is
+// interprocedural: an exported method that launders the access through
+// an unexported helper (which, per convention, relies on the caller's
+// lock) is flagged at the exported entry point, with the helper chain in
+// the message. It also watches the known escape hatch pattern in tests —
+// calling an Unwrap-style method (which hands out the unsynchronized
+// inner value) while spawned goroutines may still be running — and flags
+// home-tier operations issued while a writeback-queue mutex is held: the
+// home tier sits across the CXL link, whose transfers can stall in
+// retry/backoff or an outage, and a queue lock held across that stall
+// starves every device-resident access that only wanted the queue.
 type LockDiscipline struct{}
 
 // Name implements Analyzer.
@@ -26,24 +29,30 @@ func (LockDiscipline) Name() string { return "lockdiscipline" }
 
 // Doc implements Analyzer.
 func (LockDiscipline) Doc() string {
-	return "flags exported methods touching mutex-guarded fields without locking, and Unwrap while goroutines are live"
+	return "flags exported methods touching mutex-guarded fields without locking (directly or via helpers), and Unwrap while goroutines are live"
 }
 
-// Run implements Analyzer.
-func (a LockDiscipline) Run(pkg *Package) []Finding {
-	guarded := a.guardedTypes(pkg)
-	var out []Finding
-	for _, file := range pkg.Files {
-		isTest := strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go")
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			out = append(out, a.checkMethod(pkg, guarded, fn)...)
-			out = append(out, a.checkQueueMutexHomeCalls(pkg, fn)...)
-			if isTest {
-				out = append(out, a.checkUnwrapLiveness(pkg, fn)...)
+// RunProgram implements ProgramAnalyzer.
+func (a LockDiscipline) RunProgram(prog *Program) []Finding {
+	guarded := map[string]*guardedType{}
+	for _, pkg := range prog.Packages {
+		for named, g := range a.guardedTypes(pkg) {
+			guarded[typeKey(named)] = g
+		}
+	}
+	out := a.checkMethods(prog, guarded)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			isTest := strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go")
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				out = append(out, a.checkQueueMutexHomeCalls(pkg, fn)...)
+				if isTest {
+					out = append(out, a.checkUnwrapLiveness(pkg, fn)...)
+				}
 			}
 		}
 	}
@@ -54,6 +63,14 @@ func (a LockDiscipline) Run(pkg *Package) []Finding {
 type guardedType struct {
 	mutexFields map[string]bool // field names of sync.Mutex / sync.RWMutex
 	dataFields  map[string]bool // every other field: guarded by convention
+}
+
+// typeKey names a named type across package loads.
+func typeKey(named *types.Named) string {
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
 }
 
 // guardedTypes finds the package's mutex-bearing struct types.
@@ -98,32 +115,135 @@ func isSyncMutex(t types.Type) bool {
 	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
 }
 
-// checkMethod flags an exported method on a guarded type that reads or
-// writes guarded fields without acquiring a mutex field first.
-func (a LockDiscipline) checkMethod(pkg *Package, guarded map[*types.Named]*guardedType, fn *ast.FuncDecl) []Finding {
-	if fn.Recv == nil || len(fn.Recv.List) != 1 || !fn.Name.IsExported() {
-		return nil
+// ldTouch summarizes how a non-locking method reaches guarded data: the
+// first field touched, and the helper chain it goes through ("" for a
+// direct touch).
+type ldTouch struct {
+	field string
+	chain string
+}
+
+// checkMethods flags exported methods on guarded types that reach
+// guarded fields without acquiring a mutex — directly, or through any
+// chain of same-type helper methods that themselves do not lock
+// (unexported helpers rely on the caller's lock by convention, so the
+// finding lands on the exported entry point that broke the contract).
+func (a LockDiscipline) checkMethods(prog *Program, guarded map[string]*guardedType) []Finding {
+	// touches[funcKey] is the summary of a method that reaches guarded
+	// data without locking; methods that acquire their mutex contribute
+	// nothing (their accesses and callees run under the lock).
+	touches := map[string]*ldTouch{}
+	prog.Fixpoint(func(fn *FuncNode) bool {
+		key := fn.FullName()
+		if touches[key] != nil {
+			return false
+		}
+		named, g, recvName := a.methodContext(fn, guarded)
+		if g == nil || recvName == "" {
+			return false
+		}
+		locks, touched := a.scanMethodBody(fn, g, recvName)
+		if locks {
+			return false
+		}
+		if len(touched) > 0 {
+			touches[key] = &ldTouch{field: touched[0].Sel.Name}
+			return true
+		}
+		// No direct touch: inherit the first helper summary, same type.
+		for _, site := range fn.Calls {
+			for _, target := range site.Targets {
+				if target == fn || typeKeyOfRecv(target.Obj) != typeKey(named) {
+					continue
+				}
+				if t := touches[target.FullName()]; t != nil {
+					chain := target.Obj.Name()
+					if t.chain != "" {
+						chain += " -> " + t.chain
+					}
+					touches[key] = &ldTouch{field: t.field, chain: chain}
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	var out []Finding
+	for _, fn := range prog.Functions() {
+		if !fn.Decl.Name.IsExported() {
+			continue
+		}
+		named, _, _ := a.methodContext(fn, guarded)
+		t := touches[fn.FullName()]
+		if named == nil || t == nil {
+			continue
+		}
+		if t.chain == "" {
+			out = append(out, Finding{
+				Pos:      fn.posOf(fn.Decl.Name),
+				Analyzer: a.Name(),
+				Severity: Error,
+				Message: fmt.Sprintf("exported method %s.%s touches guarded field %q without acquiring the mutex",
+					named.Obj().Name(), fn.Decl.Name.Name, t.field),
+			})
+		} else {
+			out = append(out, Finding{
+				Pos:      fn.posOf(fn.Decl.Name),
+				Analyzer: a.Name(),
+				Severity: Error,
+				Message: fmt.Sprintf("exported method %s.%s touches guarded field %q via %s without acquiring the mutex",
+					named.Obj().Name(), fn.Decl.Name.Name, t.field, t.chain),
+			})
+		}
 	}
-	recvType := pkg.Info.TypeOf(fn.Recv.List[0].Type)
+	return out
+}
+
+// methodContext resolves a node to (receiver named type, guard info,
+// receiver name) when it is a usable method on a guarded type.
+func (LockDiscipline) methodContext(fn *FuncNode, guarded map[string]*guardedType) (*types.Named, *guardedType, string) {
+	if fn.Decl.Recv == nil || len(fn.Decl.Recv.List) != 1 {
+		return nil, nil, ""
+	}
+	recvType := fn.Pkg.Info.TypeOf(fn.Decl.Recv.List[0].Type)
 	if p, ok := recvType.(*types.Pointer); ok {
 		recvType = p.Elem()
 	}
 	named := namedType(recvType)
-	g := guarded[named]
+	g := guarded[typeKey(named)]
 	if g == nil {
-		return nil
+		return nil, nil, ""
 	}
 	var recvName string
-	if len(fn.Recv.List[0].Names) > 0 {
-		recvName = fn.Recv.List[0].Names[0].Name
+	if len(fn.Decl.Recv.List[0].Names) > 0 {
+		recvName = fn.Decl.Recv.List[0].Names[0].Name
 	}
 	if recvName == "" || recvName == "_" {
-		return nil
+		return nil, nil, ""
 	}
+	return named, g, recvName
+}
 
-	locks := false
-	var touched []*ast.SelectorExpr
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// typeKeyOfRecv is typeKey for a method's receiver type ("" for plain
+// functions).
+func typeKeyOfRecv(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return typeKey(namedType(t))
+}
+
+// scanMethodBody reports whether the method acquires one of its mutex
+// fields, and which guarded data fields it touches through the receiver,
+// in source order.
+func (LockDiscipline) scanMethodBody(fn *FuncNode, g *guardedType, recvName string) (locks bool, touched []*ast.SelectorExpr) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
@@ -148,17 +268,7 @@ func (a LockDiscipline) checkMethod(pkg *Package, guarded map[*types.Named]*guar
 		}
 		return true
 	})
-	if locks || len(touched) == 0 {
-		return nil
-	}
-	first := touched[0]
-	return []Finding{{
-		Pos:      pkg.Fset.Position(fn.Name.Pos()),
-		Analyzer: a.Name(),
-		Severity: Error,
-		Message: fmt.Sprintf("exported method %s.%s touches guarded field %q without acquiring the mutex",
-			named.Obj().Name(), fn.Name.Name, first.Sel.Name),
-	}}
+	return locks, touched
 }
 
 // homeTierCalls names the operations whose latency is bounded by the CXL

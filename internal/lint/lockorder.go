@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the whole-program lock-acquisition graph and rejects
+// cycles. A node is a lock identity (a mutex field of a named type, or a
+// package-level mutex variable); an edge A → B records that somewhere in
+// the program lock B is acquired — directly, or anywhere down a call
+// chain — while A is held. Two call chains that acquire the same pair of
+// locks in opposite orders put both edges in the graph and close a
+// cycle, which is the classic ABBA deadlock the runtime can only find by
+// actually deadlocking. With ROADMAP item 2 about to shard the
+// writeback-queue and quarantine mutexes per page range, the lock count
+// is going up; this analyzer keeps the acquisition order a machine-
+// checked partial order rather than a convention.
+//
+// Acquisition tracking mirrors lockdiscipline's queue-mutex scan: events
+// are ordered by source position, and a deferred Unlock holds the lock to
+// the end of the function. Calls through unresolved function values
+// degrade to missed edges, never false positives.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (LockOrder) Doc() string {
+	return "builds the interprocedural lock-acquisition graph and flags lock-order cycles (potential ABBA deadlocks)"
+}
+
+// loEdge is one acquisition-order edge: to is acquired while from is held.
+type loEdge struct {
+	from, to string
+}
+
+// loEdgeSite records where an edge was first observed.
+type loEdgeSite struct {
+	edge loEdge
+	pos  token.Position
+	// via names the callee whose chain acquires edge.to when the
+	// acquisition is indirect ("" for a direct Lock call).
+	via string
+}
+
+// RunProgram implements ProgramAnalyzer.
+func (a LockOrder) RunProgram(prog *Program) []Finding {
+	edges := a.collectEdges(prog)
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.edge.from] == nil {
+			adj[e.edge.from] = map[string]bool{}
+		}
+		adj[e.edge.from][e.edge.to] = true
+	}
+	var out []Finding
+	reported := map[loEdge]bool{}
+	for _, e := range edges {
+		if reported[e.edge] {
+			continue
+		}
+		// The edge from→to is part of a cycle iff `from` is reachable
+		// from `to`.
+		path := loPath(adj, e.edge.to, e.edge.from)
+		if path == nil {
+			continue
+		}
+		reported[e.edge] = true
+		cycle := append([]string{e.edge.from}, path...)
+		how := "acquired"
+		if e.via != "" {
+			how = "acquired (via " + e.via + ")"
+		}
+		out = append(out, Finding{
+			Pos:      e.pos,
+			Analyzer: a.Name(),
+			Severity: Error,
+			Message: fmt.Sprintf("lock %s %s while %s is held completes a lock-order cycle (%s); acquisition order must be a partial order",
+				e.edge.to, how, e.edge.from, strings.Join(cycle, " -> ")),
+		})
+	}
+	return out
+}
+
+// loPath returns a node path from -> ... -> to (BFS, deterministic by
+// sorted neighbor order), or nil if to is unreachable.
+func loPath(adj map[string]map[string]bool, from, to string) []string {
+	type item struct {
+		node string
+		path []string
+	}
+	queue := []item{{from, []string{from}}}
+	seen := map[string]bool{from: true}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.node == to {
+			return it.path
+		}
+		next := make([]string, 0, len(adj[it.node]))
+		for n := range adj[it.node] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, item{n, append(append([]string{}, it.path...), n)})
+		}
+	}
+	return nil
+}
+
+// collectEdges computes per-function transitive acquired-lock summaries
+// to fixpoint, then replays every function once to record ordered edges
+// with positions.
+func (a LockOrder) collectEdges(prog *Program) []loEdgeSite {
+	// acquires[funcKey] = set of lock IDs the function may acquire,
+	// directly or through any callee.
+	acquires := map[string]map[string]bool{}
+	prog.Fixpoint(func(fn *FuncNode) bool {
+		set := acquires[fn.FullName()]
+		if set == nil {
+			set = map[string]bool{}
+			acquires[fn.FullName()] = set
+		}
+		changed := false
+		a.scan(prog, fn, acquires, func(lock string) {
+			if !set[lock] {
+				set[lock] = true
+				changed = true
+			}
+		}, nil)
+		return changed
+	})
+
+	var edges []loEdgeSite
+	seen := map[loEdge]bool{}
+	for _, fn := range prog.Functions() {
+		a.scan(prog, fn, acquires, nil, func(e loEdgeSite) {
+			if !seen[e.edge] {
+				seen[e.edge] = true
+				edges = append(edges, e)
+			}
+		})
+	}
+	return edges
+}
+
+// scan walks one function in source-position order, tracking the held-
+// lock set. onAcquire (when non-nil) sees every lock the function may
+// acquire, including via callees; onEdge (when non-nil) sees every
+// ordered acquisition observed while another lock is held.
+func (a LockOrder) scan(prog *Program, fn *FuncNode, acquires map[string]map[string]bool, onAcquire func(string), onEdge func(loEdgeSite)) {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	const (
+		evLock = iota
+		evUnlock
+		evCall
+	)
+	type event struct {
+		pos  token.Pos
+		kind int
+		lock string
+		site *CallSite
+	}
+	var events []event
+	sites := map[*ast.CallExpr]*CallSite{}
+	for _, site := range fn.Calls {
+		sites[site.Call] = site
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isSyncMutex(fn.Pkg.Info.TypeOf(sel.X)) {
+			if lock := lockExprID(fn.Pkg, sel.X); lock != "" {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					events = append(events, event{call.Pos(), evLock, lock, nil})
+				case "Unlock", "RUnlock":
+					if !deferred[call] {
+						events = append(events, event{call.Pos(), evUnlock, lock, nil})
+					}
+				}
+				return true
+			}
+		}
+		if site := sites[call]; site != nil && len(site.Targets) > 0 {
+			events = append(events, event{call.Pos(), evCall, "", site})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var held []string
+	heldSet := map[string]bool{}
+	acquire := func(lock string, pos token.Pos, via string) {
+		if onAcquire != nil {
+			onAcquire(lock)
+		}
+		if onEdge != nil {
+			for _, h := range held {
+				if h == lock {
+					continue // re-acquisition of the same identity: lockdiscipline territory
+				}
+				onEdge(loEdgeSite{loEdge{h, lock}, fn.Pkg.Fset.Position(pos), via})
+			}
+		}
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			acquire(ev.lock, ev.pos, "")
+			if !heldSet[ev.lock] {
+				heldSet[ev.lock] = true
+				held = append(held, ev.lock)
+			}
+		case evUnlock:
+			if heldSet[ev.lock] {
+				delete(heldSet, ev.lock)
+				for i, h := range held {
+					if h == ev.lock {
+						held = append(held[:i:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		case evCall:
+			// A call acquires everything in its targets' transitive sets.
+			callee := map[string]bool{}
+			for _, t := range ev.site.Targets {
+				for lock := range acquires[t.FullName()] {
+					callee[lock] = true
+				}
+			}
+			locks := make([]string, 0, len(callee))
+			for lock := range callee {
+				locks = append(locks, lock)
+			}
+			sort.Strings(locks)
+			via := ""
+			if ev.site.Callee != nil {
+				via = shortFuncName(ev.site.Callee)
+			}
+			for _, lock := range locks {
+				acquire(lock, ev.pos, via)
+			}
+		}
+	}
+}
+
+// lockExprID names the mutex an expression denotes: "Type.field" for a
+// mutex field of a named struct type, "pkg.var" for a package-level
+// mutex, or "" when the lock has no stable identity (locals, map
+// entries) — those degrade to untracked.
+func lockExprID(pkg *Package, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		v, ok := pkg.Info.ObjectOf(x.Sel).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			t := pkg.Info.TypeOf(x.X)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named := namedType(t); named != nil {
+				return named.Obj().Name() + "." + v.Name()
+			}
+			return ""
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := pkg.Info.ObjectOf(x).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.ParenExpr:
+		return lockExprID(pkg, x.X)
+	}
+	return ""
+}
+
+// LockOrderReport renders the acquisition graph as a stable textual
+// report: one line per edge, sorted, with the site that first produced
+// it. cmd/salus-lint prints it under -lockreport so the ordering the
+// sharding work must preserve is reviewable, not tribal knowledge.
+func LockOrderReport(prog *Program) string {
+	edges := LockOrder{}.collectEdges(prog)
+	if len(edges) == 0 {
+		return "lock-order graph: no ordered acquisitions (single-lock program)\n"
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].edge.from != edges[j].edge.from {
+			return edges[i].edge.from < edges[j].edge.from
+		}
+		return edges[i].edge.to < edges[j].edge.to
+	})
+	var b strings.Builder
+	b.WriteString("lock-order graph: acquisition edges (A -> B: B acquired while A held)\n")
+	for _, e := range edges {
+		via := ""
+		if e.via != "" {
+			via = " via " + e.via
+		}
+		fmt.Fprintf(&b, "  %s -> %s%s (%s:%d)\n", e.edge.from, e.edge.to, via, e.pos.Filename, e.pos.Line)
+	}
+	return b.String()
+}

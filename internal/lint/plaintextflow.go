@@ -1,0 +1,548 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PlaintextFlow machine-checks the Salus confidentiality invariant: data
+// leaving the trusted GPU boundary is always ciphertext. Concretely, a
+// buffer that received the output of the decrypt path (DecryptSector) is
+// *plaintext*, and plaintext must never flow into
+//
+//   - a home-tier write (the CXL store — any []byte field whose name
+//     names the cxl/home tier, or a local aliasing one),
+//   - a stable-store append (crash.StableStore implementations and the
+//     crash journal — checkpoint media are outside the trust boundary),
+//   - a link transfer (anything shipped over the CXL transport model),
+//
+// unless it first passes back through the seal path (EncryptSector).
+// The analysis is an interprocedural taint propagation over the call
+// graph: each function gets a summary describing which buffer arguments
+// it taints (decrypt wrappers), which tainted arguments reach a sink
+// inside it (laundering helpers), and whether its result carries taint.
+// Summaries are computed to fixpoint, so a plaintext buffer laundered
+// through any chain of helpers is still caught at the call site where
+// the tainted buffer enters the chain.
+//
+// ModelNone stores plaintext by design; it never calls the decrypt path,
+// so the taint source definition keeps it out of scope automatically.
+type PlaintextFlow struct{}
+
+// Name implements Analyzer.
+func (PlaintextFlow) Name() string { return "plaintextflow" }
+
+// Doc implements Analyzer.
+func (PlaintextFlow) Doc() string {
+	return "flags decrypted (plaintext) buffers flowing into home-tier writes, stable-store appends, or link transfers without re-encryption"
+}
+
+// pfTaint is the taint lattice element for one buffer: src means "holds
+// DecryptSector output"; params is a bitmask of function parameters whose
+// incoming taint the buffer inherits (used while summarizing).
+type pfTaint struct {
+	src    bool
+	params uint64
+}
+
+func (t pfTaint) zero() bool           { return !t.src && t.params == 0 }
+func (t pfTaint) or(u pfTaint) pfTaint { return pfTaint{t.src || u.src, t.params | u.params} }
+
+// pfSummary is a function's externally visible taint behaviour. Slot 0 is
+// the receiver for methods; parameters follow in order.
+type pfSummary struct {
+	// paramOut[i] is the taint a call adds to the buffer passed in slot
+	// i, expressed over the caller's arguments (src = unconditional
+	// plaintext, params bit j = "inherits the taint of slot j").
+	paramOut map[int]pfTaint
+	// sink[i] names the sink a tainted slot-i argument reaches inside
+	// the function ("" = none).
+	sink map[int]string
+	// result is the taint of the first result when it is a []byte.
+	result pfTaint
+}
+
+func newPFSummary() *pfSummary {
+	return &pfSummary{paramOut: map[int]pfTaint{}, sink: map[int]string{}}
+}
+
+// merge folds o into s monotonically, reporting whether s grew.
+func (s *pfSummary) merge(o *pfSummary) bool {
+	changed := false
+	for i, t := range o.paramOut {
+		if n := s.paramOut[i].or(t); n != s.paramOut[i] {
+			s.paramOut[i] = n
+			changed = true
+		}
+	}
+	for i, k := range o.sink {
+		if k != "" && s.sink[i] == "" {
+			s.sink[i] = k
+			changed = true
+		}
+	}
+	if n := s.result.or(o.result); n != s.result {
+		s.result = n
+		changed = true
+	}
+	return changed
+}
+
+// Sink kind names used in findings.
+const (
+	pfSinkHome   = "home-tier write"
+	pfSinkStable = "stable-store write"
+	pfSinkLink   = "link transfer"
+)
+
+// RunProgram implements ProgramAnalyzer.
+func (a PlaintextFlow) RunProgram(prog *Program) []Finding {
+	summaries := map[string]*pfSummary{}
+	prog.Fixpoint(func(fn *FuncNode) bool {
+		cur := a.analyze(prog, fn, summaries, nil)
+		old := summaries[fn.FullName()]
+		if old == nil {
+			summaries[fn.FullName()] = cur
+			return len(cur.paramOut) > 0 || len(cur.sink) > 0 || !cur.result.zero()
+		}
+		return old.merge(cur)
+	})
+	var out []Finding
+	for _, fn := range prog.Functions() {
+		a.analyze(prog, fn, summaries, func(f Finding) { out = append(out, f) })
+	}
+	return out
+}
+
+// pfIntrinsic returns the built-in summary of the crypto engine entry
+// points, keyed by method name: DecryptSector produces plaintext in its
+// first argument; EncryptSector is the seal path (its first argument
+// comes back ciphertext, and consuming plaintext through its second is
+// the sanctioned flow). Their bodies are never analyzed — the taint
+// semantics are their *role*, not their implementation.
+func pfIntrinsic(fn *types.Func) (*pfSummary, bool) {
+	switch fn.Name() {
+	case "DecryptSector":
+		s := newPFSummary()
+		s.paramOut[1] = pfTaint{src: true} // slot 0 = receiver
+		return s, true
+	case "EncryptSector":
+		return newPFSummary(), true
+	}
+	return nil, false
+}
+
+// pfSinkOf classifies a callee as a taint sink: the returned map gives
+// the sink kind per argument slot (every []byte parameter of a matching
+// callee is a sink).
+func pfSinkOf(fn *types.Func) string {
+	recv := recvTypeName(fn)
+	switch {
+	case recv == "StableStore", packageNameOf(fn) == "crash":
+		// StableStore.Write / Journal.Append and friends: bytes handed
+		// here land on checkpoint media outside the trust boundary.
+		if fn.Name() == "Write" || fn.Name() == "Append" {
+			return pfSinkStable
+		}
+	case packageNameOf(fn) == "link" || containsFold(recv, "link"):
+		// Payload-carrying transfers over the CXL transport model.
+		if fn.Name() == "Transfer" || fn.Name() == "Send" {
+			return pfSinkLink
+		}
+	}
+	return ""
+}
+
+// pfState is the per-function abstract state of one analysis pass.
+type pfState struct {
+	prog      *Program
+	fn        *FuncNode
+	summaries map[string]*pfSummary
+	emit      func(Finding)
+
+	slots     map[types.Object]int // param/receiver object -> slot index
+	tt        map[types.Object]pfTaint
+	homeAlias map[types.Object]bool
+	sites     map[*ast.CallExpr]*CallSite
+	cur       *pfSummary
+}
+
+// analyze runs the intraprocedural taint pass over fn under the current
+// summaries, returning fn's own summary. When emit is non-nil, concrete
+// findings (src-tainted data reaching a sink) are reported.
+func (a PlaintextFlow) analyze(prog *Program, fn *FuncNode, summaries map[string]*pfSummary, emit func(Finding)) *pfSummary {
+	if s, ok := pfIntrinsic(fn.Obj); ok {
+		return s
+	}
+	st := &pfState{
+		prog:      prog,
+		fn:        fn,
+		summaries: summaries,
+		emit:      emit,
+		slots:     map[types.Object]int{},
+		tt:        map[types.Object]pfTaint{},
+		homeAlias: map[types.Object]bool{},
+		sites:     map[*ast.CallExpr]*CallSite{},
+		cur:       newPFSummary(),
+	}
+	for _, site := range fn.Calls {
+		st.sites[site.Call] = site
+	}
+	// Seed parameter slots. Slot 0 is the receiver for methods.
+	slot := 0
+	seed := func(fields []*ast.Field) {
+		for _, f := range fields {
+			if len(f.Names) == 0 {
+				slot++
+				continue
+			}
+			for _, name := range f.Names {
+				obj := fn.Pkg.Info.Defs[name]
+				if obj != nil && slot < 64 {
+					st.slots[obj] = slot
+					if isByteSlice(obj.Type()) {
+						st.tt[obj] = pfTaint{params: 1 << uint(slot)}
+					}
+				}
+				slot++
+			}
+		}
+	}
+	if fn.Decl.Recv != nil {
+		seed(fn.Decl.Recv.List)
+	}
+	seed(fn.Decl.Type.Params.List)
+
+	// Two passes approximate loop-carried taint: source order first, then
+	// once more with the first pass's facts in place. Findings are only
+	// emitted on the last pass.
+	st.walk(fn.Decl.Body, false)
+	st.walk(fn.Decl.Body, emit != nil)
+
+	// Fold final parameter taint into the summary (minus each
+	// parameter's own incoming bit, which is the identity flow).
+	for obj, s := range st.slots {
+		t := st.tt[obj]
+		t.params &^= 1 << uint(s)
+		if !t.zero() {
+			st.cur.paramOut[s] = st.cur.paramOut[s].or(t)
+		}
+	}
+	return st.cur
+}
+
+// walk visits the body in source order, interpreting assignments, copies,
+// appends, calls, and returns.
+func (st *pfState) walk(body ast.Node, emitting bool) {
+	savedEmit := st.emit
+	if !emitting {
+		st.emit = nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.CallExpr:
+			st.call(n)
+		case *ast.ReturnStmt:
+			st.ret(n)
+		}
+		return true
+	})
+	st.emit = savedEmit
+}
+
+// assign propagates taint and home-aliasing through an assignment.
+func (st *pfState) assign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Tuple assignment from a call: only the first result can be a
+		// tracked buffer.
+		if len(n.Rhs) == 1 {
+			if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+				if t := st.resultTaint(call); !t.zero() {
+					st.taintTarget(n.Lhs[0], t, n)
+				}
+			}
+		}
+		return
+	}
+	for i := range n.Lhs {
+		rhs := n.Rhs[i]
+		if st.isHomeExpr(rhs) {
+			if obj := baseIdentObj(st.fn.Pkg, n.Lhs[i]); obj != nil {
+				st.homeAlias[obj] = true
+			}
+		}
+		if t := st.exprTaint(rhs); !t.zero() {
+			st.taintTarget(n.Lhs[i], t, n)
+		}
+	}
+}
+
+// taintTarget applies taint to an assignment/copy destination: a home
+// expression is a sink; anything rooted at an identifier accumulates.
+func (st *pfState) taintTarget(dst ast.Expr, t pfTaint, at ast.Node) {
+	if st.isHomeExpr(dst) {
+		st.sinkHit(pfSinkHome, t, at, dst)
+		return
+	}
+	if obj := baseIdentObj(st.fn.Pkg, dst); obj != nil {
+		st.tt[obj] = st.tt[obj].or(t)
+	}
+}
+
+// sinkHit records tainted data reaching a sink: src taint is a concrete
+// finding; parameter taint marks the enclosing function as a laundering
+// helper for those slots.
+func (st *pfState) sinkHit(kind string, t pfTaint, at ast.Node, what ast.Expr) {
+	if t.src && st.emit != nil {
+		st.emit(Finding{
+			Pos:      st.fn.posOf(at),
+			Analyzer: PlaintextFlow{}.Name(),
+			Severity: Error,
+			Message: fmt.Sprintf("plaintext (decrypted) data reaches a %s through %s without passing the seal/encrypt path",
+				kind, exprString(what)),
+		})
+	}
+	for s := 0; s < 64; s++ {
+		if t.params&(1<<uint(s)) != 0 && st.cur.sink[s] == "" {
+			st.cur.sink[s] = kind
+		}
+	}
+}
+
+// call interprets one call expression for its side effects on the state.
+func (st *pfState) call(call *ast.CallExpr) {
+	// Builtins: copy moves taint (or hits the home sink); append is
+	// handled as an expression by exprTaint.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := st.fn.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "copy" && len(call.Args) == 2 {
+			t := st.exprTaint(call.Args[1])
+			if !t.zero() {
+				st.taintTarget(call.Args[0], t, call)
+			}
+			return
+		}
+	}
+	site := st.sites[call]
+	if site == nil || site.Callee == nil {
+		return
+	}
+	callee := site.Callee
+	args := st.alignArgs(call, callee)
+
+	// Intrinsics: the decrypt source and the encrypt seal.
+	if sum, ok := pfIntrinsic(callee); ok {
+		if callee.Name() == "EncryptSector" && len(args) > 1 && len(args[1]) > 0 {
+			// The first argument comes back ciphertext: clear its taint.
+			// (Writing ciphertext into a home alias is the sanctioned
+			// writeback, so no sink check on slot 0 here.)
+			if obj := baseIdentObj(st.fn.Pkg, args[1][0]); obj != nil {
+				delete(st.tt, obj)
+			}
+			return
+		}
+		st.applySummary(sum, args, call, callee)
+		return
+	}
+
+	// Direct sink callees (StableStore writes, journal appends, link
+	// transfers): every []byte argument is sunk.
+	if kind := pfSinkOf(callee); kind != "" {
+		for _, exprs := range args {
+			for _, e := range exprs {
+				tv, ok := st.fn.Pkg.Info.Types[e]
+				if !ok || !isByteSlice(tv.Type) {
+					continue
+				}
+				if t := st.exprTaint(e); !t.zero() {
+					st.sinkHit(kind, t, call, e)
+				}
+			}
+		}
+		// A sink callee may also be module-internal; fall through so its
+		// own summary (if any) still applies.
+	}
+
+	for _, target := range site.Targets {
+		if sum := st.summaries[target.FullName()]; sum != nil {
+			st.applySummary(sum, args, call, callee)
+		}
+	}
+}
+
+// alignArgs maps a call's receiver and arguments onto the callee's
+// parameter slots. Extra variadic arguments fold into the last slot.
+func (st *pfState) alignArgs(call *ast.CallExpr, callee *types.Func) map[int][]ast.Expr {
+	out := map[int][]ast.Expr{}
+	slot := 0
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			out[0] = []ast.Expr{sel.X}
+		}
+		slot = 1
+	}
+	nparams := 0
+	if sig != nil {
+		nparams = sig.Params().Len()
+	}
+	last := slot + nparams - 1
+	for i, arg := range call.Args {
+		s := slot + i
+		if last >= slot && s > last {
+			s = last
+		}
+		out[s] = append(out[s], arg)
+	}
+	return out
+}
+
+// applySummary replays a callee summary at a call site: out-taints flow
+// into argument buffers, sink parameters check their arguments.
+func (st *pfState) applySummary(sum *pfSummary, args map[int][]ast.Expr, call *ast.CallExpr, callee *types.Func) {
+	argTaint := func(slot int) pfTaint {
+		var t pfTaint
+		for _, e := range args[slot] {
+			t = t.or(st.exprTaint(e))
+		}
+		return t
+	}
+	for slot, out := range sum.paramOut {
+		t := pfTaint{src: out.src}
+		for s := 0; s < 64; s++ {
+			if out.params&(1<<uint(s)) != 0 {
+				t = t.or(argTaint(s))
+			}
+		}
+		if t.zero() {
+			continue
+		}
+		for _, e := range args[slot] {
+			st.taintTarget(e, t, call)
+		}
+	}
+	for slot, kind := range sum.sink {
+		if kind == "" {
+			continue
+		}
+		if t := argTaint(slot); !t.zero() {
+			if t.src && st.emit != nil {
+				var what ast.Expr = call
+				if len(args[slot]) > 0 {
+					what = args[slot][0]
+				}
+				st.emit(Finding{
+					Pos:      st.fn.posOf(call),
+					Analyzer: PlaintextFlow{}.Name(),
+					Severity: Error,
+					Message: fmt.Sprintf("plaintext (decrypted) buffer %s flows into a %s via %s without passing the seal/encrypt path",
+						exprString(what), kind, shortFuncName(callee)),
+				})
+			}
+			for s := 0; s < 64; s++ {
+				if t.params&(1<<uint(s)) != 0 && st.cur.sink[s] == "" {
+					st.cur.sink[s] = kind
+				}
+			}
+		}
+	}
+}
+
+// ret folds returned buffer taint into the summary.
+func (st *pfState) ret(n *ast.ReturnStmt) {
+	if len(n.Results) == 0 {
+		return
+	}
+	sig, _ := st.fn.Obj.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 || !isByteSlice(sig.Results().At(0).Type()) {
+		return
+	}
+	st.cur.result = st.cur.result.or(st.exprTaint(n.Results[0]))
+}
+
+// exprTaint evaluates the taint of an expression.
+func (st *pfState) exprTaint(e ast.Expr) pfTaint {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := baseIdentObj(st.fn.Pkg, e); obj != nil {
+			return st.tt[obj]
+		}
+	case *ast.SliceExpr:
+		return st.exprTaint(e.X)
+	case *ast.IndexExpr:
+		return st.exprTaint(e.X)
+	case *ast.ParenExpr:
+		return st.exprTaint(e.X)
+	case *ast.StarExpr:
+		return st.exprTaint(e.X)
+	case *ast.CallExpr:
+		return st.resultTaint(e)
+	}
+	return pfTaint{}
+}
+
+// resultTaint evaluates the taint of a call's first result.
+func (st *pfState) resultTaint(call *ast.CallExpr) pfTaint {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := st.fn.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+			var t pfTaint
+			for _, arg := range call.Args {
+				t = t.or(st.exprTaint(arg))
+			}
+			return t
+		}
+	}
+	site := st.sites[call]
+	if site == nil || site.Callee == nil {
+		return pfTaint{}
+	}
+	args := st.alignArgs(call, site.Callee)
+	var t pfTaint
+	for _, target := range site.Targets {
+		sum := st.summaries[target.FullName()]
+		if sum == nil || sum.result.zero() {
+			continue
+		}
+		if sum.result.src {
+			t.src = true
+		}
+		for s := 0; s < 64; s++ {
+			if sum.result.params&(1<<uint(s)) != 0 {
+				for _, e := range args[s] {
+					t = t.or(st.exprTaint(e))
+				}
+			}
+		}
+	}
+	return t
+}
+
+// isHomeExpr reports whether e denotes (a slice of) the home-tier store:
+// a []byte struct field whose name names the cxl/home tier, or a local
+// variable that aliases one.
+func (st *pfState) isHomeExpr(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			obj := st.fn.Pkg.Info.ObjectOf(x.Sel)
+			if v, ok := obj.(*types.Var); ok && v.IsField() && isByteSlice(v.Type()) &&
+				(containsFold(v.Name(), "cxl") || containsFold(v.Name(), "home")) {
+				return true
+			}
+			return false
+		case *ast.Ident:
+			obj := st.fn.Pkg.Info.ObjectOf(x)
+			return obj != nil && st.homeAlias[obj]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer of the lint framework: a static
+// call graph over every loaded package, plus the small fixpoint machinery
+// the whole-program analyzers (plaintextflow, lockorder, simclock, and the
+// interprocedural half of lockdiscipline) share.
+//
+// The graph is intentionally modest — direct calls resolved through the
+// type-checker, plus interface dispatch resolved by method-set matching
+// against every named type in the program. Calls through function values
+// and function literals are not resolved; the analyzers that consume the
+// graph are written so that an unresolved call degrades to a missed edge
+// (possible false negative), never a false positive.
+
+// Program is the whole-module view handed to ProgramAnalyzers: every
+// loaded package plus the static call graph across them.
+type Program struct {
+	// Packages are the analyzed packages, in load order.
+	Packages []*Package
+	// funcs indexes every function and method declared (with a body) in
+	// the analyzed packages by its canonical full name. The same function
+	// loaded twice (once in its analyzed package, once as a dependency of
+	// another package's type-check) unifies onto one node.
+	funcs map[string]*FuncNode
+	// order lists the nodes in stable (file, offset) order.
+	order []*FuncNode
+	// implCache memoizes interface-method implementer lookups.
+	implCache map[string][]*FuncNode
+}
+
+// FuncNode is one function or method in the call graph.
+type FuncNode struct {
+	// Obj is the type-checker object of the function.
+	Obj *types.Func
+	// Pkg is the package the declaration was analyzed in.
+	Pkg *Package
+	// Decl is the syntax, body included.
+	Decl *ast.FuncDecl
+	// Calls are the function's call sites in source order.
+	Calls []*CallSite
+}
+
+// FullName returns the canonical name used to unify nodes across package
+// loads, e.g. "(*pkg/path.Type).Method" or "pkg/path.Func".
+func (n *FuncNode) FullName() string { return funcKey(n.Obj) }
+
+// CallSite is one call expression inside a FuncNode.
+type CallSite struct {
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Callee is the static callee object when the type-checker resolves
+	// one (possibly an interface method, possibly external to the
+	// module); nil for calls through plain function values.
+	Callee *types.Func
+	// Targets are the module-internal functions this call may reach: the
+	// static callee's node for a direct call, or every method-set match
+	// for a call through an interface.
+	Targets []*FuncNode
+}
+
+// funcKey canonicalizes a *types.Func so that the dependency-load copy of
+// a function and its analyzed copy share one key.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			ptr = "*"
+		}
+		if named := namedType(recv); named != nil && named.Obj().Pkg() != nil {
+			return "(" + ptr + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+		return fn.FullName()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.FullName()
+}
+
+// BuildProgram constructs the call graph over pkgs. It is cheap relative
+// to the type-checked load, so Run rebuilds it per invocation; analyzers
+// all share the one instance.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Packages:  pkgs,
+		funcs:     map[string]*FuncNode{},
+		implCache: map[string][]*FuncNode{},
+	}
+	// Pass 1: index every declared function body.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Pkg: pkg, Decl: fd}
+				p.funcs[funcKey(obj)] = node
+				p.order = append(p.order, node)
+			}
+		}
+	}
+	sort.Slice(p.order, func(i, j int) bool {
+		a := p.order[i].Pkg.Fset.Position(p.order[i].Decl.Pos())
+		b := p.order[j].Pkg.Fset.Position(p.order[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	// Pass 2: resolve call sites.
+	for _, node := range p.order {
+		n := node
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			site := &CallSite{Call: call, Callee: calleeFunc(n.Pkg, call)}
+			if site.Callee != nil {
+				site.Targets = p.resolveTargets(site.Callee)
+			}
+			n.Calls = append(n.Calls, site)
+			return true
+		})
+	}
+	return p
+}
+
+// Functions returns every node in stable source order.
+func (p *Program) Functions() []*FuncNode { return p.order }
+
+// FuncNodeOf returns the node for fn (resolving dependency-load copies to
+// their analyzed declaration), or nil when fn is external or bodyless.
+func (p *Program) FuncNodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return p.funcs[funcKey(fn)]
+}
+
+// resolveTargets maps a static callee to module-internal nodes. A
+// concrete function resolves to its own node; an interface method
+// resolves to the matching method of every named type in the program
+// whose method set satisfies the interface.
+func (p *Program) resolveTargets(callee *types.Func) []*FuncNode {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return p.implementers(iface, callee)
+		}
+	}
+	if n := p.FuncNodeOf(callee); n != nil {
+		return []*FuncNode{n}
+	}
+	return nil
+}
+
+// implementers finds, by method-set matching, every module-internal
+// method that a call to interface method m may dispatch to.
+func (p *Program) implementers(iface *types.Interface, m *types.Func) []*FuncNode {
+	key := funcKey(m)
+	if out, ok := p.implCache[key]; ok {
+		return out
+	}
+	var out []*FuncNode
+	seen := map[string]bool{}
+	for _, pkg := range p.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named := namedType(tn.Type())
+			if named == nil {
+				continue
+			}
+			// A method set can satisfy the interface via T or *T.
+			var recv types.Type
+			switch {
+			case types.Implements(named, iface):
+				recv = named
+			case types.Implements(types.NewPointer(named), iface):
+				recv = types.NewPointer(named)
+			default:
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+			target, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if n := p.FuncNodeOf(target); n != nil && !seen[n.FullName()] {
+				seen[n.FullName()] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	p.implCache[key] = out
+	return out
+}
+
+// Fixpoint drives a whole-program summary computation: step is applied to
+// every function in stable order, repeatedly, until one full pass reports
+// no change. Summaries must grow monotonically for this to terminate; the
+// pass cap is a backstop against a non-monotone step.
+func (p *Program) Fixpoint(step func(fn *FuncNode) bool) {
+	const maxPasses = 32
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, fn := range p.order {
+			if step(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// posOf returns the position of n in fn's fileset.
+func (n *FuncNode) posOf(node ast.Node) token.Position {
+	return n.Pkg.Fset.Position(node.Pos())
+}
+
+// recvTypeName returns the receiver's named-type name for methods (with
+// pointers dereferenced), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named := namedType(t); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// shortFuncName renders a callee for messages: "pkg.Func" or
+// "Type.Method".
+func shortFuncName(fn *types.Func) string {
+	if t := recvTypeName(fn); t != "" {
+		return t + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// isByteSlice reports whether t is (or aliases) []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isByteArray reports whether t is a [N]byte array (the stack sector
+// buffers use this shape).
+func isByteArray(t types.Type) bool {
+	a, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := a.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// baseIdentObj peels slice/index/paren/star expressions down to the root
+// identifier's object: the variable whose buffer an expression denotes.
+func baseIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// packageNameOf returns the declaring package name of fn, or "".
+func packageNameOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// containsFold reports whether s's lowercase form contains substr.
+func containsFold(s, substr string) bool {
+	return strings.Contains(strings.ToLower(s), substr)
+}

@@ -45,3 +45,23 @@ func (r *Registry) Get(k string) int {
 func (r *Registry) Put(k string, v int) { // want: unguarded access
 	r.entries[k] = v
 }
+
+// Gauge launders a guarded read through an unexported helper.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+// readLocked relies on the caller holding mu.
+func (g *Gauge) readLocked() int { return g.v }
+
+// Read acquires the lock before delegating; no finding.
+func (g *Gauge) Read() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.readLocked()
+}
+
+// Snapshot skips the lock; only the interprocedural summary sees the
+// access behind readLocked.
+func (g *Gauge) Snapshot() int { return g.readLocked() } // want: via helper

@@ -1,0 +1,78 @@
+// Package lockorder contains a seeded two-lock ordering cycle for the
+// lockorder analyzer's golden test, with one edge laundered through a
+// helper so only the interprocedural summary sees it.
+package lockorder
+
+import "sync"
+
+// shards carries the ABBA pair.
+type shards struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	a   int
+	b   int
+}
+
+// lockB acquires muB on its own; the A -> B edge goes through here.
+func (s *shards) lockB() {
+	s.muB.Lock()
+	s.b++
+	s.muB.Unlock()
+}
+
+// abPath acquires muB (via lockB) while muA is held: edge muA -> muB.
+func (s *shards) abPath() {
+	s.muA.Lock()
+	defer s.muA.Unlock()
+	s.lockB() // want: cycle edge, via helper
+}
+
+// baPath acquires muA while muB is held: edge muB -> muA closes the cycle.
+func (s *shards) baPath() {
+	s.muB.Lock()
+	defer s.muB.Unlock()
+	s.muA.Lock() // want: cycle edge
+	s.a++
+	s.muA.Unlock()
+}
+
+// pool carries a second inverted pair whose back edge is suppressed with
+// a written reason; the forward edge still reports.
+type pool struct {
+	muC sync.Mutex
+	muD sync.Mutex
+	c   int
+	d   int
+}
+
+func (p *pool) cdPath() {
+	p.muC.Lock()
+	defer p.muC.Unlock()
+	p.muD.Lock() // want: cycle edge (the other half is suppressed)
+	p.d++
+	p.muD.Unlock()
+}
+
+func (p *pool) dcPath() {
+	p.muD.Lock()
+	defer p.muD.Unlock()
+	//salus-lint:ignore lockorder fixture demonstrating a reasoned suppression
+	p.muC.Lock()
+	p.c++
+	p.muC.Unlock()
+}
+
+// orderedOnly acquires in one global order everywhere; no finding.
+type orderedOnly struct {
+	muX sync.Mutex
+	muY sync.Mutex
+	x   int
+}
+
+func (o *orderedOnly) both() {
+	o.muX.Lock()
+	defer o.muX.Unlock()
+	o.muY.Lock()
+	o.x++
+	o.muY.Unlock()
+}

@@ -1,0 +1,125 @@
+// Package plaintextflow contains deliberate confidentiality leaks for
+// the plaintextflow analyzer's golden test: decrypted buffers flowing
+// into the home tier, a stable store, and a link transfer, next to the
+// sanctioned decrypt → re-encrypt → write path.
+package plaintextflow
+
+// engine stands in for cryptoeng.Engine; the analyzer treats
+// DecryptSector/EncryptSector as intrinsics by name.
+type engine struct{}
+
+func (engine) DecryptSector(dst, ct []byte, addr, major, minor uint64) error {
+	copy(dst, ct)
+	return nil
+}
+
+func (engine) EncryptSector(dst, pt []byte, addr, major, minor uint64) error {
+	copy(dst, pt)
+	return nil
+}
+
+// StableStore mirrors crash.StableStore: bytes written here land on
+// checkpoint media outside the trust boundary.
+type StableStore interface {
+	Write(p []byte) error
+}
+
+// memStore is a concrete StableStore, reached via interface dispatch.
+type memStore struct{ buf []byte }
+
+func (m *memStore) Write(p []byte) error {
+	m.buf = append(m.buf, p...)
+	return nil
+}
+
+// cxlLink stands in for the link-layer transport.
+type cxlLink struct{}
+
+func (cxlLink) Transfer(p []byte) error { return nil }
+
+// system bundles the two tiers and the sinks.
+type system struct {
+	eng     engine
+	cxlData []byte // home tier: must only ever hold ciphertext
+	devData []byte // device tier
+	store   StableStore
+	lnk     cxlLink
+}
+
+// leakDirect decrypts a sector and copies the plaintext straight into
+// the home tier.
+func (s *system) leakDirect(addr uint64) error {
+	pt := make([]byte, 32)
+	ct := s.devData[addr : addr+32]
+	if err := s.eng.DecryptSector(pt, ct, addr, 1, 0); err != nil {
+		return err
+	}
+	copy(s.cxlData[addr:addr+32], pt) // want: plaintext home write
+	return nil
+}
+
+// writeHome is the helper a leak launders through.
+func (s *system) writeHome(addr uint64, b []byte) {
+	copy(s.cxlData[addr:addr+32], b)
+}
+
+// leakViaHelper reaches the home tier through writeHome: only the
+// interprocedural summary sees it.
+func (s *system) leakViaHelper(addr uint64) error {
+	pt := make([]byte, 32)
+	if err := s.eng.DecryptSector(pt, s.devData[addr:addr+32], addr, 1, 0); err != nil {
+		return err
+	}
+	s.writeHome(addr, pt) // want: plaintext home write via helper
+	return nil
+}
+
+// decryptInto wraps the decrypt path: its dst parameter comes back
+// plaintext, which the summary records as a source.
+func (s *system) decryptInto(dst []byte, addr uint64) error {
+	return s.eng.DecryptSector(dst, s.devData[addr:addr+32], addr, 1, 0)
+}
+
+// leakToJournal appends decrypted bytes to the stable store through the
+// interface.
+func (s *system) leakToJournal(addr uint64) error {
+	pt := make([]byte, 32)
+	if err := s.decryptInto(pt, addr); err != nil {
+		return err
+	}
+	return s.store.Write(pt) // want: plaintext stable-store write
+}
+
+// leakToLink ships decrypted bytes over the link.
+func (s *system) leakToLink(addr uint64) error {
+	pt := make([]byte, 32)
+	if err := s.decryptInto(pt, addr); err != nil {
+		return err
+	}
+	return s.lnk.Transfer(pt) // want: plaintext link transfer
+}
+
+// sealedWriteback is the sanctioned path: decrypt, re-encrypt, then
+// write; no finding.
+func (s *system) sealedWriteback(addr uint64) error {
+	pt := make([]byte, 32)
+	if err := s.decryptInto(pt, addr); err != nil {
+		return err
+	}
+	ct := s.cxlData[addr : addr+32]
+	if err := s.eng.EncryptSector(ct, pt, addr, 2, 0); err != nil {
+		return err
+	}
+	return s.store.Write(ct)
+}
+
+// suppressedLeak demonstrates a reasoned suppression.
+func (s *system) suppressedLeak(addr uint64) error {
+	pt := make([]byte, 32)
+	if err := s.decryptInto(pt, addr); err != nil {
+		return err
+	}
+	//salus-lint:ignore plaintextflow fixture demonstrating a reasoned suppression
+	copy(s.cxlData[addr:addr+32], pt)
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package sim is a deterministic-core stand-in (core packages are
+// matched by name) carrying planted wall-clock and unseeded-randomness
+// uses for the simclock analyzer's golden test.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/salus-sim/salus/internal/lint/testdata/src/simclock/util"
+)
+
+// badNow reads the wall clock directly.
+func badNow() int64 { return time.Now().UnixNano() } // want: time.Now
+
+// badSleep waits on the wall clock.
+func badSleep() { time.Sleep(time.Millisecond) } // want: time.Sleep
+
+// badGlobalRand draws from the implicitly seeded global source.
+func badGlobalRand() int { return rand.Int() } // want: unseeded rand
+
+// badViaHelper reaches the clock through a non-core helper chain; only
+// the interprocedural summary sees it.
+func badViaHelper() int64 { return util.Stamp() } // want: chain to time.Now
+
+// okSeeded threads an explicitly seeded source; allowed.
+func okSeeded(seed int64) int { return rand.New(rand.NewSource(seed)).Int() }
+
+// okSuppressed documents why a clock read is acceptable here.
+func okSuppressed() int64 {
+	//salus-lint:ignore simclock fixture demonstrating a reasoned suppression
+	return time.Now().UnixNano()
+}

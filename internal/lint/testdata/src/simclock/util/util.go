@@ -1,0 +1,11 @@
+// Package util is a non-core helper package the sim fixture launders a
+// clock read through: Stamp itself is legal here, but calling it from a
+// core package is not.
+package util
+
+import "time"
+
+// Stamp returns a wall-clock timestamp.
+func Stamp() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
