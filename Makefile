@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-baseline ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-baseline bench-record bench-compare ci
 
 all: build test
 
@@ -89,4 +89,24 @@ link-smoke:
 bench-baseline:
 	$(GO) run ./cmd/salus-bench -quick -all -format json > BENCH_seed.json
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke
+# bench-record refreshes the checked-in wall-clock perf snapshot
+# (BENCH_perf.json): sharded-vs-global Concurrent throughput and the
+# crypto hot-path timings and allocation counts, measured by
+# internal/perfbench. Distinct from BENCH_seed.json, which records
+# simulated-time workload results — this one is about the library's own
+# wall-clock hot paths. Regenerate when the measured design changes on
+# purpose or the CI machine class changes.
+bench-record:
+	$(GO) run ./cmd/salus-bench -perf > BENCH_perf.json
+
+# bench-compare is the perf-trajectory gate: re-measures the same cases
+# and fails against the recorded snapshot on a lost sharding speedup, a
+# new allocation on a crypto hot path, a dropped case, or ns/op drift
+# beyond a generous budget (raw wall-clock moves with the machine; the
+# within-run ratios are the real gates). The fresh measurement lands in
+# bench-current.json (not checked in) so a failed gate can be diffed
+# offline; CI uploads both files as an artifact.
+bench-compare:
+	$(GO) run ./cmd/salus-bench -perf -perf-compare BENCH_perf.json > bench-current.json
+
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-compare

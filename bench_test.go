@@ -11,6 +11,7 @@ import (
 
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/experiments"
+	"github.com/salus-sim/salus/internal/perfbench"
 	"github.com/salus-sim/salus/internal/securemem"
 	"github.com/salus-sim/salus/internal/system"
 	"github.com/salus-sim/salus/internal/trace"
@@ -170,6 +171,26 @@ func BenchmarkFunctionalReadWrite(b *testing.B) {
 		if err := sys.Read(addr, buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentParallel measures the thread-safe wrapper under
+// parallel load, contrasting a single global lock (Shards=1) with the
+// sharded default. This is the workload `make bench-record` snapshots
+// into BENCH_perf.json and `make bench-compare` gates on; run with -cpu
+// to study scaling, e.g. go test -bench ConcurrentParallel -cpu 1,2,4,8
+func BenchmarkConcurrentParallel(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"global", 1}, {"sharded", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := perfbench.NewTarget(tc.shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perfbench.RunParallelWorkload(b, c, perfbench.MixedWriteEvery)
+		})
 	}
 }
 

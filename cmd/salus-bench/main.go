@@ -9,6 +9,8 @@
 //	salus-bench -breakdown nw      # per-class traffic for one workload
 //	salus-bench -all               # everything (several minutes)
 //	salus-bench -quick -all        # reduced campaign (seconds)
+//	salus-bench -perf              # wall-clock perf snapshot (JSON to stdout)
+//	salus-bench -perf-compare BENCH_perf.json   # perf regression gate
 package main
 
 import (
@@ -42,8 +44,15 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	quick := flag.Bool("quick", false, "use the reduced quick campaign")
 	verbose := flag.Bool("v", false, "print per-simulation progress")
 	format := flag.String("format", "text", "output format: text, json, or csv")
+	perf := flag.Bool("perf", false, "record a wall-clock perf snapshot (JSON to stdout)")
+	perfCompare := flag.String("perf-compare", "", "re-measure and gate against a recorded perf snapshot")
+	perfProcs := flag.Int("perf-procs", 8, "GOMAXPROCS for the perf workloads")
 	if err := flag.Parse(args); err != nil {
 		return 2
+	}
+
+	if *perf || *perfCompare != "" {
+		return perfMain(*perf, *perfCompare, *perfProcs, stdout, stderr)
 	}
 
 	outFormat, err := experiments.ParseFormat(*format)

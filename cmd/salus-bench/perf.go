@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/salus-sim/salus/internal/perfbench"
+)
+
+// perfMain implements -perf (record a timing snapshot as JSON on stdout)
+// and -perf-compare (re-measure and gate against a recorded baseline).
+// These are wall-clock benchmarks of the library hot paths — distinct
+// from the simulated-time workload campaigns the rest of salus-bench
+// runs — and exist to hold the perf trajectory of the sharded Concurrent
+// and the batched sector crypto.
+func perfMain(record bool, comparePath string, procs int, stdout, stderr io.Writer) int {
+	fmt.Fprintf(stderr, "salus-bench: measuring perf snapshot (GOMAXPROCS=%d, ~15s)...\n", procs)
+	snap, err := perfbench.Collect(procs)
+	if err != nil {
+		fmt.Fprintln(stderr, "salus-bench:", err)
+		return 1
+	}
+	for _, r := range snap.Results {
+		fmt.Fprintf(stderr, "  %-34s %10.1f ns/op %4d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(stderr, "  read-heavy sharded speedup %.2fx, mixed %.2fx, batched encrypt %.2fx\n",
+		snap.Derived.ReadHeavySpeedup, snap.Derived.MixedSpeedup, snap.Derived.BatchEncryptSpeedup)
+
+	// Record before comparing: when both flags are given (as the CI gate
+	// does), the fresh measurement must land on stdout even if the gate
+	// fails, so it can be diffed offline against the recorded baseline.
+	if record {
+		out, err := snap.Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			return 1
+		}
+		if _, err := stdout.Write(out); err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			return 1
+		}
+	}
+
+	if comparePath != "" {
+		data, err := os.ReadFile(comparePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			return 1
+		}
+		base, err := perfbench.Decode(data)
+		if err != nil {
+			fmt.Fprintln(stderr, "salus-bench:", err)
+			return 1
+		}
+		bad := perfbench.Compare(base, snap, perfbench.DefaultCompareOptions())
+		if len(bad) > 0 {
+			fmt.Fprintf(stderr, "salus-bench: perf gate FAILED against %s:\n", comparePath)
+			for _, msg := range bad {
+				fmt.Fprintln(stderr, "  -", msg)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "salus-bench: perf gate passed against %s\n", comparePath)
+	}
+	return 0
+}

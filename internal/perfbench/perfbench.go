@@ -1,0 +1,305 @@
+// Package perfbench measures the concurrency and crypto hot paths the
+// sharded securemem.Concurrent design optimises, and records the results
+// as machine-readable snapshots so CI can hold the perf trajectory: the
+// sharded lock design must stay faster than a global mutex, and the
+// per-sector crypto primitives must stay allocation-free.
+//
+// The parallel workloads run each worker against pages of its own shard
+// (the favourable case the sharding exists for); the speedup reported is
+// sharded-vs-global measured in the same process, same run, so
+// machine-to-machine noise cancels out of the ratio.
+package perfbench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/security/cryptoeng"
+	"github.com/salus-sim/salus/internal/security/maclib"
+)
+
+// Workload geometry. Pages 0..BenchPages-1 are written during warm-up so
+// every benchmarked read hits a resident frame; with the default shard
+// count each shard owns exactly BenchPages/DefaultShards of them.
+const (
+	// TotalPages sizes the home space of the benchmark target.
+	TotalPages = 64
+	// DevicePages sizes the device tier; it equals BenchPages so the
+	// warmed working set is exactly resident.
+	DevicePages = 32
+	// BenchPages is the page working set every workload touches.
+	BenchPages = 32
+	// PayloadBytes is the per-operation transfer size (one sector).
+	PayloadBytes = 32
+	// MixedWriteEvery makes every Nth operation of the mixed workload a
+	// write.
+	MixedWriteEvery = 4
+)
+
+// NewTarget builds a Concurrent with the given shard count and warms
+// pages 0..BenchPages-1 into the device tier.
+func NewTarget(shards int) (*securemem.Concurrent, error) {
+	c, err := securemem.NewConcurrent(securemem.Config{
+		Geometry:    config.Default().Geometry,
+		Model:       securemem.ModelSalus,
+		TotalPages:  TotalPages,
+		DevicePages: DevicePages,
+		Shards:      shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, PayloadBytes)
+	for p := 0; p < BenchPages; p++ {
+		buf[0] = byte(p)
+		if err := c.Write(securemem.HomeAddr(p*4096), buf); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// RunParallelWorkload drives b.N operations across GOMAXPROCS workers.
+// Worker w is confined to the pages of shard w % c.Shards(), so with a
+// sharded target the workers contend only on the reader half of the
+// wrapper lock, while a Shards=1 target funnels everyone through one
+// mutex — the contrast the recorded speedup captures. writeEvery == 0
+// means pure reads; otherwise every writeEvery-th operation is a write.
+func RunParallelWorkload(b *testing.B, c *securemem.Concurrent, writeEvery int) {
+	nsh := c.Shards()
+	perShard := BenchPages / nsh
+	if perShard == 0 {
+		perShard = 1
+	}
+	var widCtr atomic.Int64
+	b.SetBytes(PayloadBytes)
+	// 8x GOMAXPROCS workers: a protected memory serves many client
+	// streams, and sustained waiter pressure is what separates a global
+	// mutex (every waiter queues behind every operation) from the sharded
+	// design (waiters spread over nShards locks). It also keeps the
+	// measured contrast stable on hosts where GOMAXPROCS exceeds the
+	// physical core count.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		shard := int(widCtr.Add(1)-1) % nsh
+		buf := make([]byte, PayloadBytes)
+		i := 0
+		for pb.Next() {
+			page := shard + (i%perShard)*nsh
+			off := (i % (4096 / PayloadBytes)) * PayloadBytes
+			addr := securemem.HomeAddr(page*4096 + off)
+			var err error
+			if writeEvery > 0 && i%writeEvery == 0 {
+				buf[0] = byte(i)
+				err = c.Write(addr, buf)
+			} else {
+				err = c.Read(addr, buf)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// benchEngine returns a deterministic crypto engine for the micro cases.
+func benchEngine() *cryptoeng.Engine {
+	aes := make([]byte, 16)
+	mac := make([]byte, 32)
+	for i := range aes {
+		aes[i] = byte(i + 1)
+	}
+	for i := range mac {
+		mac[i] = byte(0xA0 + i)
+	}
+	return cryptoeng.MustNew(aes, mac, maclib.MACBits)
+}
+
+// Case names recorded in snapshots. bench-compare matches on these, so
+// they are part of the snapshot schema.
+const (
+	CaseReadSharded   = "concurrent/read-heavy/sharded"
+	CaseReadGlobal    = "concurrent/read-heavy/global"
+	CaseMixedSharded  = "concurrent/mixed/sharded"
+	CaseMixedGlobal   = "concurrent/mixed/global"
+	CaseMAC           = "crypto/mac"
+	CaseVerifySession = "crypto/verify-mac-session"
+	CaseEncryptBatch  = "crypto/encrypt-page-batched"
+	CaseEncryptLoop   = "crypto/encrypt-page-sector-loop"
+)
+
+// CollectPasses is how many interleaved measurement passes Collect runs.
+// The recorded value per case is the fastest pass: single-core hosts
+// drift by ±15% with frequency scaling, and interleaving the case list
+// cancels that drift out of the within-run ratios the gate keys on.
+const CollectPasses = 3
+
+// Collect runs every benchmark case at the given GOMAXPROCS and returns
+// the snapshot. procs <= 0 keeps the current setting.
+func Collect(procs int) (*Snapshot, error) {
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	} else {
+		procs = runtime.GOMAXPROCS(0)
+	}
+
+	snap := &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Procs:         procs,
+	}
+
+	var failed error
+	concurrentCase := func(name string, shards, writeEvery int) func(*testing.B) {
+		return func(b *testing.B) {
+			c, err := NewTarget(shards)
+			if err != nil {
+				if failed == nil {
+					failed = fmt.Errorf("%s: %w", name, err)
+				}
+				b.Skip()
+				return
+			}
+			RunParallelWorkload(b, c, writeEvery)
+			if b.Failed() && failed == nil {
+				failed = fmt.Errorf("%s: workload error under benchmark", name)
+			}
+		}
+	}
+
+	eng := benchEngine()
+	ct := make([]byte, cryptoeng.SectorSize)
+	mac, err := eng.MAC(ct, 0x1000, 7, 3)
+	if err != nil {
+		return nil, err
+	}
+	sess := eng.NewSession()
+	const pageSectors = 4096 / cryptoeng.SectorSize
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	minors := make([]uint64, pageSectors)
+
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{CaseReadGlobal, concurrentCase(CaseReadGlobal, 1, 0)},
+		{CaseReadSharded, concurrentCase(CaseReadSharded, 0, 0)},
+		{CaseMixedGlobal, concurrentCase(CaseMixedGlobal, 1, MixedWriteEvery)},
+		{CaseMixedSharded, concurrentCase(CaseMixedSharded, 0, MixedWriteEvery)},
+		{CaseMAC, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.MAC(ct, 0x1000, 7, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{CaseVerifySession, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !sess.VerifyMAC(ct, 0x1000, 7, 3, mac) {
+					b.Fatal("verify failed")
+				}
+			}
+		}},
+		{CaseEncryptBatch, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(4096)
+			for i := 0; i < b.N; i++ {
+				if err := eng.EncryptSectors(dst, src, 0, 5, minors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{CaseEncryptLoop, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(4096)
+			for i := 0; i < b.N; i++ {
+				for s := 0; s < pageSectors; s++ {
+					off := s * cryptoeng.SectorSize
+					if err := eng.EncryptSector(dst[off:off+cryptoeng.SectorSize],
+						src[off:off+cryptoeng.SectorSize],
+						uint64(off), 5, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+
+	best := make(map[string]Result, len(cases))
+	perPass := make(map[string][]float64, len(cases))
+	for pass := 0; pass < CollectPasses; pass++ {
+		for _, tc := range cases {
+			r := testing.Benchmark(tc.fn)
+			if failed != nil {
+				return nil, failed
+			}
+			var tmp Snapshot
+			tmp.add(tc.name, r)
+			res := tmp.Results[0]
+			perPass[tc.name] = append(perPass[tc.name], res.NsPerOp)
+			prev, ok := best[tc.name]
+			if !ok || res.NsPerOp < prev.NsPerOp {
+				if ok && prev.AllocsPerOp > res.AllocsPerOp {
+					// Keep the worst allocation count seen: the alloc gate
+					// must not be weakened by a lucky pass.
+					res.AllocsPerOp = prev.AllocsPerOp
+					res.BytesPerOp = prev.BytesPerOp
+				}
+				best[tc.name] = res
+			} else if res.AllocsPerOp > prev.AllocsPerOp {
+				prev.AllocsPerOp = res.AllocsPerOp
+				prev.BytesPerOp = res.BytesPerOp
+				best[tc.name] = prev
+			}
+		}
+	}
+	for _, tc := range cases {
+		snap.Results = append(snap.Results, best[tc.name])
+	}
+
+	// Derive the headline ratios from per-pass pairs, not the cross-pass
+	// minima: the two sides of a ratio measured in the same pass see the
+	// same machine state, and the median over passes shrugs off a single
+	// outlier pass.
+	snap.Derived.ReadHeavySpeedup = medianRatio(perPass[CaseReadGlobal], perPass[CaseReadSharded])
+	snap.Derived.MixedSpeedup = medianRatio(perPass[CaseMixedGlobal], perPass[CaseMixedSharded])
+	snap.Derived.BatchEncryptSpeedup = medianRatio(perPass[CaseEncryptLoop], perPass[CaseEncryptBatch])
+	return snap, nil
+}
+
+// medianRatio returns the median of the pairwise num[i]/den[i] ratios.
+func medianRatio(num, den []float64) float64 {
+	n := len(num)
+	if len(den) < n {
+		n = len(den)
+	}
+	if n == 0 {
+		return 0
+	}
+	ratios := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if den[i] > 0 {
+			ratios = append(ratios, num[i]/den[i])
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}

@@ -1,0 +1,157 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/securemem"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := &Snapshot{SchemaVersion: SnapshotSchemaVersion, Procs: 8}
+	s.Results = []Result{
+		{Name: CaseReadGlobal, NsPerOp: 4000},
+		{Name: CaseReadSharded, NsPerOp: 1000},
+		{Name: CaseMixedGlobal, NsPerOp: 4500},
+		{Name: CaseMixedSharded, NsPerOp: 1500},
+		{Name: CaseMAC, NsPerOp: 300, AllocsPerOp: 0},
+		{Name: CaseVerifySession, NsPerOp: 280, AllocsPerOp: 0},
+		{Name: CaseEncryptBatch, NsPerOp: 20000},
+		{Name: CaseEncryptLoop, NsPerOp: 30000},
+	}
+	s.derive()
+	return s
+}
+
+func TestSnapshotRoundTripAndDerive(t *testing.T) {
+	s := sampleSnapshot()
+	if s.Derived.ReadHeavySpeedup != 4.0 {
+		t.Fatalf("ReadHeavySpeedup = %v, want 4", s.Derived.ReadHeavySpeedup)
+	}
+	if s.Derived.MixedSpeedup != 3.0 {
+		t.Fatalf("MixedSpeedup = %v, want 3", s.Derived.MixedSpeedup)
+	}
+	if s.Derived.BatchEncryptSpeedup != 1.5 {
+		t.Fatalf("BatchEncryptSpeedup = %v, want 1.5", s.Derived.BatchEncryptSpeedup)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Derived != s.Derived || len(back.Results) != len(s.Results) {
+		t.Fatal("snapshot did not round-trip")
+	}
+	if _, err := Decode([]byte(`{"schema_version": 99}`)); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := sampleSnapshot()
+	opts := DefaultCompareOptions()
+
+	if bad := Compare(base, sampleSnapshot(), opts); len(bad) != 0 {
+		t.Fatalf("identical snapshots flagged: %v", bad)
+	}
+
+	// A collapsed sharded speedup must trip the floor even when raw
+	// timings are within the slowdown budget.
+	slow := sampleSnapshot()
+	slow.Case(CaseReadSharded).NsPerOp = 4200
+	slow.derive()
+	bad := Compare(base, slow, opts)
+	if len(bad) == 0 || !strings.Contains(strings.Join(bad, "\n"), "read-heavy") {
+		t.Fatalf("lost sharding speedup not flagged: %v", bad)
+	}
+
+	// Raw per-case regression beyond the generous budget.
+	creep := sampleSnapshot()
+	creep.Case(CaseMAC).NsPerOp = 300 * 4
+	creep.derive()
+	bad = Compare(base, creep, opts)
+	if len(bad) == 0 || !strings.Contains(strings.Join(bad, "\n"), CaseMAC) {
+		t.Fatalf("4x MAC regression not flagged: %v", bad)
+	}
+
+	// New allocations on a crypto hot path.
+	allocs := sampleSnapshot()
+	allocs.Case(CaseVerifySession).AllocsPerOp = 2
+	bad = Compare(base, allocs, opts)
+	if len(bad) == 0 || !strings.Contains(strings.Join(bad, "\n"), "allocs") {
+		t.Fatalf("crypto allocs not flagged: %v", bad)
+	}
+
+	// A dropped case must fail loudly, not silently shrink the gate.
+	dropped := sampleSnapshot()
+	dropped.Results = dropped.Results[:len(dropped.Results)-1]
+	dropped.derive()
+	bad = Compare(base, dropped, opts)
+	if len(bad) == 0 || !strings.Contains(strings.Join(bad, "\n"), "missing") {
+		t.Fatalf("dropped case not flagged: %v", bad)
+	}
+}
+
+func TestNewTargetWarmsResidentSet(t *testing.T) {
+	c, err := NewTarget(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() < 2 {
+		t.Fatalf("default target not sharded: %d", c.Shards())
+	}
+	st := c.Stats()
+	if st.PageMigrationsIn < BenchPages {
+		t.Fatalf("warm-up migrated %d pages, want >= %d", st.PageMigrationsIn, BenchPages)
+	}
+	// Every benchmark page must now be resident: reads cause no further
+	// migrations.
+	buf := make([]byte, PayloadBytes)
+	for p := 0; p < BenchPages; p++ {
+		if err := c.Read(securemem.HomeAddr(p*4096), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().PageMigrationsIn; got != st.PageMigrationsIn {
+		t.Fatalf("resident reads still migrated: %d -> %d", st.PageMigrationsIn, got)
+	}
+}
+
+// BenchmarkParallelRead/Mixed are the go-test entry points for the same
+// workloads Collect records; run with -cpu to study scaling, e.g.
+// go test -bench Parallel -cpu 1,2,4,8 ./internal/perfbench
+func BenchmarkParallelRead(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"global", 1}, {"sharded", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := NewTarget(tc.shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			RunParallelWorkload(b, c, 0)
+		})
+	}
+}
+
+func BenchmarkParallelMixed(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"global", 1}, {"sharded", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c, err := NewTarget(tc.shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			RunParallelWorkload(b, c, MixedWriteEvery)
+		})
+	}
+}

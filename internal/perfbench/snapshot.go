@@ -1,0 +1,199 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// SnapshotSchemaVersion identifies the snapshot layout; bench-compare
+// refuses to diff snapshots from different schemas.
+const SnapshotSchemaVersion = 1
+
+// Result is one benchmark case of a snapshot.
+type Result struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"alloc_bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Derived holds the headline ratios computed from the raw cases. They
+// are within-run ratios, so they are far more stable across machines
+// than the raw ns/op numbers.
+type Derived struct {
+	// ReadHeavySpeedup is global-mutex ns/op divided by sharded ns/op on
+	// the read-heavy parallel workload: how much the sharded lock design
+	// buys on the path the paper's read-dominated workloads stress.
+	ReadHeavySpeedup float64 `json:"read_heavy_speedup"`
+	// MixedSpeedup is the same ratio for the 3:1 read/write mix.
+	MixedSpeedup float64 `json:"mixed_speedup"`
+	// BatchEncryptSpeedup is per-sector-loop ns divided by batched ns
+	// for one whole-page encryption.
+	BatchEncryptSpeedup float64 `json:"batch_encrypt_speedup"`
+}
+
+// Snapshot is one recorded perf run (the payload of BENCH_perf.json).
+type Snapshot struct {
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Procs         int      `json:"gomaxprocs"`
+	Results       []Result `json:"results"`
+	Derived       Derived  `json:"derived"`
+}
+
+func (s *Snapshot) add(name string, r testing.BenchmarkResult) {
+	res := Result{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	s.Results = append(s.Results, res)
+}
+
+// Case returns the named result, or nil.
+func (s *Snapshot) Case(name string) *Result {
+	for i := range s.Results {
+		if s.Results[i].Name == name {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}
+
+func (s *Snapshot) derive() {
+	ratio := func(num, den string) float64 {
+		n, d := s.Case(num), s.Case(den)
+		if n == nil || d == nil || d.NsPerOp == 0 {
+			return 0
+		}
+		return n.NsPerOp / d.NsPerOp
+	}
+	s.Derived.ReadHeavySpeedup = ratio(CaseReadGlobal, CaseReadSharded)
+	s.Derived.MixedSpeedup = ratio(CaseMixedGlobal, CaseMixedSharded)
+	s.Derived.BatchEncryptSpeedup = ratio(CaseEncryptLoop, CaseEncryptBatch)
+}
+
+// Encode renders the snapshot as indented JSON.
+func (s *Snapshot) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Decode parses a snapshot and checks the schema version.
+func Decode(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perfbench: bad snapshot: %w", err)
+	}
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		return nil, fmt.Errorf("perfbench: snapshot schema %d, want %d",
+			s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	return &s, nil
+}
+
+// CompareOptions sets the regression thresholds bench-compare enforces.
+type CompareOptions struct {
+	// MaxSlowdown bounds per-case ns/op drift: current may be at most
+	// this factor slower than the baseline. Generous by design — raw
+	// wall-clock numbers move with the machine; the ratios below are the
+	// real trajectory gates.
+	MaxSlowdown float64
+	// MinReadHeavySpeedup is the floor for Derived.ReadHeavySpeedup.
+	MinReadHeavySpeedup float64
+	// MinMixedSpeedup is the floor for Derived.MixedSpeedup.
+	MinMixedSpeedup float64
+	// MinBatchEncryptSpeedup is the floor for Derived.BatchEncryptSpeedup.
+	MinBatchEncryptSpeedup float64
+	// MaxCryptoAllocs bounds allocs/op on every crypto/* case (the hot
+	// MAC and pad paths are designed to be allocation-free).
+	MaxCryptoAllocs int64
+}
+
+// DefaultCompareOptions are the thresholds `make bench-compare` runs
+// with, chosen to hold on a single-core CI host where the sharded
+// design can only win by contention avoidance (the gap widens to
+// multi-x with real CPU parallelism; the gomaxprocs/num_cpu fields are
+// recorded alongside so a snapshot is interpretable):
+//
+//   - The read-heavy floor sits under the ~1.05-1.2x a single-core host
+//     measures (multi-x with real cores) but above the ~0.85x the ratio
+//     falls to if multi-shard locking degenerates — e.g. lockRange
+//     taking every shard on every access, or the wrapper regrowing a
+//     global bottleneck.
+//   - The mixed workload serialises on the shared integrity-tree mutex
+//     during writes, so on one core its ratio hovers at parity; its
+//     floor is a non-collapse guard, not a speedup claim.
+//   - The batched-encrypt floor likewise guards "never slower than the
+//     per-sector loop" with margin for single-core frequency drift;
+//     most of the batch win on this host went into making both paths
+//     allocation-free, which the alloc gate holds instead.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{
+		MaxSlowdown:            2.5,
+		MinReadHeavySpeedup:    0.98,
+		MinMixedSpeedup:        0.9,
+		MinBatchEncryptSpeedup: 0.95,
+		MaxCryptoAllocs:        0,
+	}
+}
+
+// Compare diffs current against baseline and returns one message per
+// violated threshold (empty means the gate passes). Cases present in
+// only one snapshot are reported: a silently dropped case would make
+// the gate vacuous.
+func Compare(baseline, current *Snapshot, o CompareOptions) []string {
+	var bad []string
+	for _, b := range baseline.Results {
+		c := current.Case(b.Name)
+		if c == nil {
+			bad = append(bad, fmt.Sprintf("%s: case missing from current snapshot", b.Name))
+			continue
+		}
+		if o.MaxSlowdown > 0 && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*o.MaxSlowdown {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (over %.2fx budget)",
+				b.Name, c.NsPerOp, b.NsPerOp, o.MaxSlowdown))
+		}
+	}
+	for _, c := range current.Results {
+		if baseline.Case(c.Name) == nil {
+			bad = append(bad, fmt.Sprintf("%s: case missing from baseline snapshot", c.Name))
+		}
+	}
+	for _, c := range current.Results {
+		if len(c.Name) >= 7 && c.Name[:7] == "crypto/" && c.AllocsPerOp > o.MaxCryptoAllocs {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op, budget %d",
+				c.Name, c.AllocsPerOp, o.MaxCryptoAllocs))
+		}
+	}
+	d := current.Derived
+	if d.ReadHeavySpeedup < o.MinReadHeavySpeedup {
+		bad = append(bad, fmt.Sprintf("read-heavy sharded speedup %.2fx under floor %.2fx",
+			d.ReadHeavySpeedup, o.MinReadHeavySpeedup))
+	}
+	if d.MixedSpeedup < o.MinMixedSpeedup {
+		bad = append(bad, fmt.Sprintf("mixed sharded speedup %.2fx under floor %.2fx",
+			d.MixedSpeedup, o.MinMixedSpeedup))
+	}
+	if d.BatchEncryptSpeedup < o.MinBatchEncryptSpeedup {
+		bad = append(bad, fmt.Sprintf("batched encrypt speedup %.2fx under floor %.2fx",
+			d.BatchEncryptSpeedup, o.MinBatchEncryptSpeedup))
+	}
+	sort.Strings(bad)
+	return bad
+}

@@ -3,6 +3,7 @@ package securemem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/salus-sim/salus/internal/fault"
 )
@@ -17,7 +18,7 @@ func (s *System) Read(addr HomeAddr, buf []byte) error {
 	if uint64(addr) > s.Size() || uint64(len(buf)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
-	s.stats.Reads++
+	bump(&s.stats.Reads)
 	ss := uint64(s.geo.SectorSize)
 	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(buf)); {
@@ -43,7 +44,7 @@ func (s *System) Write(addr HomeAddr, data []byte) error {
 	if uint64(addr) > s.Size() || uint64(len(data)) > s.Size()-uint64(addr) {
 		return ErrOutOfRange
 	}
-	s.stats.Writes++
+	bump(&s.stats.Writes)
 	ss := uint64(s.geo.SectorSize)
 	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(data)); {
@@ -106,8 +107,7 @@ func (s *System) accessSector(addr HomeAddr, out []byte, isWrite bool, in []byte
 			}
 		}
 		f := &s.frames[fi]
-		s.lruClock++
-		f.lru = s.lruClock
+		f.lru = atomic.AddUint64(&s.lruClock, 1)
 
 		devAddr := FrameAddr(fi, s.geo.PageSize, addr.PageOffset(s.geo.PageSize))
 		if err := s.gate(fault.TierDevice, uint64(devAddr), isWrite); err != nil {
@@ -156,6 +156,10 @@ func (s *System) blockInPage(addr HomeAddr) int {
 // no frame is free. Under Salus the ciphertext moves verbatim; under the
 // conventional model every sector is decrypted with home-tier metadata and
 // re-encrypted with device-tier metadata.
+//
+// Frames are partitioned by shard (see shard.go): a page only ever lands
+// in a frame of its own shard, so every frame this function scans,
+// evicts, or fills is owned by the caller's shard lock.
 func (s *System) migrateIn(page int) (int, error) {
 	// Gate the home-tier read side before any migration state moves: a
 	// transient storm aborts cleanly and an uncorrectable home error
@@ -163,16 +167,11 @@ func (s *System) migrateIn(page int) (int, error) {
 	if err := s.gateHomePageRead(page); err != nil {
 		return -1, err
 	}
-	fi := -1
-	for i := range s.frames {
-		if s.frames[i].homePage < 0 && !s.frames[i].quarantined {
-			fi = i
-			break
-		}
-	}
+	shard := s.pageShard(page)
+	fi := s.freeFrame(shard)
 	if fi < 0 {
 		for {
-			v := s.victimFrame()
+			v := s.victimFrame(shard)
 			if v < 0 {
 				break
 			}
@@ -189,21 +188,17 @@ func (s *System) migrateIn(page int) (int, error) {
 			// stays resident and keeps serving; try the next-best victim.
 		}
 		if fi < 0 {
-			// No free or evictable frame left. When frames are parked
-			// awaiting the link, try to drain the queue head to free one —
-			// on a live link this succeeds immediately; during an outage
-			// the miss fails typed instead of blocking or degrading the
-			// page to a permanent home-tier pin.
-			if len(s.wbq) > 0 {
-				if err := s.drainOne(); err != nil {
+			// No free or evictable frame left in this shard. When frames
+			// are parked awaiting the link, try to drain the shard's first
+			// queued writeback to free one — on a live link this succeeds
+			// immediately; during an outage the miss fails typed instead
+			// of blocking or degrading the page to a permanent home-tier
+			// pin.
+			if qfi := s.wbqFirstOfShard(shard); qfi >= 0 {
+				if err := s.drainFrame(qfi); err != nil {
 					return -1, err
 				}
-				for i := range s.frames {
-					if s.frames[i].homePage < 0 && !s.frames[i].quarantined {
-						fi = i
-						break
-					}
-				}
+				fi = s.freeFrame(shard)
 			}
 			if fi < 0 {
 				return -1, errNoFrames
@@ -217,12 +212,11 @@ func (s *System) migrateIn(page int) (int, error) {
 			return -1, err
 		}
 	}
-	s.stats.PageMigrationsIn++
+	bump(&s.stats.PageMigrationsIn)
 	f := &s.frames[fi]
 	*f = frame{homePage: page}
 	s.pageTable[page] = fi
-	s.lruClock++
-	f.lru = s.lruClock
+	f.lru = atomic.AddUint64(&s.lruClock, 1)
 
 	src := s.cxlData[page*s.geo.PageSize : (page+1)*s.geo.PageSize]
 	dst := s.devData[fi*s.geo.PageSize : (fi+1)*s.geo.PageSize]
@@ -240,11 +234,24 @@ func (s *System) migrateIn(page int) (int, error) {
 	return fi, nil
 }
 
-// victimFrame returns the LRU frame index among usable frames, or -1 when
-// every frame has been quarantined or parked on the writeback queue.
-func (s *System) victimFrame() int {
+// freeFrame returns a free, non-quarantined frame of the given shard, or
+// -1. The stride walk visits the same frames in the same order as the
+// pre-sharding full scan when nShards is 1.
+func (s *System) freeFrame(shard int) int {
+	for i := shard; i < len(s.frames); i += s.nShards {
+		if s.frames[i].homePage < 0 && !s.frames[i].quarantined {
+			return i
+		}
+	}
+	return -1
+}
+
+// victimFrame returns the LRU frame index among the shard's usable
+// frames, or -1 when every frame has been quarantined or parked on the
+// writeback queue.
+func (s *System) victimFrame(shard int) int {
 	best := -1
-	for i := range s.frames {
+	for i := shard; i < len(s.frames); i += s.nShards {
 		if s.frames[i].quarantined || s.frames[i].parked {
 			continue
 		}
@@ -285,7 +292,7 @@ func (s *System) evict(fi int) error {
 		}
 		return err
 	}
-	s.stats.PageEvictions++
+	bump(&s.stats.PageEvictions)
 	s.pageTable[f.homePage] = -1
 	f.homePage = -1
 	f.dirty, f.macIn, f.ctrIn = 0, 0, 0

@@ -118,11 +118,11 @@ func (s *System) Checkpoint(j *crash.Journal) (TrustedRoot, error) {
 		s.ckptDirty[page] = false
 	}
 	bytes := j.BytesWritten() - startBytes
-	s.stats.Checkpoints++
-	s.stats.CheckpointPages += uint64(len(pages))
-	s.stats.CheckpointBytes += bytes
+	bump(&s.stats.Checkpoints)
+	bumpN(&s.stats.CheckpointPages, uint64(len(pages)))
+	bumpN(&s.stats.CheckpointBytes, bytes)
 	cycles := bytes/uint64(s.geo.SectorSize) + checkpointCommitCycles
-	s.stats.CheckpointCycles += cycles
+	bumpN(&s.stats.CheckpointCycles, cycles)
 	if s.clock != nil {
 		s.clock.Advance(sim.Cycle(cycles))
 	}
@@ -167,7 +167,7 @@ func (s *System) checkpointWriteback(page int) error {
 			f.dirty &^= 1 << uint(c)
 			continue
 		}
-		s.stats.CheckpointWritebacks++
+		bump(&s.stats.CheckpointWritebacks)
 		gi := fi*s.geo.ChunksPerPage() + c
 		g := &s.devGroups[gi]
 		old := *g
@@ -185,10 +185,14 @@ func (s *System) checkpointWriteback(page int) error {
 				if err := s.eng.EncryptSector(ct, pt, ha, uint64(newMajor), 0); err != nil {
 					return err
 				}
-				if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
+				mac, err := s.eng.MAC(ct, ha, uint64(newMajor), 0)
+				if err != nil {
 					return err
 				}
-				s.stats.CollapseReEncryptions++
+				if err := s.storeHomeMAC(HomeAddr(ha), mac); err != nil {
+					return err
+				}
+				bump(&s.stats.CollapseReEncryptions)
 			}
 			copy(s.cxlData[ha:ha+uint64(ss)], ct)
 		}

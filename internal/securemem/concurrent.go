@@ -6,54 +6,140 @@ import (
 	"github.com/salus-sim/salus/internal/crash"
 )
 
-// Concurrent wraps a System with a mutex so multiple goroutines can share
-// it. The underlying System is single-threaded by design (the hardware it
-// models serialises security operations per memory controller); this
-// wrapper gives library users a safe default without putting lock overhead
-// on the single-threaded fast path.
+// Concurrent wraps a System for shared use by multiple goroutines with a
+// sharded lock design: the home space is partitioned into nShards page
+// groups (page p belongs to shard p % nShards, see shard.go), each with
+// its own mutex, so accesses that touch different shards proceed in
+// parallel — the single-mutex design this replaces serialised every read
+// behind one global lock. Two lock layers compose:
+//
+//   - c.mu (RWMutex): address-granular operations hold it shared;
+//     whole-system operations (Flush, Checkpoint, Suspend, the drain
+//     loop, Stats) hold it exclusively, which quiesces every in-flight
+//     access without touching a single shard lock.
+//   - c.shards[i].mu: an address operation locks exactly the shards its
+//     byte range touches, always in ascending shard order, so
+//     multi-shard acquisitions cannot deadlock against each other.
+//
+// The lock order is therefore Concurrent.mu -> shardLock.mu -> the
+// System-internal leaf locks (sysLocks fields, bmt.Tree.mu); nothing in
+// the package acquires them in any other order.
 type Concurrent struct {
-	mu  sync.Mutex
-	sys *System
+	mu     sync.RWMutex
+	shards []shardLock
+	sys    *System
 }
 
-// NewConcurrent builds a protected memory safe for concurrent use.
+// shardLock is one shard's mutex, padded out to its own cache line so
+// adjacent shards do not false-share under contention.
+type shardLock struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// NewConcurrent builds a protected memory safe for concurrent use. The
+// shard count comes from cfg.Shards (zero selects DefaultShards) and is
+// clamped so every shard owns at least one page and one device frame.
 func NewConcurrent(cfg Config) (*Concurrent, error) {
 	sys, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{sys: sys}, nil
+	sys.configureSharding(cfg.Shards)
+	return &Concurrent{
+		shards: make([]shardLock, sys.Shards()),
+		sys:    sys,
+	}, nil
 }
 
-// Read is a goroutine-safe System.Read.
+// lockRange locks every shard the byte range [base, base+n) touches, in
+// ascending shard order, and returns the held set as a bitmask for
+// unlockRange. Empty or out-of-bounds ranges and ranges spanning at
+// least nShards pages take every shard: the underlying operation either
+// fails its own bounds check without mutating anything, or genuinely
+// touches the whole system.
+func (c *Concurrent) lockRange(base, n uint64) uint64 {
+	ns := len(c.shards)
+	if ns == 1 {
+		c.shards[0].mu.Lock()
+		return 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	all := (uint64(1) << uint(ns)) - 1
+	var mask uint64
+	size := c.sys.Size()
+	if base >= size || n > size-base {
+		mask = all
+	} else {
+		ps := uint64(c.sys.geo.PageSize)
+		first := base / ps
+		last := (base + n - 1) / ps
+		if last-first+1 >= uint64(ns) {
+			mask = all
+		} else {
+			for p := first; p <= last; p++ {
+				mask |= uint64(1) << uint(p%uint64(ns))
+			}
+		}
+	}
+	for i := 0; i < ns; i++ {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			c.shards[i].mu.Lock()
+		}
+	}
+	return mask
+}
+
+// unlockRange releases the shards lockRange locked.
+func (c *Concurrent) unlockRange(mask uint64) {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			c.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// Read is a goroutine-safe System.Read; reads of pages in different
+// shards run in parallel.
 func (c *Concurrent) Read(addr HomeAddr, buf []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mask := c.lockRange(uint64(addr), uint64(len(buf)))
+	defer c.unlockRange(mask)
 	return c.sys.Read(addr, buf)
 }
 
 // Write is a goroutine-safe System.Write.
 func (c *Concurrent) Write(addr HomeAddr, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mask := c.lockRange(uint64(addr), uint64(len(data)))
+	defer c.unlockRange(mask)
 	return c.sys.Write(addr, data)
 }
 
 // WriteThrough is a goroutine-safe System.WriteThrough.
 func (c *Concurrent) WriteThrough(addr HomeAddr, data []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mask := c.lockRange(uint64(addr), uint64(len(data)))
+	defer c.unlockRange(mask)
 	return c.sys.WriteThrough(addr, data)
 }
 
 // ReadThrough is a goroutine-safe System.ReadThrough.
 func (c *Concurrent) ReadThrough(addr HomeAddr, buf []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	mask := c.lockRange(uint64(addr), uint64(len(buf)))
+	defer c.unlockRange(mask)
 	return c.sys.ReadThrough(addr, buf)
 }
 
-// Flush is a goroutine-safe System.Flush.
+// Flush is a goroutine-safe System.Flush. It quiesces the whole system:
+// every shard's in-flight accesses complete before the eviction sweep.
 func (c *Concurrent) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -77,8 +163,8 @@ func (c *Concurrent) Suspend() ([]byte, TrustedRoot, error) {
 }
 
 // DrainWritebacks is a goroutine-safe System.DrainWritebacks. Each
-// queued writeback drains under its own lock acquisition, so concurrent
-// device-resident reads interleave with a long drain instead of stalling
+// queued writeback drains under its own writer-lock acquisition, so
+// concurrent accesses interleave with a long drain instead of stalling
 // behind it.
 func (c *Concurrent) DrainWritebacks() (int, error) {
 	n := 0
@@ -99,36 +185,46 @@ func (c *Concurrent) DrainWritebacks() (int, error) {
 
 // QueuedWritebacks is a goroutine-safe System.QueuedWritebacks.
 func (c *Concurrent) QueuedWritebacks() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.QueuedWritebacks()
 }
 
-// Epoch is a goroutine-safe System.Epoch.
+// Epoch is a goroutine-safe System.Epoch. The epoch only advances under
+// the writer-excluding Checkpoint path, so shared mode suffices here.
 func (c *Concurrent) Epoch() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.Epoch()
 }
 
-// Stats is a goroutine-safe System.Stats.
+// Stats is a goroutine-safe System.Stats. It holds the writer-excluding
+// lock so the returned snapshot is consistent: no access is mid-flight
+// while the plain-field counter copy is taken.
 func (c *Concurrent) Stats() OpStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Stats()
 }
 
+// Shards reports how many page shards the lock design is using.
+func (c *Concurrent) Shards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sys.Shards()
+}
+
 // Size returns the home address-space size in bytes.
 func (c *Concurrent) Size() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.Size()
 }
 
 // Model returns the active protection model.
 func (c *Concurrent) Model() Model {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.Model()
 }
 

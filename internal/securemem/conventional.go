@@ -18,7 +18,7 @@ import (
 func (s *System) convHomePair(homeAddr HomeAddr) (major, minor uint64, err error) {
 	secIdx := homeAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
-	s.stats.BMTVerifies++
+	bump(&s.stats.BMTVerifies)
 	if err := s.convCXLTree.VerifyCached(ci, s.convCXLCtrs[ci].Encode()); err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrFreshness, err)
 	}
@@ -30,7 +30,7 @@ func (s *System) convHomePair(homeAddr HomeAddr) (major, minor uint64, err error
 func (s *System) convDevPair(devAddr DevAddr) (major, minor uint64, err error) {
 	secIdx := devAddr.Sector(s.geo.SectorSize)
 	ci := secIdx / counters.ConvMinors
-	s.stats.BMTVerifies++
+	bump(&s.stats.BMTVerifies)
 	if err := s.convDevTree.VerifyCached(ci, s.convDevCtrs[ci].Encode()); err != nil {
 		return 0, 0, fmt.Errorf("%w: %v", ErrFreshness, err)
 	}
@@ -50,7 +50,7 @@ func (s *System) convBumpHome(homeAddr HomeAddr) (major, minor uint64, err error
 			return 0, 0, err
 		}
 	}
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	if err := s.convCXLTree.Update(ci, cs.Encode()); err != nil {
 		return 0, 0, err
 	}
@@ -69,7 +69,7 @@ func (s *System) convBumpDev(devAddr DevAddr) (major, minor uint64, err error) {
 			return 0, 0, err
 		}
 	}
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	if err := s.convDevTree.Update(ci, cs.Encode()); err != nil {
 		return 0, 0, err
 	}
@@ -101,8 +101,12 @@ func (s *System) convReencryptHomeRegion(ci int, old, cur *counters.Conventional
 		if err := s.eng.EncryptSector(ct, pt, ha, newMajor, newMinor); err != nil {
 			return err
 		}
-		s.convCXLMACs[secIdx] = s.eng.MAC(ct, ha, newMajor, newMinor)
-		s.stats.OverflowReEncryptions++
+		mac, err := s.eng.MAC(ct, ha, newMajor, newMinor)
+		if err != nil {
+			return err
+		}
+		s.convCXLMACs[secIdx] = mac
+		bump(&s.stats.OverflowReEncryptions)
 	}
 	return nil
 }
@@ -134,8 +138,12 @@ func (s *System) convReencryptDevRegion(ci int, old, cur *counters.ConventionalS
 		if err := s.eng.EncryptSector(ct, pt, da, newMajor, newMinor); err != nil {
 			return err
 		}
-		s.convDevMACs[secIdx] = s.eng.MAC(ct, da, newMajor, newMinor)
-		s.stats.OverflowReEncryptions++
+		mac, err := s.eng.MAC(ct, da, newMajor, newMinor)
+		if err != nil {
+			return err
+		}
+		s.convDevMACs[secIdx] = mac
+		bump(&s.stats.OverflowReEncryptions)
 	}
 	return nil
 }
@@ -149,7 +157,7 @@ func (s *System) convAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []by
 		if err != nil {
 			return err
 		}
-		s.stats.MACVerifies++
+		bump(&s.stats.MACVerifies)
 		if !s.eng.VerifyMAC(ct, uint64(devAddr), major, minor, s.convDevMACs[devAddr.Sector(s.geo.SectorSize)]) {
 			return fmt.Errorf("%w: device address %#x", ErrIntegrity, uint64(devAddr))
 		}
@@ -162,7 +170,11 @@ func (s *System) convAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []by
 	if err := s.eng.EncryptSector(ct, in, uint64(devAddr), major, minor); err != nil {
 		return err
 	}
-	s.convDevMACs[devAddr.Sector(s.geo.SectorSize)] = s.eng.MAC(ct, uint64(devAddr), major, minor)
+	mac, err := s.eng.MAC(ct, uint64(devAddr), major, minor)
+	if err != nil {
+		return err
+	}
+	s.convDevMACs[devAddr.Sector(s.geo.SectorSize)] = mac
 	s.frames[fi].dirty |= 1 << uint(s.chunkInPage(homeAddr))
 	return nil
 }
@@ -178,7 +190,7 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 			// Quarantined home chunk: its data is lost, so the sector is
 			// neither verified nor moved. Accesses to it are refused before
 			// they reach the frame copy.
-			s.stats.PoisonSkippedRelocations++
+			bump(&s.stats.PoisonSkippedRelocations)
 			continue
 		}
 		ha := uint64(page*s.geo.PageSize + i*ss)
@@ -188,7 +200,7 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 		if err != nil {
 			return err
 		}
-		s.stats.MACVerifies++
+		bump(&s.stats.MACVerifies)
 		if !s.eng.VerifyMAC(srcCT, ha, major, minor, s.convCXLMACs[int(ha)/ss]) {
 			return fmt.Errorf("%w: home address %#x during migration", ErrIntegrity, ha)
 		}
@@ -203,8 +215,12 @@ func (s *System) convMigrateIn(page, fi int, src, dst []byte) error {
 		if err := s.eng.EncryptSector(dstCT, pt, da, dMajor, dMinor); err != nil {
 			return err
 		}
-		s.convDevMACs[int(da)/ss] = s.eng.MAC(dstCT, da, dMajor, dMinor)
-		s.stats.RelocationReEncryptions++
+		mac, err := s.eng.MAC(dstCT, da, dMajor, dMinor)
+		if err != nil {
+			return err
+		}
+		s.convDevMACs[int(da)/ss] = mac
+		bump(&s.stats.RelocationReEncryptions)
 	}
 	return nil
 }
@@ -220,13 +236,13 @@ func (s *System) convEvict(fi int) error {
 	page := f.homePage
 	ss := s.geo.SectorSize
 	pt := make([]byte, ss)
-	s.stats.FullPageWritebacks++
+	bump(&s.stats.FullPageWritebacks)
 	for i := 0; i < s.geo.SectorsPerPage(); i++ {
 		if s.poisoned[page*s.geo.ChunksPerPage()+i*ss/s.geo.ChunkSize] {
 			// Quarantined home chunk: the writeback target (or, for chunks
 			// skipped on the way in, the frame copy) is invalid — drop the
 			// sector and account for it.
-			s.stats.PoisonSkippedRelocations++
+			bump(&s.stats.PoisonSkippedRelocations)
 			continue
 		}
 		ha := uint64(page*s.geo.PageSize + i*ss)
@@ -236,7 +252,7 @@ func (s *System) convEvict(fi int) error {
 		if err != nil {
 			return err
 		}
-		s.stats.MACVerifies++
+		bump(&s.stats.MACVerifies)
 		if !s.eng.VerifyMAC(ct, da, major, minor, s.convDevMACs[int(da)/ss]) {
 			return fmt.Errorf("%w: device address %#x during eviction", ErrIntegrity, da)
 		}
@@ -251,8 +267,12 @@ func (s *System) convEvict(fi int) error {
 		if err := s.eng.EncryptSector(dstCT, pt, ha, hMajor, hMinor); err != nil {
 			return err
 		}
-		s.convCXLMACs[int(ha)/ss] = s.eng.MAC(dstCT, ha, hMajor, hMinor)
-		s.stats.RelocationReEncryptions++
+		mac, err := s.eng.MAC(dstCT, ha, hMajor, hMinor)
+		if err != nil {
+			return err
+		}
+		s.convCXLMACs[int(ha)/ss] = mac
+		bump(&s.stats.RelocationReEncryptions)
 	}
 	return nil
 }

@@ -24,20 +24,32 @@ import (
 
 // ensureSplitState lazily allocates the CXL split-sector array and the
 // tree that keeps the split counter blocks fresh (the paper's CXL BMT is
-// built over exactly these counter blocks).
+// built over exactly these counter blocks). Shards race to arm it, so the
+// allocation is double-checked: splitArmed is only published after every
+// structure is fully built, and concurrent readers consult splitArmed
+// (never the slice headers) before touching split state.
 func (s *System) ensureSplitState() error {
-	if s.cxlSplit != nil {
+	if s.splitArmed.Load() {
+		return nil
+	}
+	s.locks.split.Lock()
+	defer s.locks.split.Unlock()
+	if s.splitArmed.Load() {
 		return nil
 	}
 	homeChunks := s.cfg.TotalPages * s.geo.ChunksPerPage()
-	s.cxlSplit = make([]counters.CXLSplitSector, homeChunks)
-	s.splitDirty = make([]bool, homeChunks)
-	var err error
-	s.splitTree, err = bmt.New(s.eng, homeChunks)
-	if err == nil {
-		s.splitTree.SetTrustCache(4096)
+	cxlSplit := make([]counters.CXLSplitSector, homeChunks)
+	splitDirty := make([]bool, homeChunks)
+	splitTree, err := bmt.New(s.eng, homeChunks)
+	if err != nil {
+		return err
 	}
-	return err
+	splitTree.SetTrustCache(4096)
+	s.cxlSplit = cxlSplit
+	s.splitDirty = splitDirty
+	s.splitTree = splitTree
+	s.splitArmed.Store(true)
+	return nil
 }
 
 // splitPair returns the effective (major, minor) for a CXL-resident
@@ -45,8 +57,8 @@ func (s *System) ensureSplitState() error {
 // split state.
 func (s *System) splitPair(homeAddr HomeAddr) (major, minor uint64, err error) {
 	chunk := homeAddr.Chunk(s.geo.ChunkSize)
-	if s.cxlSplit != nil && s.splitDirty[chunk] {
-		s.stats.BMTVerifies++
+	if s.splitArmed.Load() && s.splitDirty[chunk] {
+		bump(&s.stats.BMTVerifies)
 		if err := s.splitTree.VerifyCached(chunk, s.cxlSplit[chunk].Encode()); err != nil {
 			return 0, 0, fmt.Errorf("%w: %v", ErrFreshness, err)
 		}
@@ -76,7 +88,7 @@ func (s *System) WriteThrough(addr HomeAddr, data []byte) error {
 	if err := s.ensureSplitState(); err != nil {
 		return err
 	}
-	s.stats.Writes++
+	bump(&s.stats.Writes)
 	ss := uint64(s.geo.SectorSize)
 	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(data)); {
@@ -113,7 +125,7 @@ func (s *System) ReadThrough(addr HomeAddr, buf []byte) error {
 	if s.IsResident(addr) || (len(buf) > 0 && s.IsResident(addr+HomeAddr(len(buf))-1)) {
 		return fmt.Errorf("securemem: ReadThrough of device-resident page %d", addr.Page(s.geo.PageSize))
 	}
-	s.stats.Reads++
+	bump(&s.stats.Reads)
 	ss := uint64(s.geo.SectorSize)
 	base := uint64(addr)
 	for off := uint64(0); off < uint64(len(buf)); {
@@ -143,7 +155,7 @@ func (s *System) directReadSector(homeAddr HomeAddr, out []byte) error {
 		return err
 	}
 	ct := s.cxlData[homeAddr : homeAddr+32]
-	s.stats.MACVerifies++
+	bump(&s.stats.MACVerifies)
 	if !s.eng.VerifyMAC(ct, uint64(homeAddr), major, minor, s.homeMAC(homeAddr)) {
 		return fmt.Errorf("%w: home address %#x", ErrIntegrity, uint64(homeAddr))
 	}
@@ -185,14 +197,18 @@ func (s *System) directWriteSector(homeAddr HomeAddr, in []byte) error {
 		if err := s.eng.EncryptSector(ct, in, uint64(homeAddr), major, minor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, uint64(homeAddr), major, minor)); err != nil {
+		mac, err := s.eng.MAC(ct, uint64(homeAddr), major, minor)
+		if err != nil {
+			return err
+		}
+		if err := s.storeHomeMAC(homeAddr, mac); err != nil {
 			return err
 		}
 	}
 	// Refresh both freshness structures: the split tree covers the full
 	// split counter block (majors and minors), and the collapsed store is
 	// kept in sync so migration sees the current major.
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	if err := s.splitTree.Update(chunk, sp.Encode()); err != nil {
 		return err
 	}
@@ -221,10 +237,14 @@ func (s *System) directReencryptChunk(chunk uint64, old, cur *counters.CXLSplitS
 		if err := s.eng.EncryptSector(ct, pt, ha, newMajor, newMinor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
+		mac, err := s.eng.MAC(ct, ha, newMajor, newMinor)
+		if err != nil {
 			return err
 		}
-		s.stats.OverflowReEncryptions++
+		if err := s.storeHomeMAC(HomeAddr(ha), mac); err != nil {
+			return err
+		}
+		bump(&s.stats.OverflowReEncryptions)
 	}
 	return nil
 }
@@ -248,7 +268,7 @@ func (s *System) CheckpointChunk(addr HomeAddr) error {
 		// the healthy chunks.
 		return nil
 	}
-	if s.cxlSplit == nil || !s.splitDirty[chunk] {
+	if !s.splitArmed.Load() || !s.splitDirty[chunk] {
 		return nil
 	}
 	// The collapse below is a read-modify-write of the whole chunk in the
@@ -278,14 +298,18 @@ func (s *System) CheckpointChunk(addr HomeAddr) error {
 			if err := s.eng.EncryptSector(ct, pt, ha, uint64(newMajor), 0); err != nil {
 				return err
 			}
-			if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
+			mac, err := s.eng.MAC(ct, ha, uint64(newMajor), 0)
+			if err != nil {
 				return err
 			}
-			s.stats.CollapseReEncryptions++
+			if err := s.storeHomeMAC(HomeAddr(ha), mac); err != nil {
+				return err
+			}
+			bump(&s.stats.CollapseReEncryptions)
 		}
 	}
 	s.splitDirty[chunk] = false
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	if err := s.splitTree.Update(chunk, sp.Encode()); err != nil {
 		return err
 	}
@@ -295,7 +319,7 @@ func (s *System) CheckpointChunk(addr HomeAddr) error {
 // checkpointPage collapses every split chunk of a page; called before the
 // page migrates into the device tier.
 func (s *System) checkpointPage(page int) error {
-	if s.cxlSplit == nil {
+	if !s.splitArmed.Load() {
 		return nil
 	}
 	for c := 0; c < s.geo.ChunksPerPage(); c++ {

@@ -3,7 +3,7 @@ package securemem
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"github.com/salus-sim/salus/internal/fault"
 	"github.com/salus-sim/salus/internal/sim"
@@ -92,11 +92,16 @@ func (s *System) AttachFaults(inj fault.Injector, policy RetryPolicy, clock *sim
 
 // gate runs one raw media access through the injector, retrying transient
 // faults per the policy. It returns nil (access went through), a wrapped
-// ErrTransient (budget exhausted), or errUncorrectable.
+// ErrTransient (budget exhausted), or errUncorrectable. Injector state and
+// the sim clock are shared across shards, so the whole retry loop runs
+// under the hardware lock (the nil fast path stays lock-free: AttachFaults
+// is setup-time, before any concurrent use).
 func (s *System) gate(tier fault.Tier, addr uint64, write bool) error {
 	if s.inj == nil {
 		return nil
 	}
+	s.locks.hw.Lock()
+	defer s.locks.hw.Unlock()
 	for attempt := 0; ; attempt++ {
 		f := s.inj.Inject(fault.Access{Tier: tier, Addr: addr, Write: write, Attempt: attempt})
 		if f == nil {
@@ -104,22 +109,22 @@ func (s *System) gate(tier fault.Tier, addr uint64, write bool) error {
 		}
 		switch f.Kind {
 		case fault.Transient:
-			s.stats.TransientFaults++
+			bump(&s.stats.TransientFaults)
 			if attempt >= s.retry.MaxRetries {
 				return fmt.Errorf("%w: %v access at %v %#x after %d retries",
 					ErrTransient, rw(write), tier, addr, s.retry.MaxRetries)
 			}
-			s.stats.Retries++
+			bump(&s.stats.Retries)
 			d := s.retry.backoff(attempt)
-			s.stats.RetryBackoffCycles += uint64(d)
+			bumpN(&s.stats.RetryBackoffCycles, uint64(d))
 			if s.clock != nil {
 				s.clock.Advance(d)
 			}
 		case fault.Poison:
-			s.stats.PoisonFaults++
+			bump(&s.stats.PoisonFaults)
 			return errUncorrectable
 		default: // fault.StuckBit
-			s.stats.StuckBitFaults++
+			bump(&s.stats.StuckBitFaults)
 			return errUncorrectable
 		}
 	}
@@ -132,9 +137,12 @@ func rw(write bool) string {
 	return "read"
 }
 
-// poisonCheck refuses access to a quarantined home chunk.
+// poisonCheck refuses access to a quarantined home chunk. The atomic
+// count short-circuits the common no-faults case; the element read is
+// safe because a chunk's flag only flips under its own shard's lock,
+// which the caller holds.
 func (s *System) poisonCheck(addr HomeAddr) error {
-	if len(s.poisoned) == 0 {
+	if atomic.LoadUint64(&s.poisonedN) == 0 {
 		return nil
 	}
 	if chunk := addr.Chunk(s.geo.ChunkSize); s.poisoned[chunk] {
@@ -239,11 +247,9 @@ func (s *System) poisonChunk(chunk int) {
 	if s.poisoned[chunk] {
 		return
 	}
-	if s.poisoned == nil {
-		s.poisoned = map[int]bool{}
-	}
 	s.poisoned[chunk] = true
-	s.stats.ChunksPoisoned++
+	atomic.AddUint64(&s.poisonedN, 1)
+	bump(&s.stats.ChunksPoisoned)
 }
 
 // pinPage pins a home page to the direct CXL access path (ModelSalus
@@ -252,11 +258,9 @@ func (s *System) pinPage(page int) {
 	if s.pinned[page] {
 		return
 	}
-	if s.pinned == nil {
-		s.pinned = map[int]bool{}
-	}
 	s.pinned[page] = true
-	s.stats.PagesPinned++
+	atomic.AddUint64(&s.pinnedN, 1)
+	bump(&s.stats.PagesPinned)
 }
 
 // quarantineResident retires frame fi after an uncorrectable device media
@@ -266,7 +270,7 @@ func (s *System) pinPage(page int) {
 func (s *System) quarantineResident(fi int) error {
 	f := &s.frames[fi]
 	f.quarantined = true
-	s.stats.FramesQuarantined++
+	bump(&s.stats.FramesQuarantined)
 	page := f.homePage
 	lost := 0
 	if page >= 0 {
@@ -277,14 +281,14 @@ func (s *System) quarantineResident(fi int) error {
 			}
 		}
 		s.pageTable[page] = -1
-		s.stats.PoisonPageDrops++
+		bump(&s.stats.PoisonPageDrops)
 	}
 	f.homePage = -1
 	f.dirty, f.macIn, f.ctrIn = 0, 0, 0
 	if lost > 0 {
 		return fmt.Errorf("%w: device frame %d lost %d dirty chunk(s) of page %d", ErrPoison, fi, lost, page)
 	}
-	s.stats.TransparentRecoveries++
+	bump(&s.stats.TransparentRecoveries)
 	return nil
 }
 
@@ -302,10 +306,10 @@ func (s *System) pinnedAccess(addr HomeAddr, out []byte, isWrite bool, in []byte
 }
 
 // PoisonedChunks returns the quarantined home chunks, sorted.
-func (s *System) PoisonedChunks() []int { return sortedKeys(s.poisoned) }
+func (s *System) PoisonedChunks() []int { return setBits(s.poisoned) }
 
 // PinnedPages returns the pages pinned to home-tier access, sorted.
-func (s *System) PinnedPages() []int { return sortedKeys(s.pinned) }
+func (s *System) PinnedPages() []int { return setBits(s.pinned) }
 
 // QuarantinedFrames returns the retired device frames, sorted.
 func (s *System) QuarantinedFrames() []int {
@@ -321,7 +325,7 @@ func (s *System) QuarantinedFrames() []int {
 // PoisonedRange reports whether any byte of [addr, addr+n) lies in a
 // quarantined home chunk. Out-of-range bytes are not poisoned.
 func (s *System) PoisonedRange(addr HomeAddr, n int) bool {
-	if len(s.poisoned) == 0 || n <= 0 || uint64(addr) >= s.Size() {
+	if atomic.LoadUint64(&s.poisonedN) == 0 || n <= 0 || uint64(addr) >= s.Size() {
 		return false
 	}
 	if rem := s.Size() - uint64(addr); uint64(n) > rem {
@@ -336,11 +340,13 @@ func (s *System) PoisonedRange(addr HomeAddr, n int) bool {
 	return false
 }
 
-func sortedKeys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// setBits returns the indices of the set entries, in ascending order.
+func setBits(flags []bool) []int {
+	var out []int
+	for i, b := range flags {
+		if b {
+			out = append(out, i)
+		}
 	}
-	sort.Ints(out)
 	return out
 }

@@ -89,11 +89,16 @@ func (s *System) Link() *link.Link { return s.lnk }
 // nil means the transfer may proceed (any brownout surcharge has been
 // charged to the clock); otherwise the typed refusal to surface. It runs
 // before the fault-retry gate so a dead link fails fast instead of
-// consuming the transient retry/backoff budget.
+// consuming the transient retry/backoff budget. The link model and the
+// clock it charges are shared across shards, so the consultation runs
+// under the hardware lock (the nil fast path stays lock-free: AttachLink
+// is setup-time).
 func (s *System) linkCheck() error {
 	if s.lnk == nil {
 		return nil
 	}
+	s.locks.hw.Lock()
+	defer s.locks.hw.Unlock()
 	lat, err := s.lnk.Transfer()
 	if err != nil {
 		if errors.Is(err, link.ErrBreakerOpen) {
@@ -123,15 +128,71 @@ func (s *System) syncLinkStats() {
 	s.stats.LinkLatencyCycles = lst.ExtraLatencyCycles
 }
 
-// wbqContains reports whether frame fi is already on the writeback
-// queue. The queue is tiny (wbqCap entries), so a linear scan is fine.
-func (s *System) wbqContains(fi int) bool {
+// Writeback-queue helpers. The queue slice is shared across shards
+// (any shard's eviction can park, any shard's migration may drain), so
+// every access goes through these helpers, each of which holds
+// locks.wbQueueMu for its own duration only — never across a home-tier
+// call, so a slow drain in one shard cannot stall queue inspection in
+// another. The queue is tiny (wbqCap entries), so linear scans are fine.
+
+// wbqLen returns the current queue length.
+func (s *System) wbqLen() int {
+	s.locks.wbQueueMu.Lock()
+	defer s.locks.wbQueueMu.Unlock()
+	return len(s.wbq)
+}
+
+// wbqHead returns the frame at the FIFO head, or -1 when empty.
+func (s *System) wbqHead() int {
+	s.locks.wbQueueMu.Lock()
+	defer s.locks.wbQueueMu.Unlock()
+	if len(s.wbq) == 0 {
+		return -1
+	}
+	return s.wbq[0]
+}
+
+// wbqFirstOfShard returns the first queued frame belonging to shard, or
+// -1. With one shard this is exactly the FIFO head.
+func (s *System) wbqFirstOfShard(shard int) int {
+	s.locks.wbQueueMu.Lock()
+	defer s.locks.wbQueueMu.Unlock()
 	for _, q := range s.wbq {
-		if q == fi {
-			return true
+		if q%s.nShards == shard {
+			return q
 		}
 	}
-	return false
+	return -1
+}
+
+// wbqPark queues fi unless it is already queued. It returns the queue
+// length after the call, whether fi was appended by this call, and
+// whether a full queue refused it.
+func (s *System) wbqPark(fi int) (n int, appended, full bool) {
+	s.locks.wbQueueMu.Lock()
+	defer s.locks.wbQueueMu.Unlock()
+	for _, q := range s.wbq {
+		if q == fi {
+			return len(s.wbq), false, false
+		}
+	}
+	if len(s.wbq) >= s.wbqCap {
+		return len(s.wbq), false, true
+	}
+	s.wbq = append(s.wbq, fi)
+	return len(s.wbq), true, false
+}
+
+// wbqRemove deletes fi from the queue, preserving FIFO order of the rest.
+func (s *System) wbqRemove(fi int) {
+	s.locks.wbQueueMu.Lock()
+	defer s.locks.wbQueueMu.Unlock()
+	for i, q := range s.wbq {
+		if q == fi {
+			s.wbq = append(s.wbq[:i], s.wbq[i+1:]...)
+			return
+		}
+	}
 }
 
 // park turns a link-refused eviction of frame fi into a queued
@@ -144,16 +205,14 @@ func (s *System) wbqContains(fi int) bool {
 func (s *System) park(fi int, cause error) error {
 	f := &s.frames[fi]
 	if !f.parked {
-		if !s.wbqContains(fi) {
-			if len(s.wbq) >= s.wbqCap {
-				s.stats.WritebacksDropped++
-				return fmt.Errorf("%w: %d writebacks already parked", ErrQueueFull, len(s.wbq))
-			}
-			s.wbq = append(s.wbq, fi)
-			s.stats.WritebacksQueued++
-			if n := uint64(len(s.wbq)); n > s.stats.WritebackQueuePeak {
-				s.stats.WritebackQueuePeak = n
-			}
+		n, appended, full := s.wbqPark(fi)
+		if full {
+			bump(&s.stats.WritebacksDropped)
+			return fmt.Errorf("%w: %d writebacks already parked", ErrQueueFull, n)
+		}
+		if appended {
+			bump(&s.stats.WritebacksQueued)
+			peakMax(&s.stats.WritebackQueuePeak, uint64(n))
 		}
 		f.parked = true
 	}
@@ -162,7 +221,7 @@ func (s *System) park(fi int, cause error) error {
 
 // QueuedWritebacks returns how many frames are parked on the
 // dirty-writeback queue.
-func (s *System) QueuedWritebacks() int { return len(s.wbq) }
+func (s *System) QueuedWritebacks() int { return s.wbqLen() }
 
 // DrainWritebacks is the reconciler: it evicts parked frames in FIFO
 // order, re-verifying each page's home-tier freshness before the
@@ -173,7 +232,7 @@ func (s *System) QueuedWritebacks() int { return len(s.wbq) }
 // outage and is never silently accepted.
 func (s *System) DrainWritebacks() (int, error) {
 	n := 0
-	for len(s.wbq) > 0 {
+	for s.wbqLen() > 0 {
 		if err := s.drainOne(); err != nil {
 			return n, err
 		}
@@ -184,14 +243,25 @@ func (s *System) DrainWritebacks() (int, error) {
 
 // drainOne drains the queue head: freshness-verify, then a real evict.
 func (s *System) drainOne() error {
-	fi := s.wbq[0]
+	fi := s.wbqHead()
+	if fi < 0 {
+		return nil
+	}
+	return s.drainFrame(fi)
+}
+
+// drainFrame drains one specific queued frame. DrainWritebacks always
+// hands it the FIFO head; a migration starved of frames may instead
+// drain the first queued frame of its own shard (the head with one
+// shard), the one exception to strict FIFO order.
+func (s *System) drainFrame(fi int) error {
 	f := &s.frames[fi]
 	if f.homePage < 0 || !f.parked {
 		// The frame was freed behind the queue's back (cannot happen
 		// through the public API: parked frames refuse plain evictions).
-		s.wbq = s.wbq[1:]
+		s.wbqRemove(fi)
 		f.parked = false
-		s.stats.WritebacksDrained++
+		bump(&s.stats.WritebacksDrained)
 		return nil
 	}
 	if err := s.verifyParkedFreshness(fi); err != nil {
@@ -208,8 +278,8 @@ func (s *System) drainOne() error {
 		f.parked = true // still queued; keep the flag consistent
 		return err
 	}
-	s.wbq = s.wbq[1:]
-	s.stats.WritebacksDrained++
+	s.wbqRemove(fi)
+	bump(&s.stats.WritebacksDrained)
 	return nil
 }
 
@@ -244,7 +314,7 @@ func (s *System) verifyParkedFreshness(fi int) error {
 			// tree check above is the bar a rollback must clear.
 			continue
 		}
-		if s.splitDirty != nil && s.splitDirty[homeChunk] {
+		if s.splitArmed.Load() && s.splitDirty[homeChunk] {
 			// Split-state chunks are MAC'd under per-sector split pairs;
 			// their freshness rides the split tree instead.
 			continue
@@ -253,7 +323,7 @@ func (s *System) verifyParkedFreshness(fi int) error {
 		for i := 0; i < s.geo.SectorsPerChunk(); i++ {
 			ha := base + uint64(i*ss)
 			ct := s.cxlData[ha : ha+uint64(ss)]
-			s.stats.MACVerifies++
+			bump(&s.stats.MACVerifies)
 			if !s.eng.VerifyMAC(ct, ha, uint64(major), 0, s.homeMAC(HomeAddr(ha))) {
 				return fmt.Errorf("%w: parked page %d home address %#x changed during outage",
 					ErrIntegrity, page, ha)

@@ -41,7 +41,7 @@ func (s *System) ReKey(newAESKey, newMACKey []byte) error {
 			return err
 		}
 		ct := s.cxlData[sec*ss : (sec+1)*ss]
-		s.stats.MACVerifies++
+		bump(&s.stats.MACVerifies)
 		if !s.eng.VerifyMAC(ct, uint64(addr), major, minor, s.homeMAC(addr)) {
 			return ErrIntegrity
 		}
@@ -105,12 +105,16 @@ func (s *System) ReKey(newAESKey, newMACKey []byte) error {
 			return err
 		}
 		copy(ct, buf)
-		if err := s.storeHomeMAC(addr, s.eng.MAC(ct, uint64(addr), major, minor)); err != nil {
+		mac, err := s.eng.MAC(ct, uint64(addr), major, minor)
+		if err != nil {
+			return err
+		}
+		if err := s.storeHomeMAC(addr, mac); err != nil {
 			return err
 		}
 	}
-	s.stats.OverflowReEncryptions += uint64(nSectors)
-	s.stats.KeyRotations++
+	bumpN(&s.stats.OverflowReEncryptions, uint64(nSectors))
+	bump(&s.stats.KeyRotations)
 	return s.rebuildHomeTrees()
 }
 

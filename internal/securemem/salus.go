@@ -46,7 +46,7 @@ func (s *System) salusDevGroup(fi int, homeAddr HomeAddr) (*counters.IFGroup, er
 func (s *System) salusHomeMajor(homeChunk int) (uint32, error) {
 	si := homeChunk / counters.CollapsedMajors
 	leaf := s.collapsed[si].Encode()
-	s.stats.BMTVerifies++
+	bump(&s.stats.BMTVerifies)
 	if err := s.cxlTree.VerifyCached(si, leaf); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrFreshness, err)
 	}
@@ -59,7 +59,7 @@ func (s *System) salusSetHomeMajor(homeChunk int, major uint32) error {
 	s.markCkptDirty(homeChunk * s.geo.ChunkSize / s.geo.PageSize)
 	si := homeChunk / counters.CollapsedMajors
 	s.collapsed[si].Majors[homeChunk%counters.CollapsedMajors] = major
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	return s.cxlTree.Update(si, s.collapsed[si].Encode())
 }
 
@@ -73,7 +73,7 @@ func (s *System) salusDevTreeUpdate(gi int) error {
 			sec.Groups[k] = s.devGroups[base+k]
 		}
 	}
-	s.stats.BMTUpdates++
+	bump(&s.stats.BMTUpdates)
 	return s.devTree.Update(leafIdx, sec.Encode())
 }
 
@@ -85,7 +85,7 @@ func (s *System) salusFetchMAC(fi int, homeAddr HomeAddr) error {
 	f := &s.frames[fi]
 	bip := s.blockInPage(homeAddr)
 	if f.macIn&(1<<uint(bip)) == 0 {
-		s.stats.LazyMACFetches++
+		bump(&s.stats.LazyMACFetches)
 		f.macIn |= 1 << uint(bip)
 	}
 	return nil
@@ -105,7 +105,7 @@ func (s *System) salusAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []b
 
 	if !isWrite {
 		major, minor := g.Pair(sic)
-		s.stats.MACVerifies++
+		bump(&s.stats.MACVerifies)
 		if !s.eng.VerifyMAC(ct, uint64(homeAddr), major, minor, s.homeMAC(homeAddr)) {
 			return fmt.Errorf("%w: home address %#x", ErrIntegrity, uint64(homeAddr))
 		}
@@ -126,7 +126,11 @@ func (s *System) salusAccess(homeAddr HomeAddr, devAddr DevAddr, fi int, out []b
 		if err := s.eng.EncryptSector(ct, in, uint64(homeAddr), major, minor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(homeAddr, s.eng.MAC(ct, uint64(homeAddr), major, minor)); err != nil {
+		mac, err := s.eng.MAC(ct, uint64(homeAddr), major, minor)
+		if err != nil {
+			return err
+		}
+		if err := s.storeHomeMAC(homeAddr, mac); err != nil {
 			return err
 		}
 	}
@@ -162,10 +166,14 @@ func (s *System) salusReencryptChunk(homeAddr HomeAddr, fi int, old, cur *counte
 		if err := s.eng.EncryptSector(ct, pt, ha, newMajor, newMinor); err != nil {
 			return err
 		}
-		if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, newMajor, newMinor)); err != nil {
+		mac, err := s.eng.MAC(ct, ha, newMajor, newMinor)
+		if err != nil {
 			return err
 		}
-		s.stats.OverflowReEncryptions++
+		if err := s.storeHomeMAC(HomeAddr(ha), mac); err != nil {
+			return err
+		}
+		bump(&s.stats.OverflowReEncryptions)
 	}
 	return nil
 }
@@ -187,10 +195,10 @@ func (s *System) salusEvict(fi int) error {
 	pt := make([]byte, ss)
 	for c := 0; c < s.geo.ChunksPerPage(); c++ {
 		if f.dirty&(1<<uint(c)) == 0 {
-			s.stats.CleanChunksSkipped++
+			bump(&s.stats.CleanChunksSkipped)
 			continue
 		}
-		s.stats.DirtyChunkWritebacks++
+		bump(&s.stats.DirtyChunkWritebacks)
 		homeChunk := page*s.geo.ChunksPerPage() + c
 		if s.poisoned[homeChunk] {
 			// The writeback target died under the eviction gate: the chunk
@@ -215,10 +223,14 @@ func (s *System) salusEvict(fi int) error {
 				if err := s.eng.EncryptSector(ct, pt, ha, uint64(newMajor), 0); err != nil {
 					return err
 				}
-				if err := s.storeHomeMAC(HomeAddr(ha), s.eng.MAC(ct, ha, uint64(newMajor), 0)); err != nil {
+				mac, err := s.eng.MAC(ct, ha, uint64(newMajor), 0)
+				if err != nil {
 					return err
 				}
-				s.stats.CollapseReEncryptions++
+				if err := s.storeHomeMAC(HomeAddr(ha), mac); err != nil {
+					return err
+				}
+				bump(&s.stats.CollapseReEncryptions)
 			}
 			copy(s.cxlData[ha:ha+uint64(ss)], ct)
 		}

@@ -24,6 +24,7 @@ package securemem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/fault"
@@ -66,6 +67,11 @@ var (
 	ErrOutOfRange = errors.New("securemem: address out of range")
 	ErrIntegrity  = errors.New("securemem: MAC verification failed (tampered or spliced data)")
 	ErrFreshness  = errors.New("securemem: integrity tree verification failed (replayed metadata)")
+	// ErrGeometry reports a configuration whose geometry is incompatible
+	// with the crypto engine (today: a SectorSize other than the engine's
+	// fixed cryptoeng.SectorSize, which the sector-granular access paths
+	// hardcode).
+	ErrGeometry = errors.New("securemem: geometry incompatible with crypto engine")
 )
 
 // Config sizes a System.
@@ -76,6 +82,12 @@ type Config struct {
 	DevicePages int // device-tier capacity, in pages
 	AESKey      []byte
 	MACKey      []byte
+
+	// Shards selects the page-partition count used by NewConcurrent for
+	// parallel access (see shard.go). Zero selects DefaultShards; the
+	// count is clamped so every shard owns at least one device frame.
+	// Plain New ignores it: a bare System is always single-threaded.
+	Shards int
 }
 
 // Validate reports configuration problems.
@@ -85,7 +97,10 @@ func (c Config) Validate() error {
 	}
 	switch {
 	case c.Geometry.SectorSize != cryptoeng.SectorSize:
-		return fmt.Errorf("securemem: sector size must be %d bytes", cryptoeng.SectorSize)
+		return fmt.Errorf("%w: sector size must be %d bytes, have %d",
+			ErrGeometry, cryptoeng.SectorSize, c.Geometry.SectorSize)
+	case c.Shards < 0:
+		return errors.New("securemem: Shards must be non-negative")
 	case c.TotalPages <= 0:
 		return errors.New("securemem: TotalPages must be positive")
 	case c.DevicePages <= 0:
@@ -210,14 +225,25 @@ type System struct {
 	convCXLTree *bmt.Tree
 	convDevTree *bmt.Tree
 
+	// Sharding state (see shard.go). nShards is 1 for a bare New system;
+	// locks guards the cross-shard state, splitArmed publishes the lazy
+	// split-state allocation to concurrent shards.
+	nShards    int
+	locks      sysLocks
+	splitArmed atomic.Bool
+
 	// Fault model (see fault.go). inj is nil when no faults are armed.
 	// poisoned and pinned are TCB badblock state: they survive
-	// Suspend/Resume through the TrustedRoot.
-	inj      fault.Injector
-	retry    RetryPolicy
-	clock    *sim.Engine
-	poisoned map[int]bool // home chunk -> quarantined
-	pinned   map[int]bool // home page -> pinned to home-tier access
+	// Suspend/Resume through the TrustedRoot. Both are indexed slices
+	// (never resized after New) with atomic element-count fast paths, so
+	// shard-disjoint accesses can consult them without a global lock.
+	inj       fault.Injector
+	retry     RetryPolicy
+	clock     *sim.Engine
+	poisoned  []bool // home chunk -> quarantined
+	poisonedN uint64 // atomic count of quarantined chunks
+	pinned    []bool // home page -> pinned to home-tier access
+	pinnedN   uint64 // atomic count of pinned pages
 
 	// Link degradation state (see link.go). lnk is nil when no link model
 	// is armed; wbq holds the frame indices of parked dirty writebacks in
@@ -256,10 +282,13 @@ func New(cfg Config) (*System, error) {
 		cfg:       cfg,
 		geo:       g,
 		eng:       eng,
+		nShards:   1,
 		cxlData:   make([]byte, cfg.TotalPages*g.PageSize),
 		devData:   make([]byte, cfg.DevicePages*g.PageSize),
 		frames:    make([]frame, cfg.DevicePages),
 		pageTable: make([]int, cfg.TotalPages),
+		poisoned:  make([]bool, cfg.TotalPages*g.ChunksPerPage()),
+		pinned:    make([]bool, cfg.TotalPages),
 	}
 	for i := range s.frames {
 		s.frames[i].homePage = -1
@@ -324,22 +353,32 @@ func New(cfg Config) (*System, error) {
 
 // initialEncrypt converts the zero-filled home store into valid ciphertext
 // under the initial (zero) counters, with matching MACs, so that the very
-// first read of any sector verifies.
+// first read of any sector verifies. Both secure models start with every
+// (major, minor) pair at zero, so whole pages encrypt through the batch
+// path (one IV encode per run) and the MACs ride a pinned Session scratch.
 func (s *System) initialEncrypt() error {
 	ss := s.geo.SectorSize
-	nSectors := len(s.cxlData) / ss
-	buf := make([]byte, ss)
-	for sec := 0; sec < nSectors; sec++ {
-		addr := HomeAddr(sec * ss)
-		major, minor := s.homeCounterPair(addr)
-		ct := s.cxlData[sec*ss : (sec+1)*ss]
-		if err := s.eng.EncryptSector(buf, ct, uint64(addr), major, minor); err != nil {
+	ps := s.geo.PageSize
+	spp := s.geo.SectorsPerPage()
+	buf := make([]byte, ps)
+	minors := make([]uint64, spp)
+	sess := s.eng.NewSession()
+	for page := 0; page < s.cfg.TotalPages; page++ {
+		base := page * ps
+		pg := s.cxlData[base : base+ps]
+		if err := s.eng.EncryptSectors(buf, pg, uint64(base), 0, minors); err != nil {
 			return err
 		}
-		copy(ct, buf)
-		mac := s.eng.MAC(ct, uint64(addr), major, minor)
-		if err := s.storeHomeMAC(addr, mac); err != nil {
-			return err
+		copy(pg, buf)
+		for i := 0; i < spp; i++ {
+			addr := HomeAddr(base + i*ss)
+			mac, err := sess.MAC(pg[i*ss:(i+1)*ss], uint64(addr), 0, 0)
+			if err != nil {
+				return err
+			}
+			if err := s.storeHomeMAC(addr, mac); err != nil {
+				return err
+			}
 		}
 	}
 	return s.rebuildHomeTrees()

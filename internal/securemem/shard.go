@@ -1,0 +1,108 @@
+package securemem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Page/frame sharding. A System is partitioned into nShards independent
+// page groups: home page p and device frame f belong to shard p%nShards
+// and f%nShards, and a page only ever occupies a frame of its own shard
+// (migrateIn scans same-shard frames exclusively). Everything a
+// sector-granular access touches — the frame, the page-table entry, the
+// page's counter and MAC metadata, its dirty bits — is therefore owned by
+// exactly one shard, and accesses to different shards can run
+// concurrently once the caller (securemem.Concurrent) holds the
+// respective shard locks.
+//
+// The few pieces of state that cross shard boundaries are synchronised
+// here or at their own layer:
+//
+//   - the integrity trees (bmt.Tree carries its own mutex),
+//   - the crypto engine (stateless per call; scratch comes from a pool),
+//   - the fault injector, link model, and sim clock (locks.hw),
+//   - the dirty-writeback queue (locks.wbQueueMu, held only inside the
+//     wbq* helpers and never across a home-tier call),
+//   - the OpStats counters (atomic bump/bumpN/peakMax on plain uint64s),
+//   - the LRU clock (atomic), and
+//   - the lazily armed split-counter state (locks.split + splitArmed).
+//
+// A System built by New has nShards == 1 (fully unsharded); the
+// single-threaded behavior, scan orders, and therefore every byte of
+// ciphertext are identical to the pre-sharding implementation.
+// NewConcurrent calls configureSharding before any page is resident.
+
+// DefaultShards is the shard count NewConcurrent selects when the Config
+// does not name one. Eight covers typical GOMAXPROCS parallelism without
+// fragmenting small device tiers.
+const DefaultShards = 8
+
+// maxShards bounds the shard count so multi-shard lock acquisition can
+// track the held set in one machine word.
+const maxShards = 64
+
+// sysLocks groups the System-internal mutexes that guard cross-shard
+// state. It carries no data of its own; the state each mutex guards is
+// documented on the System fields.
+type sysLocks struct {
+	// hw serialises the shared "hardware" models: the fault injector,
+	// the link model, and the sim clock they advance.
+	hw sync.Mutex
+	// wbQueueMu guards the dirty-writeback queue slice. It is held only
+	// inside the wbq* helpers — never across a home-tier call — so a
+	// drain in one shard cannot deadlock or stall accesses in another.
+	wbQueueMu sync.Mutex
+	// split guards the lazy allocation of the split-counter state
+	// (ensureSplitState); splitArmed publishes the result.
+	split sync.Mutex
+}
+
+// configureSharding partitions the system into n shards. It must run
+// before any page becomes resident (NewConcurrent calls it right after
+// New). Non-positive n selects DefaultShards; the count is clamped so
+// every shard owns at least one device frame and at most maxShards locks
+// are ever needed.
+func (s *System) configureSharding(n int) {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > s.cfg.DevicePages {
+		n = s.cfg.DevicePages
+	}
+	if n > s.cfg.TotalPages {
+		n = s.cfg.TotalPages
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.nShards = n
+}
+
+// Shards returns the page-partition count (1 when unsharded).
+func (s *System) Shards() int { return s.nShards }
+
+// pageShard returns the shard owning home page p.
+func (s *System) pageShard(p int) int { return p % s.nShards }
+
+// Atomic helpers for the OpStats counters. OpStats keeps plain uint64
+// fields (the by-value copy Stats returns must stay copyable), so all
+// writers funnel through these.
+
+// bump atomically increments a stats counter.
+func bump(p *uint64) { atomic.AddUint64(p, 1) }
+
+// bumpN atomically adds n to a stats counter.
+func bumpN(p *uint64, n uint64) { atomic.AddUint64(p, n) }
+
+// peakMax atomically raises a high-water mark to v.
+func peakMax(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if v <= cur || atomic.CompareAndSwapUint64(p, cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package securemem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/link"
+)
+
+// TestBadGeometryRejected proves the sector-size mismatch a Config can
+// smuggle past the old string-only validation is now a typed error: the
+// crypto engine pads exactly cryptoeng.SectorSize bytes, so any other
+// SectorSize must be refused at construction, not at first access.
+func TestBadGeometryRejected(t *testing.T) {
+	cfg := Config{Geometry: testGeo(), Model: ModelSalus, TotalPages: 8, DevicePages: 2}
+	cfg.Geometry.SectorSize = 64
+	if _, err := New(cfg); !errors.Is(err, ErrGeometry) {
+		t.Fatalf("New with 64-byte sectors: err = %v, want ErrGeometry", err)
+	}
+	if _, err := NewConcurrent(cfg); !errors.Is(err, ErrGeometry) {
+		t.Fatalf("NewConcurrent with 64-byte sectors: err = %v, want ErrGeometry", err)
+	}
+	cfg.Geometry.SectorSize = 16
+	if _, err := New(cfg); !errors.Is(err, ErrGeometry) {
+		t.Fatalf("New with 16-byte sectors: err = %v, want ErrGeometry", err)
+	}
+}
+
+func TestConfigShardsValidation(t *testing.T) {
+	cfg := Config{Geometry: testGeo(), Model: ModelSalus, TotalPages: 8, DevicePages: 2, Shards: -1}
+	if _, err := NewConcurrent(cfg); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate passed negative Shards")
+	}
+}
+
+// TestShardClamp pins the shard-count selection rules: zero means
+// DefaultShards, and the count never exceeds the device tier (every
+// shard must own at least one frame or its pages could never migrate),
+// the page count, or maxShards.
+func TestShardClamp(t *testing.T) {
+	cases := []struct {
+		total, dev, shards, want int
+	}{
+		{64, 32, 0, DefaultShards},
+		{64, 2, 0, 2},
+		{64, 32, 200, 32},
+		{128, 64, 3, 3},
+		{128, 100, 200, maxShards},
+		{8, 1, 8, 1},
+	}
+	for _, tc := range cases {
+		c, err := NewConcurrent(Config{
+			Geometry:    testGeo(),
+			Model:       ModelSalus,
+			TotalPages:  tc.total,
+			DevicePages: tc.dev,
+			Shards:      tc.shards,
+		})
+		if err != nil {
+			t.Fatalf("total=%d dev=%d shards=%d: %v", tc.total, tc.dev, tc.shards, err)
+		}
+		if got := c.Shards(); got != tc.want {
+			t.Errorf("total=%d dev=%d shards=%d: Shards() = %d, want %d",
+				tc.total, tc.dev, tc.shards, got, tc.want)
+		}
+	}
+	// A bare System stays unsharded: nShards == 1 keeps the
+	// single-threaded scan order (and hence ciphertext) byte-identical to
+	// the pre-sharding implementation.
+	if got := newSys(t, ModelSalus, 8, 2).Shards(); got != 1 {
+		t.Errorf("bare System Shards() = %d, want 1", got)
+	}
+}
+
+// TestShardFrameLocality verifies the partition invariant the whole lock
+// design rests on: a page only ever occupies a device frame of its own
+// shard (frame % nShards == page % nShards).
+func TestShardFrameLocality(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry:    testGeo(),
+		Model:       ModelSalus,
+		TotalPages:  32,
+		DevicePages: 8,
+		Shards:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 32; p++ {
+		if err := c.Write(HomeAddr(p*4096), pageData(p, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := c.Unwrap()
+	seen := 0
+	for fi := range sys.frames {
+		page := sys.frames[fi].homePage
+		if page < 0 {
+			continue
+		}
+		seen++
+		if page%4 != fi%4 {
+			t.Errorf("page %d (shard %d) resident in frame %d (shard %d)",
+				page, page%4, fi, fi%4)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no pages resident after 32 writes")
+	}
+}
+
+// TestConcurrentCrossShardWrite exercises multi-shard lock acquisition: a
+// single Write spanning several pages locks every touched shard in
+// ascending order and stays atomic with respect to same-range readers.
+func TestConcurrentCrossShardWrite(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry:    testGeo(),
+		Model:       ModelSalus,
+		TotalPages:  16,
+		DevicePages: 8,
+		Shards:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 pages starting mid-page: crosses two page boundaries and three
+	// shards in one call.
+	base := HomeAddr(2*4096 + 2048)
+	span := 3 * 4096
+	want := pageData(99, span)
+	if err := c.Write(base, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, span)
+	if err := c.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cross-shard span read back wrong bytes")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, span)
+			for i := 0; i < 50; i++ {
+				if g%2 == 0 {
+					if err := c.Write(base, pageData(g*1000+i, span)); err != nil {
+						fail(fmt.Errorf("span write g%d i%d: %w", g, i, err))
+						return
+					}
+				} else if err := c.Read(base, buf); err != nil {
+					fail(fmt.Errorf("span read g%d i%d: %w", g, i, err))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedRaceStress is the race-detector proof for the sharded lock
+// design: readers and writers spread across every shard, cross-shard
+// span writes, whole-system flushes, journal checkpoints, and drain
+// loops all run at once, first on a healthy link and then across a
+// scripted outage. Any missing synchronisation between shard-local
+// state and the cross-shard pieces (stats, LRU clock, writeback queue,
+// link/fault clock, split state) shows up under -race. The link only
+// changes state between quiesced phases — the link model is shared
+// "hardware" that securemem serialises internally, so the test may not
+// poke it mid-flight.
+func TestShardedRaceStress(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry:    testGeo(),
+		Model:       ModelSalus,
+		TotalPages:  32,
+		DevicePages: 8,
+		Shards:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := link.NewManual()
+	lnk := link.New(manual, link.DefaultConfig())
+	// Single-threaded setup: arm the link before any goroutine starts.
+	c.Unwrap().AttachLink(lnk, nil, 4)
+
+	linkTyped := func(err error) bool {
+		return errors.Is(err, ErrLinkDown) || errors.Is(err, ErrDegraded) ||
+			errors.Is(err, ErrQueueFull)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	drainErrs := func() {
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		errs = make(chan error, 16)
+	}
+
+	// Phase 1 — healthy link, every operation class at once. Nothing may
+	// fail here.
+	const iters = 80
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Goroutine g owns pages g, g+8, g+16, g+24 — all shard g.
+			buf := make([]byte, 48)
+			for i := 0; i < iters; i++ {
+				addr := HomeAddr((g + (i%4)*8) * 4096)
+				payload := pageData(g*10000+i, 48)
+				if err := c.Write(addr, payload); err != nil {
+					fail(fmt.Errorf("shard %d i%d write: %w", g, i, err))
+					return
+				}
+				if err := c.Read(addr, buf); err != nil {
+					fail(fmt.Errorf("shard %d i%d read: %w", g, i, err))
+					return
+				}
+			}
+		}(g)
+	}
+	// Cross-shard span writer: multi-page writes lock several shards at
+	// once, racing the single-shard traffic above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			base := HomeAddr((i%4)*4096 + 1024)
+			if err := c.Write(base, pageData(i, 2*4096)); err != nil {
+				fail(fmt.Errorf("span i%d: %w", i, err))
+				return
+			}
+		}
+	}()
+	// Flusher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/8; i++ {
+			if err := c.Flush(); err != nil {
+				fail(fmt.Errorf("flush i%d: %w", i, err))
+				return
+			}
+		}
+	}()
+	// Checkpointer: full journal checkpoints racing everything else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j := crash.NewJournal(crash.NewMemStore())
+		for i := 0; i < iters/8; i++ {
+			if _, err := c.Checkpoint(j); err != nil {
+				fail(fmt.Errorf("checkpoint i%d: %w", i, err))
+				return
+			}
+		}
+	}()
+	// Drainer: the queue stays empty on a healthy link, but the loop
+	// races its length checks against every writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			if _, err := c.DrainWritebacks(); err != nil {
+				fail(fmt.Errorf("drain i%d: %w", i, err))
+				return
+			}
+		}
+	}()
+	// Metadata readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = c.Stats()
+			_ = c.QueuedWritebacks()
+			_ = c.Epoch()
+			if c.Shards() != 8 {
+				fail(errors.New("shard count changed under load"))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	drainErrs()
+
+	// Phase 2 — scripted outage. Warm one page per shard, cut the link,
+	// then race resident readers (must always succeed), missers (typed
+	// failures only), drain attempts, and stats readers.
+	for p := 0; p < 8; p++ {
+		if err := c.Write(HomeAddr(p*4096), pageData(p, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manual.Set(link.StateDown)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want := pageData(g, 48)
+			buf := make([]byte, 48)
+			for i := 0; i < iters; i++ {
+				if err := c.Read(HomeAddr(g*4096), buf); err != nil {
+					fail(fmt.Errorf("outage resident read g%d i%d: %w", g, i, err))
+					return
+				}
+				if !bytes.Equal(buf, want) {
+					fail(fmt.Errorf("outage resident read g%d i%d: wrong bytes", g, i))
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := c.Write(HomeAddr((8+(g*4+i)%24)*4096), pageData(i, 16))
+				if err != nil && !linkTyped(err) {
+					fail(fmt.Errorf("outage miss g%d i%d: untyped %w", g, i, err))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			if _, err := c.DrainWritebacks(); err != nil && !linkTyped(err) {
+				fail(fmt.Errorf("outage drain i%d: untyped %w", i, err))
+				return
+			}
+			_ = c.QueuedWritebacks()
+			_ = c.Stats()
+		}
+	}()
+	wg.Wait()
+	drainErrs()
+
+	// Phase 3 — recovery: restore the link (quiesced), then drain the
+	// parked writebacks while resident readers keep running in other
+	// shards.
+	manual.Set(link.StateUp)
+	lnk.ForceUp()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 48)
+			for i := 0; i < iters/2; i++ {
+				if err := c.Read(HomeAddr(g*4096), buf); err != nil {
+					fail(fmt.Errorf("recovery read g%d i%d: %w", g, i, err))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			if _, err := c.DrainWritebacks(); err != nil {
+				fail(fmt.Errorf("recovery drain i%d: %w", i, err))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	drainErrs()
+
+	if c.QueuedWritebacks() != 0 {
+		t.Fatalf("queue not empty after recovery: %d", c.QueuedWritebacks())
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 48)
+	for p := 0; p < 32; p++ {
+		if err := c.Read(HomeAddr(p*4096), buf); err != nil {
+			t.Fatalf("post-stress read page %d: %v", p, err)
+		}
+	}
+	if c.Stats().PageMigrationsIn == 0 {
+		t.Error("stress run never migrated a page")
+	}
+}

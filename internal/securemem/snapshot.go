@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/salus-sim/salus/internal/security/counters"
 	"github.com/salus-sim/salus/internal/security/maclib"
@@ -65,8 +66,8 @@ func (s *System) Suspend() (image []byte, root TrustedRoot, err error) {
 	if err := s.Flush(); err != nil {
 		return nil, root, err
 	}
-	if len(s.wbq) > 0 {
-		return nil, root, fmt.Errorf("%w: %d parked", ErrWritebacksPending, len(s.wbq))
+	if n := s.wbqLen(); n > 0 {
+		return nil, root, fmt.Errorf("%w: %d parked", ErrWritebacksPending, n)
 	}
 	var buf bytes.Buffer
 	buf.Write(snapshotMagic)
@@ -227,14 +228,17 @@ func Resume(cfg Config, image []byte, root TrustedRoot) (*System, error) {
 // the TCB root, validating every index against the configuration (shared
 // by Resume and Recover).
 func (s *System) applyTrustedBadblocks(root TrustedRoot) error {
+	// Restored badblocks are pre-existing state, not new faults: the
+	// quarantine slices and their atomic counts are set directly, without
+	// touching the ChunksPoisoned/PagesPinned fault counters.
 	for _, c := range root.PoisonedChunks {
 		if c < 0 || c >= s.cfg.TotalPages*s.geo.ChunksPerPage() {
 			return fmt.Errorf("securemem: trusted root quarantines out-of-range chunk %d", c)
 		}
-		if s.poisoned == nil {
-			s.poisoned = map[int]bool{}
+		if !s.poisoned[c] {
+			s.poisoned[c] = true
+			atomic.AddUint64(&s.poisonedN, 1)
 		}
-		s.poisoned[c] = true
 	}
 	for _, fi := range root.QuarantinedFrames {
 		if fi < 0 || fi >= len(s.frames) {
@@ -246,10 +250,10 @@ func (s *System) applyTrustedBadblocks(root TrustedRoot) error {
 		if p < 0 || p >= s.cfg.TotalPages {
 			return fmt.Errorf("securemem: trusted root pins out-of-range page %d", p)
 		}
-		if s.pinned == nil {
-			s.pinned = map[int]bool{}
+		if !s.pinned[p] {
+			s.pinned[p] = true
+			atomic.AddUint64(&s.pinnedN, 1)
 		}
-		s.pinned[p] = true
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package bmt
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/salus-sim/salus/internal/security/cryptoeng"
 )
@@ -30,7 +31,12 @@ const LeafBytes = 32
 // levels[0] holds the leaf hashes; levels[len-1] holds the single root.
 // The untrusted storage holds the leaf data itself and (conceptually) the
 // interior nodes below the root; the root hash is TCB state.
+//
+// A Tree is safe for concurrent use: every exported method takes the
+// internal mutex. One tree spans all page shards of a securemem.System,
+// so sharded callers synchronize here rather than around the tree.
 type Tree struct {
+	mu       sync.Mutex
 	eng      *cryptoeng.Engine
 	nLeaves  int
 	levels   [][][32]byte
@@ -69,15 +75,25 @@ func New(eng *cryptoeng.Engine, nLeaves int) (*Tree, error) {
 }
 
 // Leaves returns the leaf count.
-func (t *Tree) Leaves() int { return t.nLeaves }
+func (t *Tree) Leaves() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nLeaves
+}
 
 // Levels returns the number of levels including leaf hashes and root.
-func (t *Tree) Levels() int { return len(t.levels) }
+func (t *Tree) Levels() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.levels)
+}
 
 // InteriorNodes returns the number of nodes stored in untrusted memory:
 // everything except the root (leaf data is counted separately as counter
 // storage, but leaf hash nodes are materialised tree nodes).
 func (t *Tree) InteriorNodes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := 0
 	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
 		n += len(t.levels[lvl])
@@ -86,7 +102,13 @@ func (t *Tree) InteriorNodes() int {
 }
 
 // Root returns the current root hash (TCB state).
-func (t *Tree) Root() [32]byte { return t.levels[len(t.levels)-1][0] }
+func (t *Tree) Root() [32]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root()
+}
+
+func (t *Tree) root() [32]byte { return t.levels[len(t.levels)-1][0] }
 
 func (t *Tree) rehashLeaf(i int) {
 	t.levels[0][i] = t.eng.HashNode(t.leafData[i][:], 0, i)
@@ -110,6 +132,8 @@ func (t *Tree) rehashNode(lvl, i int) {
 // is the write-side operation: it happens when a counter block is written
 // back to memory.
 func (t *Tree) Update(leaf int, data [LeafBytes]byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if leaf < 0 || leaf >= t.nLeaves {
 		return fmt.Errorf("bmt: leaf %d out of range [0,%d)", leaf, t.nLeaves)
 	}
@@ -127,6 +151,8 @@ func (t *Tree) Update(leaf int, data [LeafBytes]byte) error {
 
 // Leaf returns the stored leaf data (what untrusted memory holds).
 func (t *Tree) Leaf(leaf int) ([LeafBytes]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if leaf < 0 || leaf >= t.nLeaves {
 		return [LeafBytes]byte{}, fmt.Errorf("bmt: leaf %d out of range [0,%d)", leaf, t.nLeaves)
 	}
@@ -137,6 +163,8 @@ func (t *Tree) Leaf(leaf int) ([LeafBytes]byte, error) {
 // against the tree: it recomputes the leaf hash and the path upward and
 // compares against the root. A replayed (stale) or tampered leaf fails.
 func (t *Tree) Verify(leaf int, data [LeafBytes]byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if leaf < 0 || leaf >= t.nLeaves {
 		return fmt.Errorf("bmt: leaf %d out of range [0,%d)", leaf, t.nLeaves)
 	}
@@ -165,7 +193,7 @@ func (t *Tree) Verify(leaf int, data [LeafBytes]byte) error {
 		}
 		idx = parent
 	}
-	if h != t.Root() {
+	if h != t.root() {
 		return errors.New("bmt: root mismatch")
 	}
 	return nil
@@ -175,6 +203,8 @@ func (t *Tree) Verify(leaf int, data [LeafBytes]byte) error {
 // simulating a physical attack on untrusted memory. Tests use it to check
 // that Verify detects the attack.
 func (t *Tree) CorruptLeafForTest(leaf int, data [LeafBytes]byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.leafData[leaf] = data
 }
 
@@ -199,6 +229,8 @@ func PathLength(nLeaves int) int {
 // cleared wholesale (a cheap approximation of eviction that can only cause
 // extra verification work, never unsoundness).
 func (t *Tree) SetTrustCache(capacity int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.trustCap = capacity
 	t.trusted = nil
 	if capacity > 0 {
@@ -224,6 +256,8 @@ func (t *Tree) isTrusted(level, index int) bool {
 // at the first trusted ancestor. Without a cache configured it is exactly
 // Verify.
 func (t *Tree) VerifyCached(leaf int, data [LeafBytes]byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if leaf < 0 || leaf >= t.nLeaves {
 		return fmt.Errorf("bmt: leaf %d out of range [0,%d)", leaf, t.nLeaves)
 	}

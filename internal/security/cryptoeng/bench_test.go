@@ -27,21 +27,62 @@ func BenchmarkEncryptSector(b *testing.B) {
 	}
 }
 
+// BenchmarkEncryptSectors measures the batch path over one 256 B chunk
+// (8 sectors), the unit the collapse/overflow/rekey sweeps re-encrypt.
+func BenchmarkEncryptSectors(b *testing.B) {
+	e := benchEngine(b)
+	const run = 8
+	src := make([]byte, run*SectorSize)
+	dst := make([]byte, run*SectorSize)
+	minors := make([]uint64, run)
+	b.SetBytes(run * SectorSize)
+	for i := 0; i < b.N; i++ {
+		if err := e.EncryptSectors(dst, src, uint64(i)*256, 1, minors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMAC(b *testing.B) {
 	e := benchEngine(b)
 	ct := make([]byte, SectorSize)
 	b.SetBytes(SectorSize)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = e.MAC(ct, uint64(i)*32, 1, 0)
+		if _, err := e.MAC(ct, uint64(i)*32, 1, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkVerifyMAC(b *testing.B) {
 	e := benchEngine(b)
 	ct := make([]byte, SectorSize)
-	mac := e.MAC(ct, 0, 1, 0)
+	mac, err := e.MAC(ct, 0, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if !e.VerifyMAC(ct, 0, 1, 0, mac) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkSessionVerifyMAC is VerifyMAC without the pool round-trip, the
+// shape of a chunk-granularity verify sweep.
+func BenchmarkSessionVerifyMAC(b *testing.B) {
+	e := benchEngine(b)
+	s := e.NewSession()
+	ct := make([]byte, SectorSize)
+	mac, err := e.MAC(ct, 0, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.VerifyMAC(ct, 0, 1, 0, mac) {
 			b.Fatal("verification failed")
 		}
 	}

@@ -9,6 +9,19 @@
 // "Security Impact"). MACs are keyed hashes over the ciphertext, the home
 // address, and the counter pair, truncated to a configurable width (56 bits
 // by default, per Gueron's analysis cited by the paper).
+//
+// The IV has room for a 32-bit major and a 16-bit minor (MajorBits,
+// MinorBits). Counters outside those widths would alias IVs of earlier
+// counters and reuse one-time pads — a plaintext leak — so EncryptSector,
+// DecryptSector, and MAC reject them with ErrCounterWidth instead of
+// silently truncating. Every counter layout in the system (32-bit majors,
+// 6/8/16-bit minors; see internal/security/counters) fits with margin.
+//
+// The engine is safe for concurrent use: per-call HMAC state comes from an
+// internal pool of precomputed key schedules, so MAC and VerifyMAC do not
+// allocate. Chunk-granularity callers can hold a Session to skip even the
+// pool round-trips, and the batch EncryptSectors/DecryptSectors amortize
+// IV setup across a contiguous run of sectors.
 package cryptoeng
 
 import (
@@ -16,19 +29,80 @@ import (
 	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // SectorSize is the memory access granularity the engine encrypts at.
 const SectorSize = 32
 
+// IV field widths. The 16-byte AES IV packs [8 B home address][4 B
+// major][2 B minor][1 B reserved][1 B block index]; counters wider than
+// these fields cannot be represented and are rejected.
+const (
+	// MajorBits is the width of the IV's major-counter field.
+	MajorBits = 32
+	// MinorBits is the width of the IV's minor-counter field.
+	MinorBits = 16
+	// MaxMajor is the largest major counter the IV can carry.
+	MaxMajor = 1<<MajorBits - 1
+	// MaxMinor is the largest minor counter the IV can carry.
+	MaxMinor = 1<<MinorBits - 1
+)
+
+// ErrCounterWidth reports a counter too wide for its IV field. Proceeding
+// would alias the IV of an earlier counter value and reuse a one-time pad.
+var ErrCounterWidth = errors.New("cryptoeng: counter exceeds IV field width")
+
+// checkCounters validates a (major, minor) pair against the IV layout.
+func checkCounters(major, minor uint64) error {
+	if major > MaxMajor || minor > MaxMinor {
+		return fmt.Errorf("cryptoeng: counter pair (major=%#x, minor=%#x) outside %d/%d-bit IV fields: %w",
+			major, minor, MajorBits, MinorBits, ErrCounterWidth)
+	}
+	return nil
+}
+
 // Engine holds the keys of one trusted processor (the GPU chip TCB).
+// An Engine is immutable after New and safe for concurrent use.
 type Engine struct {
 	block   cipher.Block
 	macKey  [32]byte
 	macBits int
+	macMask uint64
+
+	// inner and outer are the marshalled SHA-256 states after absorbing
+	// the HMAC key XOR ipad / opad blocks. Restoring them per MAC skips
+	// the two key-schedule compressions hmac.New pays on every call and
+	// lets the whole computation run on pooled, allocation-free state.
+	inner, outer []byte
+
+	pool    sync.Pool // of *macScratch
+	padPool sync.Pool // of *padScratch
+}
+
+// padScratch is the reusable IV/pad state of one pad generation. It lives
+// on the heap (pooled) rather than the caller's stack because the IV slice
+// passed to cipher.Block.Encrypt escapes through the interface call — two
+// heap allocations per sector on the hottest path in the package.
+type padScratch struct {
+	iv  [16]byte
+	pad [SectorSize]byte
+}
+
+// macScratch is the reusable per-call state of one MAC computation. The
+// header buffer lives here rather than on the caller's stack because
+// arguments to hash.Hash.Write escape, and a per-call heap header is
+// exactly the allocation this engine exists to avoid.
+type macScratch struct {
+	h   hash.Hash
+	hu  encoding.BinaryUnmarshaler
+	hdr [24]byte
+	sum [sha256.Size]byte
 }
 
 // New creates an engine from a 16-byte AES key and a MAC key. macBits
@@ -47,9 +121,52 @@ func New(aesKey, macKey []byte, macBits int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{block: b, macBits: macBits}
+	e := &Engine{block: b, macBits: macBits, macMask: ^uint64(0)}
+	if macBits < 64 {
+		e.macMask = 1<<uint(macBits) - 1
+	}
 	e.macKey = sha256.Sum256(macKey)
+
+	// Precompute the two HMAC key-schedule states (key zero-padded to the
+	// 64-byte SHA-256 block, XOR 0x36 / 0x5c). The result must be
+	// byte-identical to hmac.New(sha256.New, macKey) — a test holds the
+	// engine to that.
+	var blk [sha256.BlockSize]byte
+	copy(blk[:], e.macKey[:])
+	for i := range blk {
+		blk[i] ^= 0x36
+	}
+	e.inner, err = marshalAfter(blk[:])
+	if err != nil {
+		return nil, err
+	}
+	for i := range blk {
+		blk[i] ^= 0x36 ^ 0x5c
+	}
+	e.outer, err = marshalAfter(blk[:])
+	if err != nil {
+		return nil, err
+	}
+	e.pool.New = func() any { return newMacScratch() }
+	e.padPool.New = func() any { return new(padScratch) }
 	return e, nil
+}
+
+// marshalAfter returns the serialized state of a fresh SHA-256 after
+// absorbing one full block.
+func marshalAfter(block []byte) ([]byte, error) {
+	h := sha256.New()
+	h.Write(block)
+	m, ok := h.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, errors.New("cryptoeng: sha256 state is not marshalable")
+	}
+	return m.MarshalBinary()
+}
+
+func newMacScratch() *macScratch {
+	h := sha256.New()
+	return &macScratch{h: h, hu: h.(encoding.BinaryUnmarshaler)}
 }
 
 // MustNew is New for statically valid keys; it panics on error.
@@ -68,31 +185,50 @@ func (e *Engine) MACBits() int { return e.macBits }
 // address and counter pair. The pad is the AES encryption of the spatio-
 // temporal IV; it can be precomputed before data arrives, which is why CME
 // keeps decryption off the read critical path.
+//
+// Pad assumes in-width counters (≤ MaxMajor, ≤ MaxMinor); the exported
+// encrypt/decrypt/MAC entry points validate before calling it.
 func (e *Engine) Pad(homeAddr uint64, major uint64, minor uint64) [SectorSize]byte {
-	var pad [SectorSize]byte
-	var iv [16]byte
+	ps := e.padPool.Get().(*padScratch)
+	binary.LittleEndian.PutUint32(ps.iv[8:12], uint32(major))
+	binary.LittleEndian.PutUint16(ps.iv[12:14], uint16(minor))
+	e.padInto(ps.pad[:], &ps.iv, homeAddr)
+	pad := ps.pad
+	e.padPool.Put(ps)
+	return pad
+}
+
+// padInto fills dst with the pad for homeAddr using an IV whose counter
+// fields (bytes 8..14) the caller has already set, so a run of sectors
+// sharing a major re-encodes only the address and block index.
+func (e *Engine) padInto(dst []byte, iv *[16]byte, homeAddr uint64) {
 	binary.LittleEndian.PutUint64(iv[0:8], homeAddr)
-	binary.LittleEndian.PutUint32(iv[8:12], uint32(major))
-	binary.LittleEndian.PutUint16(iv[12:14], uint16(minor))
 	// Two AES blocks per 32 B sector, distinguished by the last IV byte.
 	for blk := 0; blk < SectorSize/16; blk++ {
 		iv[15] = byte(blk)
-		e.block.Encrypt(pad[blk*16:(blk+1)*16], iv[:])
+		e.block.Encrypt(dst[blk*16:(blk+1)*16], iv[:])
 	}
-	return pad
 }
 
 // EncryptSector applies the pad for (homeAddr, major, minor) to a 32-byte
 // plaintext, producing the ciphertext in place of a fresh slice. Decryption
-// is the same operation (XOR with the same pad).
+// is the same operation (XOR with the same pad). Counters outside the IV
+// widths are rejected with ErrCounterWidth.
 func (e *Engine) EncryptSector(dst, src []byte, homeAddr, major, minor uint64) error {
 	if len(src) != SectorSize || len(dst) != SectorSize {
 		return fmt.Errorf("cryptoeng: sector must be %d bytes, got src=%d dst=%d", SectorSize, len(src), len(dst))
 	}
-	pad := e.Pad(homeAddr, major, minor)
-	for i := range pad {
-		dst[i] = src[i] ^ pad[i]
+	if err := checkCounters(major, minor); err != nil {
+		return err
 	}
+	ps := e.padPool.Get().(*padScratch)
+	binary.LittleEndian.PutUint32(ps.iv[8:12], uint32(major))
+	binary.LittleEndian.PutUint16(ps.iv[12:14], uint16(minor))
+	e.padInto(ps.pad[:], &ps.iv, homeAddr)
+	for i := range ps.pad {
+		dst[i] = src[i] ^ ps.pad[i]
+	}
+	e.padPool.Put(ps)
 	return nil
 }
 
@@ -101,48 +237,143 @@ func (e *Engine) DecryptSector(dst, src []byte, homeAddr, major, minor uint64) e
 	return e.EncryptSector(dst, src, homeAddr, major, minor)
 }
 
+// EncryptSectors encrypts len(minors) contiguous sectors starting at
+// homeAddr in one pass: sector i uses (homeAddr+i*SectorSize, major,
+// minors[i]). The shared IV is encoded once and only the address, minor,
+// and block-index bytes change per sector, which is the common shape of
+// chunk re-encryption sweeps (collapse, overflow, rekey).
+func (e *Engine) EncryptSectors(dst, src []byte, homeAddr, major uint64, minors []uint64) error {
+	if len(src) != len(minors)*SectorSize || len(dst) != len(src) {
+		return fmt.Errorf("cryptoeng: sector run must be %d bytes, got src=%d dst=%d",
+			len(minors)*SectorSize, len(src), len(dst))
+	}
+	if err := checkCounters(major, 0); err != nil {
+		return err
+	}
+	ps := e.padPool.Get().(*padScratch)
+	binary.LittleEndian.PutUint32(ps.iv[8:12], uint32(major))
+	for si, minor := range minors {
+		if minor > MaxMinor {
+			e.padPool.Put(ps)
+			return fmt.Errorf("cryptoeng: minor %#x outside %d-bit IV field: %w", minor, MinorBits, ErrCounterWidth)
+		}
+		binary.LittleEndian.PutUint16(ps.iv[12:14], uint16(minor))
+		off := si * SectorSize
+		e.padInto(ps.pad[:], &ps.iv, homeAddr+uint64(off))
+		for i := 0; i < SectorSize; i++ {
+			dst[off+i] = src[off+i] ^ ps.pad[i]
+		}
+	}
+	e.padPool.Put(ps)
+	return nil
+}
+
+// DecryptSectors is the inverse of EncryptSectors (identical XOR).
+func (e *Engine) DecryptSectors(dst, src []byte, homeAddr, major uint64, minors []uint64) error {
+	return e.EncryptSectors(dst, src, homeAddr, major, minors)
+}
+
+// macCompute runs the two-pass HMAC over (sc.hdr[:hdrLen], data) on sc and
+// returns the truncated value. sc must come from the engine's pool or a
+// Session, with the header already encoded into sc.hdr.
+func (e *Engine) macCompute(sc *macScratch, data []byte, hdrLen int) uint64 {
+	if err := sc.hu.UnmarshalBinary(e.inner); err != nil {
+		panic("cryptoeng: restoring inner HMAC state: " + err.Error())
+	}
+	sc.h.Write(sc.hdr[:hdrLen])
+	sc.h.Write(data)
+	sc.h.Sum(sc.sum[:0])
+	if err := sc.hu.UnmarshalBinary(e.outer); err != nil {
+		panic("cryptoeng: restoring outer HMAC state: " + err.Error())
+	}
+	sc.h.Write(sc.sum[:])
+	sc.h.Sum(sc.sum[:0])
+	return binary.LittleEndian.Uint64(sc.sum[:8]) & e.macMask
+}
+
+// macHeader encodes the (address, major, minor) binding of a sector MAC.
+func (sc *macScratch) macHeader(homeAddr, major, minor uint64) {
+	binary.LittleEndian.PutUint64(sc.hdr[0:8], homeAddr)
+	binary.LittleEndian.PutUint64(sc.hdr[8:16], major)
+	binary.LittleEndian.PutUint64(sc.hdr[16:24], minor)
+}
+
 // MAC computes the truncated keyed MAC over a ciphertext sector bound to
 // its home address and counters. Binding the address defeats splicing
 // (relocating a valid ciphertext); binding the counters, together with the
-// integrity tree over counters, defeats replay.
-func (e *Engine) MAC(ciphertext []byte, homeAddr, major, minor uint64) uint64 {
-	mac := hmac.New(sha256.New, e.macKey[:])
-	var hdr [24]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], homeAddr)
-	binary.LittleEndian.PutUint64(hdr[8:16], major)
-	binary.LittleEndian.PutUint64(hdr[16:24], minor)
-	mac.Write(hdr[:])
-	mac.Write(ciphertext)
-	sum := mac.Sum(nil)
-	v := binary.LittleEndian.Uint64(sum[:8])
-	if e.macBits == 64 {
-		return v
+// integrity tree over counters, defeats replay. Counters outside the IV
+// widths are rejected with ErrCounterWidth: such a pair can never have
+// encrypted data, so a MAC under it would bind nothing.
+func (e *Engine) MAC(ciphertext []byte, homeAddr, major, minor uint64) (uint64, error) {
+	if err := checkCounters(major, minor); err != nil {
+		return 0, err
 	}
-	return v & ((1 << uint(e.macBits)) - 1)
+	sc := e.pool.Get().(*macScratch)
+	sc.macHeader(homeAddr, major, minor)
+	v := e.macCompute(sc, ciphertext, 24)
+	e.pool.Put(sc)
+	return v, nil
 }
 
 // VerifyMAC recomputes and compares in constant time over the truncated
-// width. It reports whether the MAC matches.
+// width. It reports whether the MAC matches; out-of-width counters never
+// match (nothing can have been MACed under them).
 func (e *Engine) VerifyMAC(ciphertext []byte, homeAddr, major, minor, want uint64) bool {
-	got := e.MAC(ciphertext, homeAddr, major, minor)
-	return hmac.Equal(u64le(got), u64le(want))
+	got, err := e.MAC(ciphertext, homeAddr, major, minor)
+	if err != nil {
+		return false
+	}
+	return macEqual(got, want)
+}
+
+// macEqual compares two truncated MACs in constant time without heap
+// allocation.
+func macEqual(got, want uint64) bool {
+	var g, w [8]byte
+	binary.LittleEndian.PutUint64(g[:], got)
+	binary.LittleEndian.PutUint64(w[:], want)
+	return hmac.Equal(g[:], w[:])
 }
 
 // HashNode computes a 32-byte keyed hash used for integrity-tree nodes.
 func (e *Engine) HashNode(children []byte, level, index int) [32]byte {
-	mac := hmac.New(sha256.New, e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(level))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(index))
-	mac.Write(hdr[:])
-	mac.Write(children)
-	var out [32]byte
-	copy(out[:], mac.Sum(nil))
+	sc := e.pool.Get().(*macScratch)
+	binary.LittleEndian.PutUint64(sc.hdr[0:8], uint64(level))
+	binary.LittleEndian.PutUint64(sc.hdr[8:16], uint64(index))
+	e.macCompute(sc, children, 16)
+	out := sc.sum
+	e.pool.Put(sc)
 	return out
 }
 
-func u64le(v uint64) []byte {
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, v)
-	return b
+// Session pins one MAC scratch state to a single goroutine, letting chunk
+// loops (verify or re-MAC a run of sectors) skip the pool round-trip each
+// sector pays through Engine.MAC. A Session must not be shared between
+// goroutines; the Engine behind it may be.
+type Session struct {
+	e  *Engine
+	sc *macScratch
+}
+
+// NewSession returns a reusable single-goroutine MAC context.
+func (e *Engine) NewSession() *Session {
+	return &Session{e: e, sc: newMacScratch()}
+}
+
+// MAC is Engine.MAC on the session's pinned scratch state.
+func (s *Session) MAC(ciphertext []byte, homeAddr, major, minor uint64) (uint64, error) {
+	if err := checkCounters(major, minor); err != nil {
+		return 0, err
+	}
+	s.sc.macHeader(homeAddr, major, minor)
+	return s.e.macCompute(s.sc, ciphertext, 24), nil
+}
+
+// VerifyMAC is Engine.VerifyMAC on the session's pinned scratch state.
+func (s *Session) VerifyMAC(ciphertext []byte, homeAddr, major, minor, want uint64) bool {
+	got, err := s.MAC(ciphertext, homeAddr, major, minor)
+	if err != nil {
+		return false
+	}
+	return macEqual(got, want)
 }

@@ -2,6 +2,10 @@ package cryptoeng
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -13,6 +17,15 @@ func testEngine(t *testing.T) *Engine {
 		t.Fatal(err)
 	}
 	return e
+}
+
+func mustMAC(t *testing.T, e *Engine, ct []byte, addr, major, minor uint64) uint64 {
+	t.Helper()
+	m, err := e.MAC(ct, addr, major, minor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func TestNewValidation(t *testing.T) {
@@ -44,12 +57,12 @@ func TestMustNewPanics(t *testing.T) {
 
 func TestEncryptDecryptRoundTrip(t *testing.T) {
 	e := testEngine(t)
-	f := func(data [SectorSize]byte, addr, major uint64, minor uint8) bool {
+	f := func(data [SectorSize]byte, addr uint64, major uint32, minor uint8) bool {
 		var ct, pt [SectorSize]byte
-		if err := e.EncryptSector(ct[:], data[:], addr, major, uint64(minor)); err != nil {
+		if err := e.EncryptSector(ct[:], data[:], addr, uint64(major), uint64(minor)); err != nil {
 			return false
 		}
-		if err := e.DecryptSector(pt[:], ct[:], addr, major, uint64(minor)); err != nil {
+		if err := e.DecryptSector(pt[:], ct[:], addr, uint64(major), uint64(minor)); err != nil {
 			return false
 		}
 		return pt == data
@@ -92,6 +105,61 @@ func TestPadUniqueness(t *testing.T) {
 	}
 }
 
+// TestCounterWidthRejected is the regression test for the IV-truncation
+// bug: counters that differ only above the packed field widths used to
+// collide to the same IV (Pad truncated major to 32 bits and minor to 16),
+// silently reusing a one-time pad. The engine must now refuse them with
+// ErrCounterWidth at every entry point instead of encrypting.
+func TestCounterWidthRejected(t *testing.T) {
+	e := testEngine(t)
+	var buf [SectorSize]byte
+	src := make([]byte, SectorSize)
+
+	// These pairs collided before the fix: they truncate to (1, 1).
+	wideMajor := uint64(MaxMajor) + 2 // 1<<32 + 1 → truncated to 1
+	wideMinor := uint64(MaxMinor) + 2 // 1<<16 + 1 → truncated to 1
+	if e.Pad(0x40, 1, 1) != e.Pad(0x40, wideMajor, wideMinor) {
+		t.Fatal("test premise broken: raw Pad no longer truncates — update the regression")
+	}
+
+	for _, tc := range []struct {
+		name         string
+		major, minor uint64
+	}{
+		{"wide major", wideMajor, 1},
+		{"wide minor", 1, wideMinor},
+		{"both wide", wideMajor, wideMinor},
+	} {
+		if err := e.EncryptSector(buf[:], src, 0x40, tc.major, tc.minor); !errors.Is(err, ErrCounterWidth) {
+			t.Errorf("EncryptSector %s: got %v, want ErrCounterWidth", tc.name, err)
+		}
+		if err := e.DecryptSector(buf[:], src, 0x40, tc.major, tc.minor); !errors.Is(err, ErrCounterWidth) {
+			t.Errorf("DecryptSector %s: got %v, want ErrCounterWidth", tc.name, err)
+		}
+		if _, err := e.MAC(src, 0x40, tc.major, tc.minor); !errors.Is(err, ErrCounterWidth) {
+			t.Errorf("MAC %s: got %v, want ErrCounterWidth", tc.name, err)
+		}
+		if err := e.EncryptSectors(buf[:], src, 0x40, tc.major, []uint64{tc.minor}); !errors.Is(err, ErrCounterWidth) {
+			t.Errorf("EncryptSectors %s: got %v, want ErrCounterWidth", tc.name, err)
+		}
+		s := e.NewSession()
+		if _, err := s.MAC(src, 0x40, tc.major, tc.minor); !errors.Is(err, ErrCounterWidth) {
+			t.Errorf("Session.MAC %s: got %v, want ErrCounterWidth", tc.name, err)
+		}
+		if s.VerifyMAC(src, 0x40, tc.major, tc.minor, 0) {
+			t.Errorf("Session.VerifyMAC %s: out-of-width counters verified", tc.name)
+		}
+		if e.VerifyMAC(src, 0x40, tc.major, tc.minor, 0) {
+			t.Errorf("VerifyMAC %s: out-of-width counters verified", tc.name)
+		}
+	}
+
+	// Boundary values are in-width and must still work.
+	if err := e.EncryptSector(buf[:], src, 0x40, MaxMajor, MaxMinor); err != nil {
+		t.Errorf("boundary counters rejected: %v", err)
+	}
+}
+
 func TestEncryptSectorSizeChecks(t *testing.T) {
 	e := testEngine(t)
 	if err := e.EncryptSector(make([]byte, 31), make([]byte, SectorSize), 0, 0, 0); err == nil {
@@ -100,12 +168,49 @@ func TestEncryptSectorSizeChecks(t *testing.T) {
 	if err := e.EncryptSector(make([]byte, SectorSize), make([]byte, 33), 0, 0, 0); err == nil {
 		t.Error("long src accepted")
 	}
+	if err := e.EncryptSectors(make([]byte, SectorSize), make([]byte, SectorSize), 0, 0, []uint64{0, 0}); err == nil {
+		t.Error("run/minor length mismatch accepted")
+	}
+}
+
+// TestEncryptSectorsMatchesPerSector pins the batch path to the per-sector
+// path: same pads, byte for byte.
+func TestEncryptSectorsMatchesPerSector(t *testing.T) {
+	e := testEngine(t)
+	const n = 8
+	src := make([]byte, n*SectorSize)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	minors := []uint64{0, 3, 65535, 1, 2, 9, 0, 255}
+	batch := make([]byte, len(src))
+	if err := e.EncryptSectors(batch, src, 0x2000, 77, minors); err != nil {
+		t.Fatal(err)
+	}
+	single := make([]byte, len(src))
+	for i := 0; i < n; i++ {
+		off := i * SectorSize
+		if err := e.EncryptSector(single[off:off+SectorSize], src[off:off+SectorSize],
+			0x2000+uint64(off), 77, minors[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batch, single) {
+		t.Fatal("batch encryption diverges from per-sector encryption")
+	}
+	dec := make([]byte, len(src))
+	if err := e.DecryptSectors(dec, batch, 0x2000, 77, minors); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("batch round trip lost data")
+	}
 }
 
 func TestMACWidth(t *testing.T) {
 	e := testEngine(t)
 	ct := make([]byte, SectorSize)
-	m := e.MAC(ct, 1, 2, 3)
+	m := mustMAC(t, e, ct, 1, 2, 3)
 	if m >= 1<<56 {
 		t.Errorf("56-bit MAC %x exceeds width", m)
 	}
@@ -113,13 +218,78 @@ func TestMACWidth(t *testing.T) {
 		t.Errorf("MACBits = %d", e.MACBits())
 	}
 	e64 := MustNew([]byte("0123456789abcdef"), []byte("k"), 64)
-	_ = e64.MAC(ct, 1, 2, 3) // must not panic on full-width mask
+	if _, err := e64.MAC(ct, 1, 2, 3); err != nil { // must not panic on full-width mask
+		t.Fatal(err)
+	}
+}
+
+// TestMACMatchesHMACReference pins the pooled precomputed-state HMAC to
+// the crypto/hmac reference: the optimization must be byte-identical, or
+// every stored MAC in existing images and journals would go stale.
+func TestMACMatchesHMACReference(t *testing.T) {
+	for _, bits := range []int{56, 64} {
+		e := MustNew([]byte("0123456789abcdef"), []byte("mac-key"), bits)
+		s := e.NewSession()
+		for i := 0; i < 64; i++ {
+			ct := make([]byte, SectorSize)
+			for j := range ct {
+				ct[j] = byte(i*31 + j)
+			}
+			addr := uint64(i) * 0x20
+			major := uint64(i * 11 % (MaxMajor + 1))
+			minor := uint64(i * 7 % (MaxMinor + 1))
+
+			ref := hmac.New(sha256.New, e.macKey[:])
+			var hdr [24]byte
+			binary.LittleEndian.PutUint64(hdr[0:8], addr)
+			binary.LittleEndian.PutUint64(hdr[8:16], major)
+			binary.LittleEndian.PutUint64(hdr[16:24], minor)
+			ref.Write(hdr[:])
+			ref.Write(ct)
+			want := binary.LittleEndian.Uint64(ref.Sum(nil)[:8])
+			if bits < 64 {
+				want &= 1<<uint(bits) - 1
+			}
+
+			got, err := e.MAC(ct, addr, major, minor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("bits=%d i=%d: pooled MAC %x != crypto/hmac reference %x", bits, i, got, want)
+			}
+			if sg, err := s.MAC(ct, addr, major, minor); err != nil || sg != want {
+				t.Fatalf("bits=%d i=%d: session MAC %x (%v) != reference %x", bits, i, sg, err, want)
+			}
+		}
+	}
+}
+
+// TestHashNodeMatchesHMACReference pins HashNode to crypto/hmac the same
+// way: BMT roots recorded in trusted storage must not change.
+func TestHashNodeMatchesHMACReference(t *testing.T) {
+	e := testEngine(t)
+	children := make([]byte, 64)
+	for i := range children {
+		children[i] = byte(i)
+	}
+	ref := hmac.New(sha256.New, e.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], 3)
+	binary.LittleEndian.PutUint64(hdr[8:16], 9)
+	ref.Write(hdr[:])
+	ref.Write(children)
+	var want [32]byte
+	copy(want[:], ref.Sum(nil))
+	if got := e.HashNode(children, 3, 9); got != want {
+		t.Fatalf("HashNode %x != crypto/hmac reference %x", got, want)
+	}
 }
 
 func TestMACDetectsTampering(t *testing.T) {
 	e := testEngine(t)
 	ct := []byte("abcdefghijklmnopqrstuvwxyz012345")
-	m := e.MAC(ct, 0x40, 7, 1)
+	m := mustMAC(t, e, ct, 0x40, 7, 1)
 	if !e.VerifyMAC(ct, 0x40, 7, 1, m) {
 		t.Fatal("genuine MAC rejected")
 	}
@@ -139,10 +309,28 @@ func TestMACDetectsTampering(t *testing.T) {
 	}
 }
 
+func TestSessionMatchesEngine(t *testing.T) {
+	e := testEngine(t)
+	s := e.NewSession()
+	ct := []byte("abcdefghijklmnopqrstuvwxyz012345")
+	m := mustMAC(t, e, ct, 0x40, 7, 1)
+	if got, err := s.MAC(ct, 0x40, 7, 1); err != nil || got != m {
+		t.Fatalf("session MAC %x (%v) != engine MAC %x", got, err, m)
+	}
+	if !s.VerifyMAC(ct, 0x40, 7, 1, m) {
+		t.Error("session rejected genuine MAC")
+	}
+	if s.VerifyMAC(ct, 0x40, 7, 1, m^1) {
+		t.Error("session accepted wrong MAC")
+	}
+}
+
 func TestMACDeterministic(t *testing.T) {
 	e := testEngine(t)
-	f := func(data [SectorSize]byte, addr, major, minor uint64) bool {
-		return e.MAC(data[:], addr, major, minor) == e.MAC(data[:], addr, major, minor)
+	f := func(data [SectorSize]byte, addr uint64, major uint32, minor uint16) bool {
+		a, err1 := e.MAC(data[:], addr, uint64(major), uint64(minor))
+		b, err2 := e.MAC(data[:], addr, uint64(major), uint64(minor))
+		return err1 == nil && err2 == nil && a == b
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -172,7 +360,75 @@ func TestDifferentKeysDifferentOutputs(t *testing.T) {
 		t.Error("pads equal under different AES keys")
 	}
 	ct := make([]byte, SectorSize)
-	if e1.MAC(ct, 1, 2, 3) == e2.MAC(ct, 1, 2, 3) {
+	if mustMAC(t, e1, ct, 1, 2, 3) == mustMAC(t, e2, ct, 1, 2, 3) {
 		t.Error("MACs equal under different MAC keys")
+	}
+}
+
+// TestMACZeroAlloc asserts the pooled MAC path and the stack-array
+// comparison allocate nothing — the satellite fix for the old
+// u64le-allocating VerifyMAC.
+func TestMACZeroAlloc(t *testing.T) {
+	e := testEngine(t)
+	ct := make([]byte, SectorSize)
+	mac := mustMAC(t, e, ct, 0, 1, 0)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := e.MAC(ct, 0, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MAC allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if !e.VerifyMAC(ct, 0, 1, 0, mac) {
+			t.Fatal("verification failed")
+		}
+	}); n != 0 {
+		t.Errorf("VerifyMAC allocates %.1f times per op, want 0", n)
+	}
+	s := e.NewSession()
+	if n := testing.AllocsPerRun(100, func() {
+		if !s.VerifyMAC(ct, 0, 1, 0, mac) {
+			t.Fatal("session verification failed")
+		}
+	}); n != 0 {
+		t.Errorf("Session.VerifyMAC allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = e.HashNode(ct, 1, 2)
+	}); n != 0 {
+		t.Errorf("HashNode allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestEncryptZeroAlloc asserts the pad-generation paths allocate nothing:
+// the IV/pad scratch is pooled because slices passed through the
+// cipher.Block interface escape, which used to cost two heap allocations
+// per sector.
+func TestEncryptZeroAlloc(t *testing.T) {
+	e := testEngine(t)
+	src := make([]byte, SectorSize)
+	dst := make([]byte, SectorSize)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := e.EncryptSector(dst, src, 0x40, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EncryptSector allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = e.Pad(0x40, 1, 2)
+	}); n != 0 {
+		t.Errorf("Pad allocates %.1f times per op, want 0", n)
+	}
+	runSrc := make([]byte, 8*SectorSize)
+	runDst := make([]byte, 8*SectorSize)
+	minors := make([]uint64, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := e.EncryptSectors(runDst, runSrc, 0, 3, minors); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EncryptSectors allocates %.1f times per op, want 0", n)
 	}
 }

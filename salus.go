@@ -109,6 +109,10 @@ var (
 	// ErrWritebacksPending reports a Suspend or Checkpoint attempted while
 	// parked writebacks have not yet been drained.
 	ErrWritebacksPending = securemem.ErrWritebacksPending
+	// ErrGeometry reports a Config whose geometry the security engine
+	// cannot serve (e.g. a sector size other than the 32 B the counter
+	// and MAC layout are built around).
+	ErrGeometry = securemem.ErrGeometry
 )
 
 // RetryPolicy bounds the transient-fault retry loop of a fault-armed

@@ -52,6 +52,16 @@ func TestPublicErrorValues(t *testing.T) {
 	if err := sys.Read(0, make([]byte, 1)); !errors.Is(err, salus.ErrIntegrity) {
 		t.Errorf("tampered read: %v", err)
 	}
+
+	// A geometry the crypto layout cannot serve must be rejected up front
+	// with the typed error, not fail deep inside the engine.
+	g := salus.DefaultGeometry()
+	g.SectorSize = 64
+	if _, err := salus.New(salus.Config{
+		Geometry: g, Model: salus.ModelSalus, TotalPages: 8, DevicePages: 2,
+	}); !errors.Is(err, salus.ErrGeometry) {
+		t.Errorf("64 B sector geometry: %v, want ErrGeometry", err)
+	}
 }
 
 func TestConventionalModelViaPublicAPI(t *testing.T) {
