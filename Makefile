@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-baseline bench-record bench-compare ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke bench-baseline bench-record bench-compare ci
 
 all: build test
 
@@ -36,7 +36,7 @@ fmt:
 # detector without exercising any extra locking.
 race:
 	$(GO) test -race ./internal/securemem ./internal/sim ./internal/pagecache \
-		./internal/metrics ./internal/trace
+		./internal/metrics ./internal/trace ./internal/serve
 
 # fuzz-smoke gives the untrusted-input fuzzers a short budget each on top
 # of any checked-in corpora: the trace parser, the two persistence
@@ -82,6 +82,16 @@ crash-smoke:
 link-smoke:
 	$(GO) run -race ./cmd/salus-check -link -seeds 12 -ops 120
 
+# serve-smoke runs the combined-chaos traffic campaign under the race
+# detector: concurrent client streams through the admission/deadline/
+# retry pipeline while transient faults, link outages, quiesced
+# checkpoints, and crash/recover cycles fire mid-traffic. Asserts zero
+# silent divergences after quiesce, every rejection typed, and the
+# interactive-class availability SLO on the aggregate. The deeper
+# acceptance campaign is the same command with -seeds 50.
+serve-smoke:
+	$(GO) run -race ./cmd/salus-check -serve -seeds 6
+
 # bench-baseline refreshes the checked-in perf baseline: the quick
 # variant of every salus-bench workload, in JSON, written to
 # BENCH_seed.json. Later PRs compare against it to hold the ROADMAP
@@ -109,4 +119,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/salus-bench -perf -perf-compare BENCH_perf.json > bench-current.json
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke bench-compare
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke bench-compare

@@ -53,6 +53,12 @@ func perfMain(record bool, comparePath string, procs int, stdout, stderr io.Writ
 			fmt.Fprintln(stderr, "salus-bench:", err)
 			return 1
 		}
+		if warn := perfbench.EnvMismatch(base, snap); len(warn) > 0 {
+			fmt.Fprintf(stderr, "salus-bench: warning: cross-environment comparison against %s (raw ns/op checks skipped, ratio gates still apply):\n", comparePath)
+			for _, w := range warn {
+				fmt.Fprintln(stderr, "  -", w)
+			}
+		}
 		bad := perfbench.Compare(base, snap, perfbench.DefaultCompareOptions())
 		if len(bad) > 0 {
 			fmt.Fprintf(stderr, "salus-bench: perf gate FAILED against %s:\n", comparePath)

@@ -14,6 +14,8 @@
 //	salus-check -crash                   # power-loss injection on the checkpoint journal
 //	salus-check -link                    # CXL link flaps + degraded-mode verification
 //	salus-check -link -linkplan down@40..70 -queuecap 4
+//	salus-check -serve                   # combined-chaos service campaign
+//	salus-check -serve -seeds 50 -clients 21 -ops 60
 //
 // Chaos mode arms every model with a deterministic fault injector. Under a
 // recoverable plan the replay still demands byte-identical plaintext; under
@@ -27,6 +29,14 @@
 // op fails with a typed link error, parked writebacks all drain on
 // recovery, the post-drain state is byte-identical to a no-outage run, and
 // a home-tier rollback staged during an outage is detected on drain.
+//
+// Serve mode (exclusive with the others, Salus-only) runs the
+// traffic-service campaign: per seed, a fleet of concurrent client
+// streams drives a serve.Server while transient faults, link outages,
+// and crash/recover cycles land mid-traffic simultaneously. It asserts
+// that every rejection is typed, that no read ever silently diverges
+// from the per-client oracles, that outcomes conserve, and that the
+// per-class availability SLO floors hold on the campaign aggregate.
 //
 // Crash mode (exclusive with -chaos, Salus-only) journals incremental
 // checkpoints of a generated workload onto a write/sync tape, then cuts
@@ -55,6 +65,14 @@ import (
 
 func main() {
 	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// explicitFlags reports which flags the user actually set, so modes with
+// their own campaign defaults only honor overrides that were typed.
+func explicitFlags(fs *flag.FlagSet) map[string]bool {
+	m := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { m[f.Name] = true })
+	return m
 }
 
 // parseModels turns a comma-separated model list into securemem models.
@@ -93,6 +111,8 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	chaos := flag.String("chaos", "", "fault plan: recoverable (transient link faults) or unrecoverable (plus media errors)")
 	crashMode := flag.Bool("crash", false, "power-loss injection: enumerate every crash point of the checkpoint journal (Salus-only, exclusive with -chaos)")
 	linkMode := flag.Bool("link", false, "CXL link chaos: replay every seed under deterministic flap plans and verify degraded-mode operation (Salus-only, exclusive with -chaos and -crash)")
+	serveMode := flag.Bool("serve", false, "combined-chaos service campaign: concurrent client fleets under faults + link flaps + crash/recover at once (Salus-only, exclusive with the other modes)")
+	clients := flag.Int("clients", 0, "with -serve: concurrent client streams per seed (0 = campaign default)")
 	linkPlan := flag.String("linkplan", "", "with -link: a single link plan spec (see internal/link.ParsePlan) replacing the default plan set")
 	queueCap := flag.Int("queuecap", 0, "with -link: dirty-writeback queue capacity (0 = campaign default)")
 	verbose := flag.Bool("v", false, "print per-seed progress")
@@ -103,6 +123,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "salus-check: unexpected argument %q\n", flag.Arg(0))
 		return 2
 	}
+	set := explicitFlags(flag)
 
 	models, err := parseModels(*model)
 	if err != nil {
@@ -113,8 +134,47 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "salus-check: -seeds, -ops, -pages, -devpages must be positive and -devpages <= -pages")
 		return 2
 	}
-	if *crashMode && *linkMode {
-		fmt.Fprintln(stderr, "salus-check: -crash and -link are exclusive")
+	modes := 0
+	for _, on := range []bool{*crashMode, *linkMode, *serveMode} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(stderr, "salus-check: -crash, -link, and -serve are exclusive")
+		return 2
+	}
+	if *serveMode {
+		if *chaos != "" || *linkPlan != "" {
+			fmt.Fprintln(stderr, "salus-check: -serve is exclusive with -chaos and -linkplan")
+			return 2
+		}
+		plan := check.DefaultServePlan()
+		if set["seeds"] {
+			plan.Seeds = *seeds
+		}
+		if set["seed"] {
+			plan.FirstSeed = *seed
+		}
+		if set["ops"] {
+			plan.OpsPerClient = *ops
+		}
+		if set["pages"] {
+			plan.TotalPages = *pages
+		}
+		if set["devpages"] {
+			plan.DevicePages = *devPages
+		}
+		if *clients > 0 {
+			plan.Clients = *clients
+		}
+		if *queueCap > 0 {
+			plan.QueueCap = *queueCap
+		}
+		return serveMain(plan, *verbose, stdout, stderr)
+	}
+	if *clients != 0 {
+		fmt.Fprintln(stderr, "salus-check: -clients requires -serve")
 		return 2
 	}
 	if *crashMode {
@@ -186,6 +246,27 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 			faults.PoisonFaults, faults.StuckBitFaults, faults.TransparentRecoveries,
 			faults.FramesQuarantined, faults.ChunksPoisoned, faults.PagesPinned)
 	}
+	return 0
+}
+
+// serveMain runs the combined-chaos service campaign. The -model flag is
+// ignored: the traffic service fronts a ModelSalus engine.
+func serveMain(plan check.ServePlan, verbose bool, stdout, stderr io.Writer) int {
+	if verbose {
+		plan.Verbose = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+	res := check.RunServe(plan)
+	if res.Failed() {
+		fmt.Fprintf(stdout, "salus-check: serve FAIL: %d violations after %d seeds\n", len(res.Violations), res.SeedsRun)
+		for _, v := range res.Violations {
+			fmt.Fprintf(stdout, "  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "salus-check: serve PASS: %d seeds, %d streams, %d requests; %d checkpoints (%d refused typed), %d crashes, %d outages, %d tainted bytes\n",
+		res.SeedsRun, res.Streams, res.Ops,
+		res.Checkpoints, res.CheckpointRefusals, res.Crashes, res.Outages, res.TaintedBytes)
+	fmt.Fprint(stdout, res.Tables())
 	return 0
 }
 

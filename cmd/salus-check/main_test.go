@@ -77,6 +77,25 @@ func TestLinkCustomPlanAndQueueCap(t *testing.T) {
 	}
 }
 
+func TestServeRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-serve", "-seeds", "2", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "serve PASS") {
+		t.Errorf("missing serve PASS summary: %q", out.String())
+	}
+	for _, want := range []string{"42 streams", "interactive", "p99", "p999"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("serve report missing %q: %q", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "avail") {
+		t.Errorf("-v produced no per-seed serve progress: %q", errOut.String())
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-model", "quantum"},
@@ -91,6 +110,11 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-linkplan", "down@0..5"},
 		{"-queuecap", "4"},
 		{"-link", "-linkplan", "down@5..2"},
+		{"-serve", "-chaos", "recoverable"},
+		{"-serve", "-link"},
+		{"-serve", "-crash"},
+		{"-serve", "-linkplan", "down@0..5"},
+		{"-clients", "4"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestServeDefaultRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-seeds", "2", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "interactive availability") {
+		t.Errorf("missing availability summary: %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "avail") {
+		t.Errorf("-v produced no per-session progress: %q", errOut.String())
+	}
+}
+
+// TestServeReportQuantiles pins the -report contract: per-class latency
+// quantiles including p50, p99, and p999 from the stats histograms.
+func TestServeReportQuantiles(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-seeds", "1", "-report"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"p50", "p99", "p999", "interactive", "batch", "bulk", "served", "shed", "overload", "deadline", "ambiguous"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-report output missing %q: %q", want, out.String())
+		}
+	}
+}
+
+// TestServeHealthyBaseline: with chaos off the interactive class serves
+// everything and no chaos counters move.
+func TestServeHealthyBaseline(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-seeds", "1", "-chaos=false", "-slo", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("healthy baseline at slo 1: exit code %d, stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "availability 1.0000") {
+		t.Errorf("healthy interactive availability not 1: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "0 crashes, 0 link outages") {
+		t.Errorf("chaos ran despite -chaos=false: %q", out.String())
+	}
+}
+
+func TestServeBadFlagsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-seeds", "0"},
+		{"-clients", "0"},
+		{"-ops", "-1"},
+		{"-devpages", "9", "-pages", "3"},
+		{"-slo", "1.5"},
+		{"-nonsense"},
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := appMain(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Overload: push a traffic service past its admission, deadline, and
+// retry budgets and watch every refusal come back typed. A serve.Server
+// multiplexes classed requests onto one protected memory; a token bucket
+// refuses bulk bursts (ErrOverload), a link outage turns retries into
+// deadline misses (ErrDeadline), failed writes are refused a retry
+// because the engine may have applied them (ErrAmbiguous), sustained
+// link pressure climbs the degradation ladder until bulk is shed
+// outright (ErrShed), and recovery steps the ladder back down. The final
+// report shows per-class availability — the number the combined-chaos
+// campaign (salus-check -serve) holds an SLO floor on.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/serve"
+)
+
+func main() {
+	// A small protected memory: 8 pages, 2 device frames, hand-driven
+	// CXL link. Pages 0 and 1 are made device-resident below; everything
+	// else misses and needs the link.
+	eng, err := securemem.NewConcurrent(securemem.Config{
+		Geometry:    config.Default().Geometry,
+		Model:       securemem.ModelSalus,
+		TotalPages:  8,
+		DevicePages: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manual := link.NewManual()
+	eng.AttachLink(link.New(manual, link.DefaultConfig()), nil, 2)
+
+	// Tight budgets so every mechanism trips within a few requests:
+	// interactive gets a 24-cycle deadline and 8 retries, bulk gets a
+	// 2-token bucket. RestoreAfter 4 keeps the recovery phase short.
+	var classes [serve.NumClasses]serve.ClassConfig
+	classes[serve.Interactive] = serve.ClassConfig{Queue: 8, Retries: 8, Deadline: 24}
+	classes[serve.Batch] = serve.ClassConfig{Queue: 8, Retries: 2, Deadline: 256}
+	classes[serve.Bulk] = serve.ClassConfig{Rate: 0.25, Burst: 2, Queue: 4, Retries: 1, Deadline: 256}
+	srv, err := serve.New(serve.Config{Engine: eng, Classes: classes, RestoreAfter: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	payload := func(p int) []byte {
+		b := make([]byte, 32)
+		for i := range b {
+			b[i] = byte(p*31 + i)
+		}
+		return b
+	}
+
+	fmt.Println("phase 1 — healthy: interactive writes pull pages device-resident")
+	for p := 0; p < 2; p++ {
+		req := serve.Request{Class: serve.Interactive, Addr: securemem.HomeAddr(p * 4096), Write: true, Data: payload(p)}
+		if err := srv.Do(&req); err != nil {
+			log.Fatalf("FAILED: healthy write: %v", err)
+		}
+	}
+	fmt.Println("  pages 0 and 1 written and resident")
+
+	fmt.Println("\nphase 2 — burst: bulk exceeds its token bucket, refused typed")
+	served, refused := 0, 0
+	for i := 0; i < 8; i++ {
+		req := serve.Request{Class: serve.Bulk, Addr: 0, Buf: make([]byte, 32)}
+		switch err := srv.Do(&req); {
+		case err == nil:
+			served++
+		case errors.Is(err, serve.ErrOverload):
+			refused++
+		default:
+			log.Fatalf("FAILED: burst refusal not typed ErrOverload: %v", err)
+		}
+	}
+	fmt.Printf("  8 back-to-back bulk reads: %d served, %d refused with ErrOverload\n", served, refused)
+
+	fmt.Println("\nphase 3 — outage: the link goes down, budgets start binding")
+	manual.Set(link.StateDown)
+
+	// A resident page still serves: degraded mode, not an outage for it.
+	if err := srv.Do(&serve.Request{Class: serve.Interactive, Addr: 0, Buf: make([]byte, 32)}); err != nil {
+		log.Fatalf("FAILED: resident read during outage: %v", err)
+	}
+	fmt.Println("  resident page 0 still serves with the link down")
+
+	// A miss retries with exponential backoff charged to the service
+	// clock until the 24-cycle deadline passes.
+	err = srv.Do(&serve.Request{Class: serve.Interactive, Addr: securemem.HomeAddr(5 * 4096), Buf: make([]byte, 32)})
+	if !errors.Is(err, serve.ErrDeadline) {
+		log.Fatalf("FAILED: miss during outage not ErrDeadline: %v", err)
+	}
+	fmt.Printf("  miss on page 5 burned its deadline: %v\n", err)
+
+	// A failed write is never retried: the engine may already have
+	// applied it, and a blind retry could double-apply.
+	err = srv.Do(&serve.Request{Class: serve.Interactive, Addr: securemem.HomeAddr(6 * 4096), Write: true, Data: payload(6)})
+	if !errors.Is(err, serve.ErrAmbiguous) ||
+		(!errors.Is(err, securemem.ErrLinkDown) && !errors.Is(err, securemem.ErrDegraded)) {
+		log.Fatalf("FAILED: outage write not ErrAmbiguous+link cause: %v", err)
+	}
+	fmt.Printf("  write refused a retry: %v\n", err)
+
+	fmt.Println("\nphase 4 — pressure: sustained refusals climb the shedding ladder")
+	for srv.Tier() == 0 {
+		srv.Do(&serve.Request{Class: serve.Interactive, Addr: securemem.HomeAddr(7 * 4096), Write: true, Data: payload(7)})
+	}
+	fmt.Printf("  degradation tier %d reached\n", srv.Tier())
+	err = srv.Do(&serve.Request{Class: serve.Bulk, Addr: 0, Buf: make([]byte, 32)})
+	if !errors.Is(err, serve.ErrShed) {
+		log.Fatalf("FAILED: bulk under pressure not ErrShed: %v", err)
+	}
+	fmt.Printf("  bulk now shed before touching the engine: %v\n", err)
+
+	fmt.Println("\nphase 5 — recovery: link restored, ladder steps back down")
+	manual.Set(link.StateUp)
+	for srv.Tier() > 0 {
+		if err := srv.Do(&serve.Request{Class: serve.Interactive, Addr: 0, Buf: make([]byte, 32)}); err != nil {
+			log.Fatalf("FAILED: post-recovery read: %v", err)
+		}
+	}
+	if err := srv.Do(&serve.Request{Class: serve.Bulk, Addr: 0, Buf: make([]byte, 32)}); err != nil {
+		log.Fatalf("FAILED: bulk after recovery: %v", err)
+	}
+	fmt.Println("  bulk serves again at tier 0")
+
+	rep := srv.Snapshot()
+	fmt.Println("\nfinal report — per-class outcomes and availability")
+	for c := serve.Class(0); c < serve.NumClasses; c++ {
+		o := rep.Ops[c]
+		fmt.Printf("  %-11v served %2d, shed %d, deadline %d, overload %d, ambiguous %d  ->  availability %.2f\n",
+			c, o.Served, o.Shed, o.Deadline, o.Overload, o.Ambiguous, rep.Availability(c))
+	}
+	fmt.Printf("  peak degradation tier: %d\n", rep.PeakTier)
+	fmt.Println("\nOK: every refusal was typed; no request failed silently")
+}

@@ -1,0 +1,461 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/serve"
+	"github.com/salus-sim/salus/internal/stats"
+)
+
+// Serve-chaos mode: the campaign that earns the service layer its SLOs.
+// Per seed, a fleet of concurrent client streams drives a shared
+// serve.Server while a chaos driver — paced by the traffic itself, never
+// by the wall clock — injects all three failure families at once, for
+// the first time mid-traffic:
+//
+//   - transient faults (a seeded rate plan, engine retries disabled so
+//     the service retry budget is the only recovery loop);
+//   - CXL link outages (a manual link the driver flaps down and up);
+//   - crash/recover cycles (quiesce, checkpoint to a journal, later
+//     rebuild the engine from the journal with securemem.Recover and
+//     swap it under the live server while the clients' oracles rewind
+//     to the matching snapshot).
+//
+// The contract asserted, per seed and campaign-wide:
+//
+//   - every rejection is typed (shed, overload, deadline, retry-budget,
+//     ambiguous, or a typed engine sentinel) — an untyped error is a
+//     violation;
+//   - zero silent divergences: every verified read matches the client's
+//     oracle modulo bytes tainted by ambiguous writes, and after
+//     quiesce the engine state is byte-identical to the oracles;
+//   - outcome conservation: every submitted request has exactly one
+//     outcome, on both the client and the server side of the counter;
+//   - per-class availability meets the configured SLO floors —
+//     interactive, which is never shed and keeps serving device-resident
+//     reads through outages, is the class held to a floor by default.
+
+// ServePlan sizes a combined-chaos service campaign.
+type ServePlan struct {
+	Seeds     int   // traffic sessions run by RunServe
+	FirstSeed int64 // sessions cover [FirstSeed, FirstSeed+Seeds)
+
+	Clients      int // concurrent client streams per session
+	OpsPerClient int // requests each stream submits
+
+	TotalPages  int // home (CXL) pages
+	DevicePages int // device frames; << TotalPages keeps miss traffic up
+	Shards      int // engine lock shards
+	Geometry    config.Geometry
+
+	// QueueCap bounds the dirty-writeback queue (ErrQueueFull pressure).
+	QueueCap int
+
+	// TransientRate is the per-consultation transient fault probability;
+	// FaultBurst bounds how many consecutive attempts one fault eats.
+	TransientRate float64
+	FaultBurst    int
+
+	// EventEvery is the pace-tick period between chaos events; <= 0
+	// disables chaos entirely (a healthy baseline run).
+	EventEvery int
+	// OutageMin/OutageMax bound a forced link outage in pace ticks.
+	OutageMin, OutageMax int
+
+	// SLO holds per-class availability floors in [0, 1]; a zero entry is
+	// reported but not asserted. Floors are asserted on the campaign
+	// aggregate, after all seeds ran.
+	SLO [stats.NumServeClasses]float64
+
+	// Classes overrides the server's per-class tuning; the zero value
+	// selects serve.DefaultClasses via serve.New.
+	Classes [serve.NumClasses]serve.ClassConfig
+
+	// Verbose, when non-nil, receives per-seed progress lines.
+	Verbose func(string)
+}
+
+// DefaultServePlan returns the smoke-budget combined-chaos campaign used
+// by `make serve-smoke`: 10 sessions × 21 streams (7 per class) × 60
+// requests over a 24-page home space with 6 device frames. The
+// interactive floor is deliberately conservative — the point of the
+// assertion is "the healthy class keeps serving through combined
+// chaos", not a tuned-to-yesterday ratio.
+func DefaultServePlan() ServePlan {
+	var slo [stats.NumServeClasses]float64
+	slo[serve.Interactive] = 0.60
+	// Interactive gets a generous retry budget but a tight deadline, so
+	// under an outage the concurrent fleet's clock advancement expires
+	// requests mid-retry-loop: the campaign exercises typed deadline
+	// rejections, not just budget exhaustion.
+	var classes [serve.NumClasses]serve.ClassConfig
+	classes[serve.Interactive] = serve.ClassConfig{Queue: 64, Retries: 8, Deadline: 24}
+	return ServePlan{
+		Seeds:     10,
+		FirstSeed: 1,
+
+		Clients:      21,
+		OpsPerClient: 60,
+
+		TotalPages:  24,
+		DevicePages: 6,
+		Shards:      4,
+		Geometry:    config.Geometry{SectorSize: 32, BlockSize: 128, ChunkSize: 256, PageSize: 4096},
+
+		QueueCap: 4,
+
+		TransientRate: 0.01,
+		FaultBurst:    2,
+
+		EventEvery: 40,
+		OutageMin:  8,
+		OutageMax:  24,
+
+		SLO:     slo,
+		Classes: classes,
+	}
+}
+
+// size returns the home address-space size in bytes.
+func (p ServePlan) size() int { return p.TotalPages * p.Geometry.PageSize }
+
+// memConfig returns the securemem configuration of the served engine.
+func (p ServePlan) memConfig() securemem.Config {
+	return securemem.Config{
+		Geometry:    p.Geometry,
+		Model:       securemem.ModelSalus,
+		TotalPages:  p.TotalPages,
+		DevicePages: p.DevicePages,
+		Shards:      p.Shards,
+	}
+}
+
+// serveEnginePolicy is the engine retry policy under service mode: one
+// attempt per service attempt. The zero RetryPolicy selects the engine
+// default (8 retries), so MaxRetries: 0 must ride with non-zero backoff
+// fields to mean what it says.
+func serveEnginePolicy() securemem.RetryPolicy {
+	return securemem.RetryPolicy{MaxRetries: 0, BaseBackoff: 1, MaxBackoff: 1}
+}
+
+// ServeResult summarises a RunServe campaign.
+type ServeResult struct {
+	SeedsRun int
+	Streams  int // client streams completed
+	Ops      int // requests submitted
+
+	// Aggregate folds every session's server report: per-class outcome
+	// counters and served-latency histograms (p50/p99/p999 source).
+	Aggregate serve.Report
+
+	Checkpoints        int // successful journal checkpoints
+	CheckpointRefusals int // checkpoints refused typed (link down)
+	Crashes            int // crash/recover cycles survived
+	Outages            int // forced link outages injected
+	TaintedBytes       int // bytes still write-ambiguous after quiesce
+
+	// Violations holds every contract breach: silent divergences,
+	// untyped errors, conservation failures, SLO misses. Empty means
+	// PASS.
+	Violations []string
+}
+
+// Failed reports whether the campaign found any contract violation.
+func (r *ServeResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Tables renders the aggregate per-class outcome and latency tables.
+func (r *ServeResult) Tables() string {
+	var b strings.Builder
+	b.WriteString(r.Aggregate.OutcomeTable().String())
+	b.WriteString(r.Aggregate.LatencyTable().String())
+	return b.String()
+}
+
+// RunServe runs plan.Seeds combined-chaos traffic sessions and asserts
+// the aggregate availability SLOs. It stops after the first session that
+// records violations (the campaign convention: report the first broken
+// seed, not a flood).
+func RunServe(plan ServePlan) ServeResult {
+	var res ServeResult
+	for i := 0; i < plan.Seeds; i++ {
+		seed := plan.FirstSeed + int64(i)
+		s := runServeSeed(plan, seed)
+
+		res.SeedsRun++
+		res.Streams += plan.Clients
+		res.Ops += plan.Clients * plan.OpsPerClient
+		res.Aggregate.Merge(&s.report)
+		res.Checkpoints += s.checkpoints
+		res.CheckpointRefusals += s.ckptRefused
+		res.Crashes += s.crashes
+		res.Outages += s.outages
+		res.TaintedBytes += s.tainted
+
+		if plan.Verbose != nil {
+			rep := &s.report
+			plan.Verbose(fmt.Sprintf(
+				"seed %d: %d streams, interactive avail %.3f, %d ckpt (%d refused), %d crashes, %d outages, peak tier %d, %d tainted",
+				seed, plan.Clients, rep.Availability(serve.Interactive),
+				s.checkpoints, s.ckptRefused, s.crashes, s.outages, rep.PeakTier, s.tainted))
+		}
+		if len(s.violations) > 0 {
+			for _, v := range s.violations {
+				res.Violations = append(res.Violations, fmt.Sprintf("seed %d: %s", seed, v))
+			}
+			return res
+		}
+	}
+
+	for c := serve.Class(0); c < serve.NumClasses; c++ {
+		if floor := plan.SLO[c]; floor > 0 {
+			if got := res.Aggregate.Availability(c); got < floor {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("SLO miss: class %v availability %.4f below floor %.4f", c, got, floor))
+			}
+		}
+	}
+	return res
+}
+
+// serveSeedResult is one session's outcome.
+type serveSeedResult struct {
+	report      serve.Report
+	checkpoints int
+	ckptRefused int
+	crashes     int
+	outages     int
+	tainted     int
+	violations  []string
+}
+
+// runServeSeed runs one combined-chaos traffic session: build the
+// engine, arm the chaos surface, start the client fleet, drive chaos
+// paced by the traffic, then quiesce and verify.
+func runServeSeed(plan ServePlan, seed int64) serveSeedResult {
+	var res serveSeedResult
+	fail := func(format string, a ...any) {
+		res.violations = append(res.violations, fmt.Sprintf(format, a...))
+	}
+
+	if plan.Clients <= 0 || plan.OpsPerClient <= 0 || plan.size() < plan.Clients {
+		fail("plan sizing: %d clients × %d ops over %d bytes", plan.Clients, plan.OpsPerClient, plan.size())
+		return res
+	}
+
+	// --- Engine with the full chaos surface attached. ---
+	memCfg := plan.memConfig()
+	eng, err := securemem.NewConcurrent(memCfg)
+	if err != nil {
+		fail("session setup: %v", err)
+		return res
+	}
+	manual := link.NewManual()
+	eng.AttachLink(link.New(manual, link.DefaultConfig()), nil, plan.QueueCap)
+	if plan.TransientRate > 0 {
+		inj := fault.NewRatePlan(seed, fault.Rates{Transient: plan.TransientRate}, plan.FaultBurst)
+		eng.AttachFaults(inj, serveEnginePolicy(), nil)
+	}
+
+	srv, err := serve.New(serve.Config{Engine: eng, Classes: plan.Classes})
+	if err != nil {
+		fail("session setup: %v", err)
+		return res
+	}
+
+	// --- Client fleet over disjoint regions, classes round-robin. ---
+	pace := make(chan struct{}, 1024)
+	region := plan.size() / plan.Clients
+	clients := make([]*serve.Client, plan.Clients)
+	for i := range clients {
+		c, err := serve.NewClient(serve.ClientConfig{
+			ID:    i,
+			Class: serve.Class(i % int(serve.NumClasses)),
+			Base:  securemem.HomeAddr(i * region),
+			Len:   region,
+			Ops:   plan.OpsPerClient,
+			Seed:  seed<<16 + int64(i),
+			Pace:  pace,
+		})
+		if err != nil {
+			fail("session setup: %v", err)
+			return res
+		}
+		clients[i] = c
+	}
+
+	// --- Checkpoint/crash machinery. A checkpoint captures the engine
+	// root and every client oracle in one quiesced exclusion; a crash
+	// rebuilds the engine from the journal and rewinds the oracles to
+	// the matching snapshot in one quiesced swap. The driver only
+	// checkpoints in its own link-up windows, so (with the fault
+	// injector detached for the maintenance window) the only failure
+	// mode left is the typed atomic link-precheck refusal. ---
+	store := crash.NewMemStore()
+	journal := crash.NewJournal(store)
+	var root securemem.TrustedRoot
+	haveRoot := false
+	snaps := make([]serve.ClientState, len(clients))
+
+	checkpoint := func() {
+		err := srv.WithQuiesced(func(eng *securemem.Concurrent) error {
+			eng.AttachFaults(nil, serveEnginePolicy(), nil)
+			defer func() {
+				if plan.TransientRate > 0 {
+					inj := fault.NewRatePlan(seed^int64(res.checkpoints+1)<<8,
+						fault.Rates{Transient: plan.TransientRate}, plan.FaultBurst)
+					eng.AttachFaults(inj, serveEnginePolicy(), nil)
+				}
+			}()
+			r, err := eng.Checkpoint(journal)
+			if err != nil {
+				return err
+			}
+			root, haveRoot = r, true
+			for i, c := range clients {
+				snaps[i] = c.Snapshot()
+			}
+			return nil
+		})
+		switch {
+		case err == nil:
+			res.checkpoints++
+		case linkErr(err):
+			res.ckptRefused++
+		default:
+			fail("checkpoint failed untyped: %v", err)
+		}
+	}
+
+	crashRecover := func() {
+		if !haveRoot {
+			return
+		}
+		err := srv.WithQuiescedSwap(func(_ *securemem.Concurrent) (*securemem.Concurrent, error) {
+			sys, err := securemem.Recover(memCfg, store.Bytes(), root)
+			if err != nil {
+				return nil, fmt.Errorf("recover from epoch %d: %w", root.Epoch, err)
+			}
+			reborn := securemem.ConcurrentFrom(sys, plan.Shards)
+			// The reboot renegotiates the chaos surface: same manual link
+			// plan (whatever state the driver left it in), a reseeded
+			// fault plan.
+			reborn.AttachLink(link.New(manual, link.DefaultConfig()), nil, plan.QueueCap)
+			if plan.TransientRate > 0 {
+				inj := fault.NewRatePlan(seed^int64(res.crashes+1)<<24,
+					fault.Rates{Transient: plan.TransientRate}, plan.FaultBurst)
+				reborn.AttachFaults(inj, serveEnginePolicy(), nil)
+			}
+			for i, c := range clients {
+				c.Restore(snaps[i])
+			}
+			return reborn, nil
+		})
+		if err != nil {
+			fail("crash recovery failed: %v", err)
+			return
+		}
+		res.crashes++
+	}
+
+	// --- Traffic plus the chaos driver. The driver is paced by client
+	// completions (one lossy tick per finished request), never by the
+	// wall clock, so the schedule is load-proportional and the session
+	// terminates exactly when the fleet does. ---
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *serve.Client) {
+			defer wg.Done()
+			c.Run(srv)
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Pace sends are blocking and the loop drains pace before honoring
+	// done, so every one of the Clients×Ops ticks is counted: the event
+	// schedule — which ticks flap, checkpoint, or crash — is a pure
+	// function of the seed, independent of goroutine interleaving.
+	rng := rand.New(rand.NewSource(seed ^ 0x5a1e))
+	ticks, upAt := 0, 0
+	linkDown := false
+	for running := true; running; {
+		select {
+		case <-pace:
+			ticks++
+		default:
+			select {
+			case <-pace:
+				ticks++
+			case <-done:
+				running = false
+			}
+		}
+		if linkDown && (ticks >= upAt || !running) {
+			manual.Set(link.StateUp)
+			linkDown = false
+		}
+		if !running || plan.EventEvery <= 0 || ticks%plan.EventEvery != 0 {
+			continue
+		}
+		switch ev := rng.Intn(10); {
+		case ev < 4: // link outage window
+			if !linkDown {
+				manual.Set(link.StateDown)
+				linkDown = true
+				upAt = ticks + plan.OutageMin + rng.Intn(plan.OutageMax-plan.OutageMin+1)
+				res.outages++
+			}
+		case ev < 8: // checkpoint in a link-up maintenance window
+			if !linkDown {
+				checkpoint()
+			}
+		default: // crash/recover (the reboot brings the link back up)
+			if !linkDown {
+				crashRecover()
+			}
+		}
+	}
+
+	// --- Quiesce: chaos disarmed, link forced up, writebacks drained.
+	// From here on everything must succeed. ---
+	final := srv.Engine()
+	final.AttachFaults(nil, serveEnginePolicy(), nil)
+	final.ForceLinkUp()
+	if _, err := final.DrainWritebacks(); err != nil {
+		fail("post-quiesce drain failed: %v", err)
+	}
+
+	// --- Verification: conservation, typed-only outcomes, zero silent
+	// divergences modulo surviving write ambiguity. ---
+	res.report = srv.Snapshot()
+	var attempts uint64
+	for c := serve.Class(0); c < serve.NumClasses; c++ {
+		attempts += res.report.Ops[c].Attempts()
+	}
+	if want := uint64(plan.Clients * plan.OpsPerClient); attempts != want {
+		fail("server outcome conservation: %d outcomes for %d submitted requests", attempts, want)
+	}
+	read := func(addr securemem.HomeAddr, buf []byte) error { return final.Read(addr, buf) }
+	for _, c := range clients {
+		res.violations = append(res.violations, c.Violations()...)
+		res.violations = append(res.violations, c.VerifyFinal(read)...)
+		o := c.Outcomes()
+		if total := o.Served + o.Shed + o.Deadline + o.Overload + o.Refused + o.Ambiguous + o.Untyped; total != plan.OpsPerClient {
+			fail("client outcome conservation: %d outcomes for %d submitted requests", total, plan.OpsPerClient)
+		}
+		res.tainted += c.TaintedBytes()
+	}
+	return res
+}

@@ -14,7 +14,7 @@ import (
 // that silently: the reproducer still runs, it just stops reproducing.
 //
 // Core packages are matched by package name (securemem, pagecache,
-// check, fault, crash, link, sim — with any _test variant), mirroring
+// check, fault, crash, link, sim, serve — with any _test variant), mirroring
 // droppederr's name-based matching so fixtures can declare small
 // stand-ins. Test files are included: a flaky test is exactly the
 // failure mode this exists to prevent.
@@ -41,6 +41,10 @@ var simCorePackages = map[string]bool{
 	"crash":     true,
 	"link":      true,
 	"sim":       true,
+	// The traffic service charges deadlines, admission refills, and retry
+	// backoff to the shared sim.Clock; wall-clock time leaking in would
+	// make availability SLO runs unreproducible.
+	"serve": true,
 }
 
 // simClockCorePkg reports whether a package name is in the deterministic

@@ -148,17 +148,19 @@ func Collect(procs int) (*Snapshot, error) {
 	if procs > 0 {
 		old := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(old)
-	} else {
-		procs = runtime.GOMAXPROCS(0)
 	}
 
+	// Environment fields are read at measurement time, after the
+	// GOMAXPROCS override took effect: the snapshot records the world the
+	// numbers were measured in (num_cpu 1 alongside gomaxprocs 8 means an
+	// oversubscribed single-core host), not the world that was requested.
 	snap := &Snapshot{
 		SchemaVersion: SnapshotSchemaVersion,
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		NumCPU:        runtime.NumCPU(),
-		Procs:         procs,
+		Procs:         runtime.GOMAXPROCS(0),
 	}
 
 	var failed error

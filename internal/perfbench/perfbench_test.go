@@ -98,6 +98,48 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestCompareCrossEnvironment pins the cross-environment contract: a
+// baseline measured on a different host (CPU count, Go version, ...)
+// reports the mismatch via EnvMismatch, and Compare skips the raw ns/op
+// slowdown checks — which are meaningless across hosts — while the
+// within-run ratio and allocation gates keep gating.
+func TestCompareCrossEnvironment(t *testing.T) {
+	base := sampleSnapshot()
+	opts := DefaultCompareOptions()
+
+	if warn := EnvMismatch(base, sampleSnapshot()); len(warn) != 0 {
+		t.Fatalf("identical environments flagged: %v", warn)
+	}
+
+	other := sampleSnapshot()
+	other.NumCPU = base.NumCPU + 7
+	other.GoVersion = "go9.99"
+	warn := EnvMismatch(base, other)
+	if len(warn) != 2 {
+		t.Fatalf("EnvMismatch = %v, want num_cpu and go version diffs", warn)
+	}
+
+	// A 4x raw regression is NOT flagged across environments...
+	other.Case(CaseMAC).NsPerOp = 300 * 4
+	other.derive()
+	if bad := Compare(base, other, opts); len(bad) != 0 {
+		t.Fatalf("cross-env raw slowdown failed the gate: %v", bad)
+	}
+	// ...but a collapsed within-run ratio still is.
+	other.Case(CaseReadSharded).NsPerOp = 4200
+	other.derive()
+	if bad := Compare(base, other, opts); len(bad) == 0 {
+		t.Fatal("cross-env comparison skipped the ratio gates too")
+	}
+	// ...and so is a crypto allocation regression.
+	allocs := sampleSnapshot()
+	allocs.NumCPU = base.NumCPU + 7
+	allocs.Case(CaseVerifySession).AllocsPerOp = 2
+	if bad := Compare(base, allocs, opts); len(bad) == 0 {
+		t.Fatal("cross-env comparison skipped the alloc gate")
+	}
+}
+
 func TestNewTargetWarmsResidentSet(t *testing.T) {
 	c, err := NewTarget(0)
 	if err != nil {

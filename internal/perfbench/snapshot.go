@@ -153,19 +153,44 @@ func DefaultCompareOptions() CompareOptions {
 	}
 }
 
+// EnvMismatch reports the measurement-environment differences between
+// two snapshots: Go version, OS/arch, CPU count, and GOMAXPROCS. A
+// non-empty result means raw wall-clock comparisons between them are
+// apples to oranges — Compare downgrades those to the within-run ratio
+// gates, and callers should surface the messages as warnings, never as
+// failures.
+func EnvMismatch(baseline, current *Snapshot) []string {
+	var warn []string
+	diff := func(field, b, c string) {
+		if b != c {
+			warn = append(warn, fmt.Sprintf("%s differs: baseline %s, current %s", field, b, c))
+		}
+	}
+	diff("go version", baseline.GoVersion, current.GoVersion)
+	diff("GOOS", baseline.GOOS, current.GOOS)
+	diff("GOARCH", baseline.GOARCH, current.GOARCH)
+	diff("num_cpu", fmt.Sprintf("%d", baseline.NumCPU), fmt.Sprintf("%d", current.NumCPU))
+	diff("gomaxprocs", fmt.Sprintf("%d", baseline.Procs), fmt.Sprintf("%d", current.Procs))
+	return warn
+}
+
 // Compare diffs current against baseline and returns one message per
 // violated threshold (empty means the gate passes). Cases present in
 // only one snapshot are reported: a silently dropped case would make
-// the gate vacuous.
+// the gate vacuous. When the two snapshots were measured in different
+// environments (EnvMismatch), the raw ns/op slowdown checks are skipped
+// — only the within-run ratios and allocation budgets, which are
+// portable across hosts, still gate.
 func Compare(baseline, current *Snapshot, o CompareOptions) []string {
 	var bad []string
+	crossEnv := len(EnvMismatch(baseline, current)) > 0
 	for _, b := range baseline.Results {
 		c := current.Case(b.Name)
 		if c == nil {
 			bad = append(bad, fmt.Sprintf("%s: case missing from current snapshot", b.Name))
 			continue
 		}
-		if o.MaxSlowdown > 0 && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*o.MaxSlowdown {
+		if !crossEnv && o.MaxSlowdown > 0 && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*o.MaxSlowdown {
 			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (over %.2fx budget)",
 				b.Name, c.NsPerOp, b.NsPerOp, o.MaxSlowdown))
 		}

@@ -4,6 +4,9 @@ import (
 	"sync"
 
 	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/sim"
 )
 
 // Concurrent wraps a System for shared use by multiple goroutines with a
@@ -50,6 +53,55 @@ func NewConcurrent(cfg Config) (*Concurrent, error) {
 		shards: make([]shardLock, sys.Shards()),
 		sys:    sys,
 	}, nil
+}
+
+// ConcurrentFrom wraps an existing System — typically one produced by
+// Recover — for shared use, re-applying the sharded lock design. Sharding
+// can only be (re)configured while no page is resident; a recovered
+// System qualifies (recovery rebuilds the home tier and leaves the device
+// tier empty). If pages are already resident the existing shard count is
+// kept, so the wrapper is always safe, just possibly narrower than asked.
+func ConcurrentFrom(sys *System, shards int) *Concurrent {
+	resident := false
+	for _, fi := range sys.pageTable {
+		if fi >= 0 {
+			resident = true
+			break
+		}
+	}
+	if !resident {
+		sys.configureSharding(shards)
+	}
+	return &Concurrent{
+		shards: make([]shardLock, sys.Shards()),
+		sys:    sys,
+	}
+}
+
+// AttachFaults is a goroutine-safe System.AttachFaults: the writer lock
+// quiesces every in-flight access before the injector is armed, so no
+// access can observe a half-attached fault model.
+func (c *Concurrent) AttachFaults(inj fault.Injector, policy RetryPolicy, clock *sim.Engine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sys.AttachFaults(inj, policy, clock)
+}
+
+// AttachLink is a goroutine-safe System.AttachLink, quiescing in-flight
+// accesses for the same reason as AttachFaults.
+func (c *Concurrent) AttachLink(l *link.Link, clock *sim.Engine, queueCap int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sys.AttachLink(l, clock, queueCap)
+}
+
+// ForceLinkUp is a goroutine-safe operator link reset; it may run while
+// traffic is in flight (the link consultation itself is serialised under
+// the System's hardware lock).
+func (c *Concurrent) ForceLinkUp() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.sys.ForceLinkUp()
 }
 
 // lockRange locks every shard the byte range [base, base+n) touches, in
@@ -205,6 +257,14 @@ func (c *Concurrent) Stats() OpStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Stats()
+}
+
+// StateDigest is a goroutine-safe System.StateDigest: the writer lock
+// quiesces in-flight accesses so the digest covers a consistent state.
+func (c *Concurrent) StateDigest() [32]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.StateDigest()
 }
 
 // Shards reports how many page shards the lock design is using.

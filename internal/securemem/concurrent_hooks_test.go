@@ -1,0 +1,142 @@
+package securemem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/link"
+)
+
+// alwaysTransient faults every access on every attempt, so any retry
+// budget exhausts.
+type alwaysTransient struct{}
+
+func (alwaysTransient) Inject(fault.Access) *fault.Fault {
+	return &fault.Fault{Kind: fault.Transient}
+}
+
+// TestConcurrentFromRecovered pins the service-mode crash path: a System
+// rebuilt by Recover can be wrapped for shared use with the full shard
+// count (recovery leaves the device tier empty, so re-sharding is legal),
+// and the wrapper serves the recovered bytes.
+func TestConcurrentFromRecovered(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 4)
+	store := crash.NewMemStore()
+	j := crash.NewJournal(store)
+	if err := s.Write(0, []byte("survives the crash")); err != nil {
+		t.Fatal(err)
+	}
+	root, err := s.Checkpoint(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := s.StateDigest()
+
+	r, err := Recover(salusCfg(8, 4), store.Bytes(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConcurrentFrom(r, 4)
+	if got := c.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	if got := c.StateDigest(); got != digest {
+		t.Fatal("wrapped recovered system digest differs from checkpointed state")
+	}
+	got := make([]byte, 18)
+	if err := c.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survives the crash" {
+		t.Fatalf("read %q after recover+wrap", got)
+	}
+	// Concurrent use through the wrapper must be race-clean.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := []byte{byte(g)}
+			addr := HomeAddr(uint64(g) * 4096)
+			for i := 0; i < 20; i++ {
+				if err := c.Write(addr, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Read(addr, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentFromResident verifies the safety clamp: wrapping a System
+// that already has resident pages keeps its existing shard count instead
+// of re-threading free lists under live placements.
+func TestConcurrentFromResident(t *testing.T) {
+	s := newSys(t, ModelSalus, 8, 4)
+	if err := s.Write(0, []byte("resident")); err != nil {
+		t.Fatal(err)
+	}
+	c := ConcurrentFrom(s, 4)
+	if got := c.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d after wrapping a resident system, want 1", got)
+	}
+	buf := make([]byte, 8)
+	if err := c.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAttachLinkForceUp exercises the goroutine-safe attach and
+// operator-reset hooks: a down link refuses misses typed through the
+// wrapper, and ForceLinkUp restores service without touching the plan.
+func TestConcurrentAttachLinkForceUp(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry: testGeo(), Model: ModelSalus, TotalPages: 8, DevicePages: 2, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := link.NewManual()
+	c.AttachLink(link.New(manual, link.Config{Threshold: 100, Cooldown: 1}), nil, 4)
+
+	manual.Set(link.StateDown)
+	buf := make([]byte, 8)
+	// Page 5 is not resident, so the read needs the link and must refuse.
+	if err := c.Read(5*4096, buf); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("miss under down link: %v, want ErrLinkDown", err)
+	}
+	c.ForceLinkUp()
+	if err := c.Read(5*4096, buf); err != nil {
+		t.Fatalf("read after ForceLinkUp: %v", err)
+	}
+}
+
+// TestConcurrentAttachFaultsZeroRetryBudget pins the policy the service
+// layer depends on: MaxRetries=0 (with a non-zero backoff so the policy
+// is not mistaken for the zero value) means one attempt, zero retries,
+// typed ErrTransient.
+func TestConcurrentAttachFaultsZeroRetryBudget(t *testing.T) {
+	c, err := NewConcurrent(Config{
+		Geometry: testGeo(), Model: ModelSalus, TotalPages: 8, DevicePages: 2, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachFaults(alwaysTransient{}, RetryPolicy{MaxRetries: 0, BaseBackoff: 1, MaxBackoff: 1}, nil)
+	buf := make([]byte, 8)
+	if err := c.Read(0, buf); !errors.Is(err, ErrTransient) {
+		t.Fatalf("read under always-transient injector: %v, want ErrTransient", err)
+	}
+	st := c.Stats()
+	if st.Retries != 0 {
+		t.Fatalf("zero-budget policy retried %d times", st.Retries)
+	}
+}

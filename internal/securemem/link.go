@@ -85,6 +85,18 @@ func (s *System) AttachLink(l *link.Link, clock *sim.Engine, queueCap int) {
 // Link returns the attached link model, or nil.
 func (s *System) Link() *link.Link { return s.lnk }
 
+// ForceLinkUp pins the attached link up (a no-op without one). The link
+// model is shared hardware, so the reset serialises under the hardware
+// lock against concurrent linkCheck consultations from other shards.
+func (s *System) ForceLinkUp() {
+	if s.lnk == nil {
+		return
+	}
+	s.locks.hw.Lock()
+	defer s.locks.hw.Unlock()
+	s.lnk.ForceUp()
+}
+
 // linkCheck consults the link for one chunk-sized home-tier transfer:
 // nil means the transfer may proceed (any brownout surcharge has been
 // charged to the clock); otherwise the typed refusal to surface. It runs

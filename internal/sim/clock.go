@@ -1,0 +1,21 @@
+package sim
+
+import "sync/atomic"
+
+// Clock is a goroutine-safe monotonic cycle counter: the shared service
+// clock for components that charge simulated time from many goroutines
+// at once. Engine's future-event list is deliberately single-threaded
+// (deterministic replay depends on its total event order), so concurrent
+// layers — the traffic service, its admission buckets, per-request
+// deadlines — advance a Clock instead: logical time moves only when work
+// happens, never with the wall clock, and reads never race with
+// advances. The zero value is ready to use and starts at cycle 0.
+type Clock struct {
+	now atomic.Uint64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return Cycle(c.now.Load()) }
+
+// Advance moves the clock forward by d cycles and returns the new time.
+func (c *Clock) Advance(d Cycle) Cycle { return Cycle(c.now.Add(uint64(d))) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -298,5 +299,29 @@ func TestServerResidueConservationAcrossIdle(t *testing.T) {
 	e.Run(0)
 	if want := Cycle(total * 3 / 7); s.BusyCycles() != want {
 		t.Errorf("BusyCycles = %d, want %d (total units %d)", s.BusyCycles(), want, total)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero Clock starts at %d", c.Now())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 4000 {
+		t.Fatalf("Clock.Now() = %d after 4x1000 advances, want 4000", got)
+	}
+	if got := c.Advance(5); got != 4005 {
+		t.Fatalf("Advance returned %d, want 4005", got)
 	}
 }

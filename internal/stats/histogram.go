@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// histBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// exact zeros and bucket i (1..64) holds values whose bit length is i,
+// i.e. the range [2^(i-1), 2^i). Values are uint64, so no input can
+// overflow the top bucket — the layout saturates by construction.
+const histBuckets = 65
+
+// Histogram is a fixed log-bucket histogram for latency-style
+// measurements (simulated cycles). Buckets are powers of two, so the
+// memory footprint is constant regardless of the value range, and
+// quantile estimates carry at most one octave of bucket error — the
+// exact minimum and maximum are tracked alongside, so P clamps to the
+// true extremes (and is exact for empty and single-sample histograms).
+//
+// The zero value is ready to use. A Histogram is not goroutine-safe;
+// either confine one per goroutine and Merge at the end, or guard it
+// with the lock of the structure that owns it.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// bucketOf returns the bucket index of a value.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of the observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge folds o into h. Merging an empty histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// P returns the estimated q-quantile (q in [0, 1]): the upper bound of
+// the first bucket whose cumulative count reaches q×count, clamped into
+// [Min, Max] so the estimate never leaves the observed range. An empty
+// histogram returns 0; a single-sample histogram returns that sample
+// for every q.
+func (h *Histogram) P(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is the 1-based position of the quantile sample; ceil(q*count)
+	// computed in integer arithmetic to stay exact for large counts.
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			var hi uint64
+			if i == 0 {
+				hi = 0
+			} else if i >= 64 {
+				hi = ^uint64(0)
+			} else {
+				hi = uint64(1)<<uint(i) - 1
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// String renders one stable summary row: count, mean, the standard
+// latency quantiles, and the exact max. Column set and order never
+// change, so rows from different runs diff cleanly.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d p999=%d max=%d",
+		h.count, h.Mean(), h.P(0.50), h.P(0.90), h.P(0.99), h.P(0.999), h.max)
+}
+
+// QuantileRow returns the standard table cells for one histogram:
+// n, p50, p90, p99, p999, max — the row format salus-serve -report and
+// the serve campaign summaries share.
+func (h *Histogram) QuantileRow() []string {
+	return []string{
+		fmt.Sprintf("%d", h.count),
+		fmt.Sprintf("%d", h.P(0.50)),
+		fmt.Sprintf("%d", h.P(0.90)),
+		fmt.Sprintf("%d", h.P(0.99)),
+		fmt.Sprintf("%d", h.P(0.999)),
+		fmt.Sprintf("%d", h.max),
+	}
+}
+
+// QuantileHeader returns the column headers matching QuantileRow, with a
+// leading label column name.
+func QuantileHeader(label string) []string {
+	return append([]string{label}, "n", "p50", "p90", "p99", "p999", "max")
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram extremes: min=%d max=%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty histogram mean: %v", h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.P(q); got != 0 {
+			t.Fatalf("empty histogram P(%v) = %d, want 0", q, got)
+		}
+	}
+	want := "n=0 mean=0.0 p50=0 p90=0 p99=0 p999=0 max=0"
+	if got := h.String(); got != want {
+		t.Fatalf("empty String() = %q, want %q", got, want)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 1000, math.MaxUint64} {
+		var h Histogram
+		h.Observe(v)
+		if h.Count() != 1 || h.Sum() != v {
+			t.Fatalf("v=%d: count=%d sum=%d", v, h.Count(), h.Sum())
+		}
+		if h.Min() != v || h.Max() != v {
+			t.Fatalf("v=%d: min=%d max=%d", v, h.Min(), h.Max())
+		}
+		// A single sample is every quantile: min/max clamping makes the
+		// estimate exact regardless of bucket width.
+		for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+			if got := h.P(q); got != v {
+				t.Fatalf("v=%d: P(%v) = %d, want %d", v, q, got, v)
+			}
+		}
+	}
+}
+
+func TestHistogramSaturating(t *testing.T) {
+	// Values at and near the top of the uint64 range must land in the
+	// last bucket without overflowing the bucket math, and quantiles
+	// must stay within the observed range.
+	var h Histogram
+	top := uint64(math.MaxUint64)
+	h.Observe(top)
+	h.Observe(top - 1)
+	h.Observe(1 << 63)
+	if h.Max() != top {
+		t.Fatalf("max=%d, want %d", h.Max(), top)
+	}
+	if h.Min() != 1<<63 {
+		t.Fatalf("min=%d, want %d", h.Min(), uint64(1)<<63)
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		got := h.P(q)
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("P(%v) = %d outside [%d, %d]", q, got, h.Min(), h.Max())
+		}
+	}
+	if got := h.P(1); got != top {
+		t.Fatalf("P(1) = %d, want exact max %d", got, top)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	// Quantiles over a spread of values must be monotone in q, bracket
+	// the true extremes, and carry at most one octave of bucket error.
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Fatalf("mean=%v, want 500.5", got)
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.P(q)
+		if got < prev {
+			t.Fatalf("P(%v) = %d < previous quantile %d", q, got, prev)
+		}
+		if got < 1 || got > 1000 {
+			t.Fatalf("P(%v) = %d outside observed range", q, got)
+		}
+		// Log buckets: the estimate is the bucket upper bound, so it can
+		// exceed the true quantile by at most 2x.
+		true_ := uint64(math.Ceil(q * 1000))
+		if true_ == 0 {
+			true_ = 1
+		}
+		if got > 2*true_ {
+			t.Fatalf("P(%v) = %d, more than 2x true quantile %d", q, got, true_)
+		}
+		prev = got
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := uint64(1); v <= 100; v++ {
+		whole.Observe(v)
+		if v%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() {
+		t.Fatalf("merged count=%d sum=%d, want %d/%d", a.Count(), a.Sum(), whole.Count(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged extremes %d/%d, want %d/%d", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if a.P(q) != whole.P(q) {
+			t.Fatalf("P(%v): merged %d, whole %d", q, a.P(q), whole.P(q))
+		}
+	}
+	// Merging empty and nil histograms is a no-op.
+	before := a.String()
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if a.String() != before {
+		t.Fatalf("no-op merges changed state: %q -> %q", before, a.String())
+	}
+	// Merging into an empty histogram copies extremes.
+	var c Histogram
+	c.Merge(&whole)
+	if c.Min() != whole.Min() || c.Max() != whole.Max() || c.Count() != whole.Count() {
+		t.Fatalf("merge into empty: min=%d max=%d count=%d", c.Min(), c.Max(), c.Count())
+	}
+}
+
+func TestHistogramStringStable(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 16; v++ {
+		h.Observe(v)
+	}
+	s := h.String()
+	for _, col := range []string{"n=", "mean=", "p50=", "p90=", "p99=", "p999=", "max="} {
+		if !strings.Contains(s, col) {
+			t.Fatalf("String() = %q missing column %q", s, col)
+		}
+	}
+	if got, want := len(h.QuantileRow()), len(QuantileHeader("class"))-1; got != want {
+		t.Fatalf("QuantileRow has %d cells, header has %d value columns", got, want)
+	}
+}

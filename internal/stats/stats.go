@@ -65,6 +65,58 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// ServeClass identifies a traffic-service client class (salus-serve).
+// Order is priority order: lower values are more latency-sensitive and
+// are shed last under overload.
+type ServeClass int
+
+const (
+	// ServeInteractive is latency-sensitive foreground traffic; the
+	// degradation tiers never shed it.
+	ServeInteractive ServeClass = iota
+	// ServeBatch is throughput-oriented traffic, shed only at the
+	// deepest degradation tier.
+	ServeBatch
+	// ServeBulk is background traffic, shed first under pressure.
+	ServeBulk
+	// NumServeClasses is the fixed class count; per-class arrays are
+	// indexed by ServeClass.
+	NumServeClasses
+)
+
+// String returns the class name.
+func (c ServeClass) String() string {
+	switch c {
+	case ServeInteractive:
+		return "interactive"
+	case ServeBatch:
+		return "batch"
+	case ServeBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("serveclass(%d)", int(c))
+}
+
+// ServeOps counts one client class's request outcomes in service mode.
+// Served + Shed + Deadline + Overload + Refused covers every request the
+// class ever submitted: a request is exactly one of served, shed by a
+// degradation tier, rejected on its deadline, refused by admission
+// control, or refused typed by the engine (link/fault/ambiguous-write).
+type ServeOps struct {
+	Served    uint64 // requests completed successfully
+	Shed      uint64 // requests shed by a degradation tier (ErrShed)
+	Deadline  uint64 // requests rejected on deadline (ErrDeadline)
+	Overload  uint64 // requests refused by admission control (ErrOverload)
+	Refused   uint64 // engine-level typed refusals (link, fault, ambiguous)
+	Retries   uint64 // service-level retries issued for idempotent requests
+	Ambiguous uint64 // writes that failed ambiguously (never retried)
+}
+
+// Attempts returns every request the class submitted.
+func (s *ServeOps) Attempts() uint64 {
+	return s.Served + s.Shed + s.Deadline + s.Overload + s.Refused
+}
+
 // SecurityClasses lists the classes counted as security traffic. Mapping
 // traffic is bookkeeping for the DRAM cache, present in all models, and is
 // not security metadata.
@@ -158,6 +210,10 @@ type Ops struct {
 	WritebacksDrained  uint64 // parked writebacks drained back home
 	WritebacksDropped  uint64 // evictions refused by a full queue
 	WritebackQueuePeak uint64 // queue depth high-water mark
+
+	// Traffic-service activity (salus-serve), per client class; all zero
+	// when no service ran.
+	Serve [NumServeClasses]ServeOps
 }
 
 // HasFaults reports whether any fault-model activity was recorded. Every
@@ -183,6 +239,21 @@ func (o *Ops) HasLink() bool {
 // recorded.
 func (o *Ops) HasCheckpoints() bool {
 	return o.Checkpoints != 0 || o.CheckpointPages != 0 || o.CheckpointBytes != 0
+}
+
+// HasServe reports whether any traffic-service activity was recorded.
+// Every ServeOps field participates, mirroring HasFaults' discipline, so
+// a run whose only activity is a trailing category still renders its
+// serve lines.
+func (o *Ops) HasServe() bool {
+	for c := range o.Serve {
+		s := &o.Serve[c]
+		if s.Served != 0 || s.Shed != 0 || s.Deadline != 0 || s.Overload != 0 ||
+			s.Refused != 0 || s.Retries != 0 || s.Ambiguous != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Run is the full measurement record of one simulation.
@@ -260,6 +331,15 @@ func (r *Run) String() string {
 		fmt.Fprintf(&b, "  checkpoints epochs=%d pages=%d writebacks=%d journalBytes=%d (%.0fB/epoch) cycles=%d\n",
 			r.Ops.Checkpoints, r.Ops.CheckpointPages, r.Ops.CheckpointWritebacks,
 			r.Ops.CheckpointBytes, perEpoch, r.Ops.CheckpointCycles)
+	}
+	if r.Ops.HasServe() {
+		// One line per class, every class every time: the column set is
+		// part of the stable-output contract, like the faults line.
+		for c := ServeClass(0); c < NumServeClasses; c++ {
+			s := &r.Ops.Serve[c]
+			fmt.Fprintf(&b, "  serve class=%s served=%d shed=%d deadline=%d overload=%d refused=%d retries=%d ambiguous=%d\n",
+				c, s.Served, s.Shed, s.Deadline, s.Overload, s.Refused, s.Retries, s.Ambiguous)
+		}
 	}
 	if len(r.CacheHitRates) > 0 {
 		keys := make([]string, 0, len(r.CacheHitRates))

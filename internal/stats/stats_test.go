@@ -246,3 +246,70 @@ func TestTableEmpty(t *testing.T) {
 		t.Error("empty table should still render the separator line")
 	}
 }
+
+func TestRunStringServeLines(t *testing.T) {
+	r := Run{Workload: "serve", Model: "salus"}
+	if strings.Contains(r.String(), "serve class=") {
+		t.Errorf("serve-free run should not render serve lines:\n%s", r.String())
+	}
+	if r.Ops.HasServe() {
+		t.Error("zero Ops reported HasServe")
+	}
+	r.Ops.Serve[ServeInteractive].Served = 90
+	r.Ops.Serve[ServeInteractive].Deadline = 1
+	r.Ops.Serve[ServeBulk].Shed = 12
+	if !r.Ops.HasServe() {
+		t.Error("non-zero serve counters not reported by HasServe")
+	}
+	s := r.String()
+	// One line per class, every class every time, full stable column set.
+	for _, frag := range []string{
+		"serve class=interactive served=90 shed=0 deadline=1 overload=0 refused=0 retries=0 ambiguous=0",
+		"serve class=batch served=0 shed=0 deadline=0 overload=0 refused=0 retries=0 ambiguous=0",
+		"serve class=bulk served=0 shed=12 deadline=0 overload=0 refused=0 retries=0 ambiguous=0",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing serve line %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestHasServeTrailingCategories(t *testing.T) {
+	// Every ServeOps field participates in HasServe, mirroring the
+	// HasFaults trailing-category fix from PR 5.
+	cases := []func(*Ops){
+		func(o *Ops) { o.Serve[ServeBatch].Served = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Shed = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Deadline = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Overload = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Refused = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Retries = 1 },
+		func(o *Ops) { o.Serve[ServeBatch].Ambiguous = 1 },
+	}
+	for i, set := range cases {
+		var o Ops
+		set(&o)
+		if !o.HasServe() {
+			t.Errorf("case %d: single non-zero serve field not reported by HasServe", i)
+		}
+	}
+	s := ServeOps{Served: 3, Shed: 1, Deadline: 1, Overload: 1, Refused: 2}
+	if got := s.Attempts(); got != 8 {
+		t.Errorf("Attempts() = %d, want 8", got)
+	}
+}
+
+func TestServeClassString(t *testing.T) {
+	want := map[ServeClass]string{ServeInteractive: "interactive", ServeBatch: "batch", ServeBulk: "bulk"}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("ServeClass(%d).String() = %q, want %q", int(c), c.String(), name)
+		}
+	}
+	if got := ServeClass(99).String(); got != "serveclass(99)" {
+		t.Errorf("out-of-range class String() = %q", got)
+	}
+	if NumServeClasses != 3 {
+		t.Errorf("NumServeClasses = %d, want 3", NumServeClasses)
+	}
+}
