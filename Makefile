@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke bench-baseline bench-record bench-compare ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke bench-baseline bench-record bench-compare ci
 
 all: build test
 
@@ -36,7 +36,7 @@ fmt:
 # detector without exercising any extra locking.
 race:
 	$(GO) test -race ./internal/securemem ./internal/sim ./internal/pagecache \
-		./internal/metrics ./internal/trace ./internal/serve
+		./internal/metrics ./internal/trace ./internal/serve ./internal/tenant
 
 # fuzz-smoke gives the untrusted-input fuzzers a short budget each on top
 # of any checked-in corpora: the trace parser, the two persistence
@@ -48,6 +48,7 @@ fuzz-smoke:
 	$(GO) test ./internal/securemem -run '^FuzzResume$$' -fuzz '^FuzzResume$$' -fuzztime 10s
 	$(GO) test ./internal/securemem -run '^FuzzRecover$$' -fuzz '^FuzzRecover$$' -fuzztime 10s
 	$(GO) test ./internal/link -run '^FuzzLinkPlan$$' -fuzz '^FuzzLinkPlan$$' -fuzztime 10s
+	$(GO) test ./internal/tenant -run '^FuzzTenantConfig$$' -fuzz '^FuzzTenantConfig$$' -fuzztime 10s
 
 # check-smoke runs the differential model-equivalence checker under the
 # race detector with the CI budget: 25 seeds × 200 randomized ops against
@@ -92,6 +93,17 @@ link-smoke:
 serve-smoke:
 	$(GO) run -race ./cmd/salus-check -serve -seeds 6
 
+# tenant-smoke runs the hostile-tenant containment campaign under the
+# race detector: victim, bystander, and attacker tenants share one CXL
+# pool with per-tenant key domains while chaos (faults, link outages,
+# crash/recover, replayed-ciphertext splices) fires on the attacker
+# only. Asserts every cross-tenant probe is refused typed, every replay
+# is rejected, and the healthy tenants' bytes and availability are
+# untouched. The deeper acceptance campaign is the same command with
+# -seeds 50.
+tenant-smoke:
+	$(GO) run -race ./cmd/salus-check -tenant -seeds 6
+
 # bench-baseline refreshes the checked-in perf baseline: the quick
 # variant of every salus-bench workload, in JSON, written to
 # BENCH_seed.json. Later PRs compare against it to hold the ROADMAP
@@ -119,4 +131,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/salus-bench -perf -perf-compare BENCH_perf.json > bench-current.json
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke bench-compare
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke bench-compare

@@ -16,6 +16,8 @@
 //	salus-check -link -linkplan down@40..70 -queuecap 4
 //	salus-check -serve                   # combined-chaos service campaign
 //	salus-check -serve -seeds 50 -clients 21 -ops 60
+//	salus-check -tenant                  # hostile-tenant isolation campaign
+//	salus-check -tenant -seeds 50 -workers 3 -ops 70
 //
 // Chaos mode arms every model with a deterministic fault injector. Under a
 // recoverable plan the replay still demands byte-identical plaintext; under
@@ -37,6 +39,18 @@
 // that every rejection is typed, that no read ever silently diverges
 // from the per-client oracles, that outcomes conserve, and that the
 // per-class availability SLO floors hold on the campaign aggregate.
+//
+// Tenant mode (exclusive with the others, Salus-only) runs the
+// cross-tenant leak campaign: three tenants — a victim, a bystander,
+// and an attacker — share one pool through per-tenant key domains and
+// address-space slices. The attacker mixes honest traffic with
+// slice-straddling probes, replayed sibling ciphertext, and
+// quota-pressure storms while transient faults, link outages, and
+// crash/recover cycles land on its domain alone. It asserts that every
+// hostile probe is refused typed (never bytes), that no sibling byte
+// ever moves, that per-tenant differential oracles stay byte-identical,
+// and that the healthy tenants' availability holds the SLO floor even
+// while the attacker's domain is deliberately wrecked.
 //
 // Crash mode (exclusive with -chaos, Salus-only) journals incremental
 // checkpoints of a generated workload onto a write/sync tape, then cuts
@@ -112,7 +126,9 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	crashMode := flag.Bool("crash", false, "power-loss injection: enumerate every crash point of the checkpoint journal (Salus-only, exclusive with -chaos)")
 	linkMode := flag.Bool("link", false, "CXL link chaos: replay every seed under deterministic flap plans and verify degraded-mode operation (Salus-only, exclusive with -chaos and -crash)")
 	serveMode := flag.Bool("serve", false, "combined-chaos service campaign: concurrent client fleets under faults + link flaps + crash/recover at once (Salus-only, exclusive with the other modes)")
+	tenantMode := flag.Bool("tenant", false, "hostile-tenant isolation campaign: victim/bystander/attacker domains over one pool, cross-tenant probes and chaos on the attacker only (Salus-only, exclusive with the other modes)")
 	clients := flag.Int("clients", 0, "with -serve: concurrent client streams per seed (0 = campaign default)")
+	workers := flag.Int("workers", 0, "with -tenant: worker streams per tenant (0 = campaign default)")
 	linkPlan := flag.String("linkplan", "", "with -link: a single link plan spec (see internal/link.ParsePlan) replacing the default plan set")
 	queueCap := flag.Int("queuecap", 0, "with -link: dirty-writeback queue capacity (0 = campaign default)")
 	verbose := flag.Bool("v", false, "print per-seed progress")
@@ -135,13 +151,46 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	modes := 0
-	for _, on := range []bool{*crashMode, *linkMode, *serveMode} {
+	for _, on := range []bool{*crashMode, *linkMode, *serveMode, *tenantMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(stderr, "salus-check: -crash, -link, and -serve are exclusive")
+		fmt.Fprintln(stderr, "salus-check: -crash, -link, -serve, and -tenant are exclusive")
+		return 2
+	}
+	if *tenantMode {
+		if *chaos != "" || *linkPlan != "" || *clients != 0 {
+			fmt.Fprintln(stderr, "salus-check: -tenant is exclusive with -chaos, -linkplan, and -clients")
+			return 2
+		}
+		plan := check.DefaultTenantPlan()
+		if set["seeds"] {
+			plan.Seeds = *seeds
+		}
+		if set["seed"] {
+			plan.FirstSeed = *seed
+		}
+		if set["ops"] {
+			plan.OpsPerWorker = *ops
+		}
+		if set["pages"] {
+			plan.PagesPerTenant = *pages
+		}
+		if set["devpages"] {
+			plan.FramesPerTenant = *devPages
+		}
+		if *workers > 0 {
+			plan.WorkersPerTenant = *workers
+		}
+		if *queueCap > 0 {
+			plan.QueueCap = *queueCap
+		}
+		return tenantMain(plan, *verbose, stdout, stderr)
+	}
+	if *workers != 0 {
+		fmt.Fprintln(stderr, "salus-check: -workers requires -tenant")
 		return 2
 	}
 	if *serveMode {
@@ -267,6 +316,31 @@ func serveMain(plan check.ServePlan, verbose bool, stdout, stderr io.Writer) int
 		res.SeedsRun, res.Streams, res.Ops,
 		res.Checkpoints, res.CheckpointRefusals, res.Crashes, res.Outages, res.TaintedBytes)
 	fmt.Fprint(stdout, res.Tables())
+	return 0
+}
+
+// tenantMain runs the hostile-tenant isolation campaign. The -model
+// flag is ignored: per-tenant key domains are a ModelSalus feature.
+func tenantMain(plan check.TenantPlan, verbose bool, stdout, stderr io.Writer) int {
+	if verbose {
+		plan.Verbose = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+	res := check.RunTenant(plan)
+	if res.Failed() {
+		fmt.Fprintf(stdout, "salus-check: tenant FAIL: %d violations after %d seeds\n", len(res.Violations), res.SeedsRun)
+		for _, v := range res.Violations {
+			fmt.Fprintf(stdout, "  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "salus-check: tenant PASS: %d seeds, %d workers, %d ops; %d hostile probes (%d denied typed, %d quota refusals), %d/%d replays refused, %d checkpoints (%d refused typed), %d crashes, %d outages, %d tainted bytes\n",
+		res.SeedsRun, res.Workers, res.Ops,
+		res.HostileProbes, res.TypedDenials, res.QuotaRefusals,
+		res.ReplayRefusals, res.ReplayAttacks,
+		res.Checkpoints, res.CheckpointRefusals, res.Crashes, res.Outages, res.TaintedBytes)
+	fmt.Fprintf(stdout, "salus-check: tenant availability: victim %.4f, bystander %.4f (floor %.4f), attacker %.4f under chaos\n",
+		res.VictimAvailability, res.BystanderAvailability, plan.VictimSLO, res.AttackerAvailability)
+	fmt.Fprint(stdout, res.Table())
 	return 0
 }
 

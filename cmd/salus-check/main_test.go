@@ -96,6 +96,25 @@ func TestServeRunExitsZero(t *testing.T) {
 	}
 }
 
+func TestTenantRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-tenant", "-seeds", "2", "-ops", "40", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "tenant PASS") {
+		t.Errorf("missing tenant PASS summary: %q", out.String())
+	}
+	for _, want := range []string{"hostile probes", "replays refused", "victim", "bystander", "attacker", "denied", "recovers"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("tenant report missing %q: %q", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "hostile") {
+		t.Errorf("-v produced no per-seed tenant progress: %q", errOut.String())
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-model", "quantum"},
@@ -115,6 +134,11 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-serve", "-crash"},
 		{"-serve", "-linkplan", "down@0..5"},
 		{"-clients", "4"},
+		{"-workers", "4"},
+		{"-tenant", "-serve"},
+		{"-tenant", "-chaos", "recoverable"},
+		{"-tenant", "-linkplan", "down@0..5"},
+		{"-tenant", "-clients", "4"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

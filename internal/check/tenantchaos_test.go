@@ -1,0 +1,71 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTenantCampaignSmoke runs a trimmed hostile-tenant campaign and
+// requires a clean PASS: typed denials only, zero cross-tenant leaks,
+// healthy-tenant SLO held.
+func TestTenantCampaignSmoke(t *testing.T) {
+	plan := DefaultTenantPlan()
+	plan.Seeds = 3
+	plan.OpsPerWorker = 40
+	res := RunTenant(plan)
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.SeedsRun != plan.Seeds {
+		t.Fatalf("ran %d seeds, want %d", res.SeedsRun, plan.Seeds)
+	}
+	if res.HostileProbes == 0 || res.TypedDenials == 0 {
+		t.Fatalf("campaign drove no hostile probes (%d probes, %d denials)", res.HostileProbes, res.TypedDenials)
+	}
+	if res.ReplayAttacks == 0 || res.ReplayRefusals != res.ReplayAttacks {
+		t.Fatalf("replay attacks %d, refusals %d: every splice must be refused", res.ReplayAttacks, res.ReplayRefusals)
+	}
+	if res.QuotaRefusals == 0 {
+		t.Fatal("quota storms never hit ErrQuota")
+	}
+	if res.Crashes == 0 && res.Outages == 0 && res.Checkpoints == 0 {
+		t.Fatal("chaos driver never fired")
+	}
+	if res.VictimAvailability < plan.VictimSLO || res.BystanderAvailability < plan.VictimSLO {
+		t.Fatalf("healthy availability %.4f/%.4f below floor %.4f",
+			res.VictimAvailability, res.BystanderAvailability, plan.VictimSLO)
+	}
+	table := res.Table()
+	for _, col := range []string{"tenant", "denied", "quota", "recovers"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("aggregate table missing column %q:\n%s", col, table)
+		}
+	}
+	for _, row := range []string{roleVictim, roleBystander, roleAttacker} {
+		if !strings.Contains(table, row) {
+			t.Fatalf("aggregate table missing tenant %q:\n%s", row, table)
+		}
+	}
+}
+
+// TestTenantCampaignDeterministic pins the deterministic surface: the
+// chaos event schedule and the structural counters (op attempts,
+// hostile probes, typed denials, replays) are pure functions of the
+// seed. Which individual op a shared quota token admits is
+// interleaving-dependent by design, so per-category splits like
+// QuotaRefusals are deliberately not pinned.
+func TestTenantCampaignDeterministic(t *testing.T) {
+	plan := DefaultTenantPlan()
+	plan.Seeds = 2
+	plan.OpsPerWorker = 30
+	a := RunTenant(plan)
+	b := RunTenant(plan)
+	if len(a.Violations) != 0 || len(b.Violations) != 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.Ops != b.Ops || a.HostileProbes != b.HostileProbes || a.TypedDenials != b.TypedDenials ||
+		a.ReplayAttacks != b.ReplayAttacks || a.Checkpoints != b.Checkpoints ||
+		a.Crashes != b.Crashes || a.Outages != b.Outages {
+		t.Fatalf("campaign not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -45,6 +45,9 @@ var simCorePackages = map[string]bool{
 	// backoff to the shared sim.Clock; wall-clock time leaking in would
 	// make availability SLO runs unreproducible.
 	"serve": true,
+	// Tenant op quotas refill per attempt, never per wall-clock tick, so
+	// cross-tenant denial counts stay a pure function of the seed.
+	"tenant": true,
 }
 
 // simClockCorePkg reports whether a package name is in the deterministic

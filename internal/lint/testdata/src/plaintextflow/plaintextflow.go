@@ -113,6 +113,43 @@ func (s *system) sealedWriteback(addr uint64) error {
 	return s.store.Write(ct)
 }
 
+// tenantPool models a multi-tenant pool: one shared home-tier backing
+// carved into per-tenant windows, each window owning its own key
+// domain. Plaintext decrypted under one tenant's keys must never be
+// copied into another tenant's window — that is a confidentiality leak
+// across the isolation boundary even though both windows are "ours".
+type tenantPool struct {
+	engA    engine
+	engB    engine
+	poolCXL []byte // shared home backing; windows are subslices
+	devData []byte
+}
+
+// leakAcrossTenant decrypts a sector under tenant A's keys and copies
+// the plaintext into tenant B's home window (a local alias of the
+// shared backing).
+func (p *tenantPool) leakAcrossTenant(addr uint64) error {
+	winB := p.poolCXL[4096:8192] // tenant B's window aliases the home tier
+	pt := make([]byte, 32)
+	ct := p.devData[addr : addr+32]
+	if err := p.engA.DecryptSector(pt, ct, addr, 1, 0); err != nil {
+		return err
+	}
+	copy(winB[:32], pt) // want: cross-tenant plaintext home write
+	return nil
+}
+
+// migrateSealed is the sanctioned cross-tenant move: decrypt under A,
+// re-encrypt under B's keys, then land in B's window; no finding.
+func (p *tenantPool) migrateSealed(addr uint64) error {
+	winB := p.poolCXL[4096:8192]
+	pt := make([]byte, 32)
+	if err := p.engA.DecryptSector(pt, p.devData[addr:addr+32], addr, 1, 0); err != nil {
+		return err
+	}
+	return p.engB.EncryptSector(winB[:32], pt, addr, 1, 0)
+}
+
 // suppressedLeak demonstrates a reasoned suppression.
 func (s *system) suppressedLeak(addr uint64) error {
 	pt := make([]byte, 32)

@@ -88,6 +88,12 @@ type Config struct {
 	// count is clamped so every shard owns at least one device frame.
 	// Plain New ignores it: a bare System is always single-threaded.
 	Shards int
+
+	// Backing, when non-nil, supplies externally owned storage for both
+	// tiers instead of letting New allocate them — the mechanism by
+	// which per-tenant engines share one physical pool (see backing.go).
+	// Slice lengths must match TotalPages/DevicePages under Geometry.
+	Backing *Backing
 }
 
 // Validate reports configuration problems.
@@ -108,7 +114,7 @@ func (c Config) Validate() error {
 	case c.DevicePages > c.TotalPages:
 		return errors.New("securemem: device tier larger than home space")
 	}
-	return nil
+	return c.validateBacking()
 }
 
 // OpStats counts the operations the paper's analysis cares about.
@@ -278,13 +284,24 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	g := cfg.Geometry
+	cxlData := make([]byte, cfg.TotalPages*g.PageSize)
+	devData := make([]byte, cfg.DevicePages*g.PageSize)
+	if cfg.Backing != nil {
+		// Shared backing: adopt the caller's windows. The engine's
+		// starting-state contract (initialEncrypt assumes zero plaintext)
+		// requires both tiers zeroed, and a recovered or re-created
+		// tenant engine inherits whatever its predecessor left behind.
+		cxlData, devData = cfg.Backing.Home, cfg.Backing.Device
+		clear(cxlData)
+		clear(devData)
+	}
 	s := &System{
 		cfg:       cfg,
 		geo:       g,
 		eng:       eng,
 		nShards:   1,
-		cxlData:   make([]byte, cfg.TotalPages*g.PageSize),
-		devData:   make([]byte, cfg.DevicePages*g.PageSize),
+		cxlData:   cxlData,
+		devData:   devData,
 		frames:    make([]frame, cfg.DevicePages),
 		pageTable: make([]int, cfg.TotalPages),
 		poisoned:  make([]bool, cfg.TotalPages*g.ChunksPerPage()),

@@ -50,6 +50,9 @@ type OutcomeCounts struct {
 type ClientConfig struct {
 	ID    int
 	Class Class
+	// Tenant tags every request the client issues (per-tenant admission
+	// and Report.Tenants rollup); empty opts out.
+	Tenant string
 	// Base/Len is the client's byte region; regions of concurrent
 	// clients must be disjoint (the consistency oracle owns its bytes).
 	Base securemem.HomeAddr
@@ -116,6 +119,7 @@ func (c *Client) Run(s *Server) {
 		req := &Request{
 			Class:   c.cfg.Class,
 			Addr:    c.cfg.Base + securemem.HomeAddr(off),
+			Tenant:  c.cfg.Tenant,
 			Retries: c.cfg.Retries,
 		}
 		if c.cfg.Deadline > 0 {

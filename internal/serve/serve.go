@@ -21,6 +21,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +84,18 @@ type ClassConfig struct {
 	Deadline sim.Cycle
 }
 
+// TenantConfig tunes one tenant's cross-class admission bucket: a
+// second token-bucket gate after the class bucket, keyed by
+// Request.Tenant, so one tenant's burst cannot spend a whole class's
+// admission budget.
+type TenantConfig struct {
+	// Rate is the refill rate in tokens per clock cycle; zero or
+	// negative disables rate limiting for the tenant.
+	Rate float64
+	// Burst is the bucket capacity (minimum 1 when Rate is set).
+	Burst float64
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine is the shared protected-memory engine. Required.
@@ -99,6 +112,11 @@ type Config struct {
 	// RestoreAfter is how many consecutive successes step the ladder
 	// back down one tier; zero selects DefaultRestoreAfter.
 	RestoreAfter int
+	// Tenants configures per-tenant admission buckets, keyed by
+	// Request.Tenant. Requests tagged with a tenant absent from the map
+	// are tracked in the per-tenant counters but never rate-limited;
+	// untagged requests skip the tenant stage entirely.
+	Tenants map[string]TenantConfig
 }
 
 // Degradation-ladder defaults.
@@ -128,6 +146,11 @@ type Request struct {
 	Write bool
 	Data  []byte // write payload
 	Buf   []byte // read destination
+
+	// Tenant tags the request with a tenant identity for per-tenant
+	// admission (Config.Tenants) and the per-tenant outcome rollup in
+	// Report.Tenants. Empty opts out of both.
+	Tenant string
 
 	// Deadline is the absolute service-clock deadline; zero selects the
 	// class default (relative to submission).
@@ -233,13 +256,15 @@ type Server struct {
 	clock   *sim.Clock
 	classes [NumClasses]ClassConfig
 	admit   [NumClasses]tokenBucket
+	tadmit  map[string]*tokenBucket // per-tenant buckets; immutable after New
 	slots   [NumClasses]chan struct{}
 	deg     degrade
 	closed  atomic.Bool
 
-	mu   sync.Mutex // guards ops and lat
+	mu   sync.Mutex // guards ops, lat, and tops
 	ops  [NumClasses]stats.ServeOps
 	lat  [NumClasses]stats.Histogram
+	tops map[string]*stats.TenantOps
 	tmax int // high-water tier, for reporting
 }
 
@@ -269,6 +294,17 @@ func New(cfg Config) (*Server, error) {
 		b.rate, b.burst, b.tokens = cc.Rate, cc.Burst, cc.Burst
 		s.slots[c] = make(chan struct{}, cc.Queue)
 	}
+	s.tadmit = make(map[string]*tokenBucket, len(cfg.Tenants))
+	for id, tc := range cfg.Tenants {
+		if id == "" {
+			return nil, errors.New("serve: Config.Tenants key must be non-empty")
+		}
+		if tc.Rate > 0 && tc.Burst < 1 {
+			tc.Burst = 1
+		}
+		s.tadmit[id] = &tokenBucket{rate: tc.Rate, burst: tc.Burst, tokens: tc.Burst}
+	}
+	s.tops = make(map[string]*stats.TenantOps)
 	s.deg.shedAfter = cfg.ShedAfter
 	if s.deg.shedAfter <= 0 {
 		s.deg.shedAfter = DefaultShedAfter
@@ -341,16 +377,24 @@ func (s *Server) Do(req *Request) error {
 	}
 	if shed, tier := s.shedClass(c); shed {
 		s.finish(c, func(o *stats.ServeOps) { o.Shed++ })
+		s.finishTenant(req.Tenant, func(o *stats.TenantOps) { o.Quota++ })
 		return fmt.Errorf("%w: class %v at tier %d", ErrShed, c, tier)
 	}
 	if !s.admit[c].take(s.clock.Now()) {
 		s.finish(c, func(o *stats.ServeOps) { o.Overload++ })
+		s.finishTenant(req.Tenant, func(o *stats.TenantOps) { o.Quota++ })
 		return fmt.Errorf("%w: class %v token bucket empty", ErrOverload, c)
+	}
+	if tb := s.tadmit[req.Tenant]; tb != nil && !tb.take(s.clock.Now()) {
+		s.finish(c, func(o *stats.ServeOps) { o.Overload++ })
+		s.finishTenant(req.Tenant, func(o *stats.TenantOps) { o.Quota++ })
+		return fmt.Errorf("%w: tenant %q token bucket empty", ErrOverload, req.Tenant)
 	}
 	select {
 	case s.slots[c] <- struct{}{}:
 	default:
 		s.finish(c, func(o *stats.ServeOps) { o.Overload++ })
+		s.finishTenant(req.Tenant, func(o *stats.TenantOps) { o.Quota++ })
 		return fmt.Errorf("%w: class %v queue full (%d in flight)", ErrOverload, c, cap(s.slots[c]))
 	}
 	defer func() { <-s.slots[c] }()
@@ -433,6 +477,16 @@ func (s *Server) run(req *Request, c Class) error {
 			s.lat[c].Observe(uint64(latency))
 		}
 	})
+	s.finishTenant(req.Tenant, func(o *stats.TenantOps) {
+		if req.Write {
+			o.Writes++
+		} else {
+			o.Reads++
+		}
+		if err != nil {
+			o.Faults++
+		}
+	})
 	if touched && req.OnDone != nil {
 		req.OnDone(err)
 	}
@@ -456,6 +510,22 @@ func (s *Server) finish(c Class, f func(*stats.ServeOps)) {
 	if t := s.deg.currentTier(); t > s.tmax {
 		s.tmax = t
 	}
+}
+
+// finishTenant applies one outcome to a tenant's rollup counters; the
+// empty tenant (an untagged request) is not tracked.
+func (s *Server) finishTenant(id string, f func(*stats.TenantOps)) {
+	if id == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.tops[id]
+	if o == nil {
+		o = &stats.TenantOps{Name: id}
+		s.tops[id] = o
+	}
+	f(o)
 }
 
 // WithQuiesced runs fn with every request drained and excluded: fn owns
@@ -510,6 +580,12 @@ func (s *Server) Engine() *securemem.Concurrent {
 type Report struct {
 	Ops     [NumClasses]stats.ServeOps
 	Latency [NumClasses]stats.Histogram
+	// Tenants is the per-tenant rollup for tenant-tagged requests,
+	// sorted by name: Reads/Writes count requests that reached the
+	// execution loop, Quota counts admission refusals (shed, class or
+	// tenant bucket, queue full), and Faults sub-classifies executed
+	// requests that failed.
+	Tenants []stats.TenantOps
 	// Tier is the degradation tier at snapshot time; PeakTier the
 	// highest tier the run ever reached.
 	Tier     int
@@ -520,7 +596,13 @@ type Report struct {
 func (s *Server) Snapshot() Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Report{Ops: s.ops, Latency: s.lat, Tier: s.deg.currentTier(), PeakTier: s.tmax}
+	r := Report{Ops: s.ops, Latency: s.lat, Tier: s.deg.currentTier(), PeakTier: s.tmax}
+	r.Tenants = make([]stats.TenantOps, 0, len(s.tops))
+	for _, o := range s.tops {
+		r.Tenants = append(r.Tenants, *o)
+	}
+	sort.Slice(r.Tenants, func(i, j int) bool { return r.Tenants[i].Name < r.Tenants[j].Name })
+	return r
 }
 
 // Availability returns class c's served fraction (1 when the class never
@@ -535,7 +617,17 @@ func (r *Report) Availability(c Class) float64 {
 }
 
 // FillOps copies the per-class counters into a stats.Ops block.
-func (r *Report) FillOps(o *stats.Ops) { o.Serve = r.Ops }
+func (r *Report) FillOps(o *stats.Ops) {
+	o.Serve = r.Ops
+	o.Tenants = append([]stats.TenantOps(nil), r.Tenants...)
+}
+
+// TenantTable renders the per-tenant rollup (empty table when no
+// request was tenant-tagged).
+func (r *Report) TenantTable() *stats.Table {
+	o := stats.Ops{Tenants: r.Tenants}
+	return o.TenantTable()
+}
 
 // OutcomeTable renders the per-class outcome counters with availability.
 func (r *Report) OutcomeTable() *stats.Table {
@@ -578,5 +670,28 @@ func (r *Report) Merge(o *Report) {
 	}
 	if o.PeakTier > r.PeakTier {
 		r.PeakTier = o.PeakTier
+	}
+	if len(o.Tenants) > 0 {
+		byName := make(map[string]int, len(r.Tenants))
+		for i := range r.Tenants {
+			byName[r.Tenants[i].Name] = i
+		}
+		for _, t := range o.Tenants {
+			i, ok := byName[t.Name]
+			if !ok {
+				r.Tenants = append(r.Tenants, t)
+				continue
+			}
+			a := &r.Tenants[i]
+			a.Reads += t.Reads
+			a.Writes += t.Writes
+			a.Denied += t.Denied
+			a.Quota += t.Quota
+			a.Integrity += t.Integrity
+			a.Faults += t.Faults
+			a.Checkpoints += t.Checkpoints
+			a.Recovers += t.Recovers
+		}
+		sort.Slice(r.Tenants, func(i, j int) bool { return r.Tenants[i].Name < r.Tenants[j].Name })
 	}
 }

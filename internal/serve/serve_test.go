@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/salus-sim/salus/internal/fault"
 	"github.com/salus-sim/salus/internal/link"
 	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/stats"
 )
 
 func testGeo() config.Geometry {
@@ -343,4 +345,86 @@ var _ fault.Injector = faultFirstN{}
 // attempt per request attempt.
 func zeroEngineRetries() securemem.RetryPolicy {
 	return securemem.RetryPolicy{MaxRetries: 0, BaseBackoff: 1, MaxBackoff: 1}
+}
+
+// TestTenantAdmissionAndRollup pins the per-tenant stage: a tenant with
+// a tight bucket is refused with ErrOverload once its burst is spent
+// while a sibling tenant on the same class keeps serving, every
+// tenant-tagged outcome lands in exactly one rollup counter, and
+// untagged requests stay out of the table entirely.
+func TestTenantAdmissionAndRollup(t *testing.T) {
+	eng := testEngine(t, 8, 2, 2)
+	cfg := Config{Tenants: map[string]TenantConfig{
+		"metered": {Rate: 1e-9, Burst: 2},
+	}}
+	srv := testServer(t, eng, cfg)
+
+	buf := make([]byte, 8)
+	do := func(tenant string, write bool) error {
+		req := &Request{Class: Interactive, Addr: 0, Tenant: tenant}
+		if write {
+			req.Write, req.Data = true, []byte{1, 2, 3, 4}
+		} else {
+			req.Buf = buf
+		}
+		return srv.Do(req)
+	}
+
+	const metered, free = 8, 6
+	var quotaHits int
+	for i := 0; i < metered; i++ {
+		err := do("metered", i%2 == 0)
+		if errors.Is(err, ErrOverload) {
+			quotaHits++
+		} else if err != nil {
+			t.Fatalf("metered request %d: %v", i, err)
+		}
+	}
+	if quotaHits != metered-2 {
+		t.Fatalf("metered tenant: %d quota refusals, want %d (burst 2)", quotaHits, metered-2)
+	}
+	for i := 0; i < free; i++ {
+		if err := do("free", false); err != nil {
+			t.Fatalf("free tenant request %d: %v", i, err)
+		}
+	}
+	// An untagged request must not create a tenant row.
+	if err := do("", false); err != nil {
+		t.Fatalf("untagged request: %v", err)
+	}
+
+	rep := srv.Snapshot()
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant rows: %d, want 2 (%+v)", len(rep.Tenants), rep.Tenants)
+	}
+	if rep.Tenants[0].Name != "free" || rep.Tenants[1].Name != "metered" {
+		t.Fatalf("tenant rows not sorted by name: %+v", rep.Tenants)
+	}
+	m := rep.Tenants[1]
+	if m.Quota != uint64(quotaHits) || m.Attempts() != metered {
+		t.Fatalf("metered rollup: %+v, want %d quota over %d attempts", m, quotaHits, metered)
+	}
+	if m.Reads+m.Writes != 2 || m.Faults != 0 {
+		t.Fatalf("metered rollup executed %d reads + %d writes (faults %d), want 2 total", m.Reads, m.Writes, m.Faults)
+	}
+	f := rep.Tenants[0]
+	if f.Reads != free || f.Quota != 0 || f.Attempts() != free {
+		t.Fatalf("free rollup: %+v, want %d clean reads", f, free)
+	}
+	table := rep.TenantTable().String()
+	for _, want := range []string{"tenant", "quota", "metered", "free"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("tenant table missing %q:\n%s", want, table)
+		}
+	}
+
+	// Merge folds rollups by name and keeps the order stable.
+	other := Report{Tenants: []stats.TenantOps{{Name: "metered", Reads: 3}, {Name: "zeta", Writes: 1}}}
+	rep.Merge(&other)
+	if len(rep.Tenants) != 3 || rep.Tenants[2].Name != "zeta" {
+		t.Fatalf("merge rows: %+v", rep.Tenants)
+	}
+	if got := rep.Tenants[1]; got.Name != "metered" || got.Reads != m.Reads+3 {
+		t.Fatalf("merge did not fold metered reads: %+v", got)
+	}
 }

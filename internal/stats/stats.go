@@ -117,6 +117,70 @@ func (s *ServeOps) Attempts() uint64 {
 	return s.Served + s.Shed + s.Deadline + s.Overload + s.Refused
 }
 
+// TenantOps counts one tenant's request outcomes at the pool boundary
+// (internal/tenant). Reads+Writes are the attempts that entered the
+// tenant's engine; the denial categories are the typed refusals the
+// isolation layer returned instead of bytes. Like ServeOps, every field
+// is a monotone uint64 and the column set is part of the stable-output
+// contract.
+type TenantOps struct {
+	Name string // tenant identifier ("" renders as "-")
+
+	Reads  uint64 // in-slice reads attempted
+	Writes uint64 // in-slice writes attempted
+
+	Denied    uint64 // out-of-slice probes refused typed (ErrTenantDenied)
+	Quota     uint64 // ops refused by the tenant op quota (ErrQuota)
+	Integrity uint64 // reads refused by MAC/tree verification (spliced ciphertext)
+	Faults    uint64 // typed fault/link refusals (transient, poison, link, queue)
+
+	Checkpoints uint64 // per-tenant checkpoint epochs committed
+	Recovers    uint64 // per-tenant crash/recover cycles completed
+}
+
+// Attempts returns every operation the tenant ever submitted, served or
+// refused.
+func (t *TenantOps) Attempts() uint64 {
+	return t.Reads + t.Writes + t.Denied + t.Quota
+}
+
+// HasTenants reports whether any per-tenant activity was recorded.
+// Mirroring HasFaults' discipline, every field participates so a tenant
+// whose only activity is a trailing category still renders its row.
+func (o *Ops) HasTenants() bool {
+	for i := range o.Tenants {
+		t := &o.Tenants[i]
+		if t.Reads != 0 || t.Writes != 0 || t.Denied != 0 || t.Quota != 0 ||
+			t.Integrity != 0 || t.Faults != 0 || t.Checkpoints != 0 || t.Recovers != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TenantTable renders the per-tenant rollup with the same stable-column
+// discipline as the link/fault lines: every column every time, rows
+// sorted by tenant name so map-fed input stays deterministic. Ragged
+// input is tolerated — an empty tenant list yields a header-only table,
+// unnamed tenants render as "-", duplicate names keep their own rows.
+func (o *Ops) TenantTable() *Table {
+	t := &Table{Header: []string{"tenant", "reads", "writes", "denied", "quota", "integrity", "faults", "ckpts", "recovers"}}
+	for i := range o.Tenants {
+		row := &o.Tenants[i]
+		name := row.Name
+		if name == "" {
+			name = "-"
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", row.Reads), fmt.Sprintf("%d", row.Writes),
+			fmt.Sprintf("%d", row.Denied), fmt.Sprintf("%d", row.Quota),
+			fmt.Sprintf("%d", row.Integrity), fmt.Sprintf("%d", row.Faults),
+			fmt.Sprintf("%d", row.Checkpoints), fmt.Sprintf("%d", row.Recovers))
+	}
+	t.SortRowsByFirstColumn()
+	return t
+}
+
 // SecurityClasses lists the classes counted as security traffic. Mapping
 // traffic is bookkeeping for the DRAM cache, present in all models, and is
 // not security metadata.
@@ -214,6 +278,10 @@ type Ops struct {
 	// Traffic-service activity (salus-serve), per client class; all zero
 	// when no service ran.
 	Serve [NumServeClasses]ServeOps
+
+	// Per-tenant pool activity (internal/tenant); empty when no tenant
+	// pool ran.
+	Tenants []TenantOps
 }
 
 // HasFaults reports whether any fault-model activity was recorded. Every
@@ -339,6 +407,19 @@ func (r *Run) String() string {
 			s := &r.Ops.Serve[c]
 			fmt.Fprintf(&b, "  serve class=%s served=%d shed=%d deadline=%d overload=%d refused=%d retries=%d ambiguous=%d\n",
 				c, s.Served, s.Shed, s.Deadline, s.Overload, s.Refused, s.Retries, s.Ambiguous)
+		}
+	}
+	if r.Ops.HasTenants() {
+		// One line per tenant, every column every time: the column set is
+		// part of the stable-output contract, like the serve lines.
+		for i := range r.Ops.Tenants {
+			tn := &r.Ops.Tenants[i]
+			name := tn.Name
+			if name == "" {
+				name = "-"
+			}
+			fmt.Fprintf(&b, "  tenant id=%s reads=%d writes=%d denied=%d quota=%d integrity=%d faults=%d ckpts=%d recovers=%d\n",
+				name, tn.Reads, tn.Writes, tn.Denied, tn.Quota, tn.Integrity, tn.Faults, tn.Checkpoints, tn.Recovers)
 		}
 	}
 	if len(r.CacheHitRates) > 0 {

@@ -313,3 +313,51 @@ func TestServeClassString(t *testing.T) {
 		t.Errorf("NumServeClasses = %d, want 3", NumServeClasses)
 	}
 }
+
+// TestTenantTableRaggedInput pins the ragged-input contract of the
+// per-tenant rollup: an empty tenant list renders header-only, unnamed
+// tenants render as "-", duplicate names keep their own rows, and
+// map-fed input comes out sorted by name.
+func TestTenantTableRaggedInput(t *testing.T) {
+	empty := (&Ops{}).TenantTable().String()
+	for _, col := range []string{"tenant", "reads", "writes", "denied", "quota", "integrity", "faults", "ckpts", "recovers"} {
+		if !strings.Contains(empty, col) {
+			t.Fatalf("empty table missing column %q:\n%s", col, empty)
+		}
+	}
+	if rows := (&Ops{}).TenantTable().Rows; len(rows) != 0 {
+		t.Fatalf("empty tenant list must render header-only, got %d rows", len(rows))
+	}
+
+	o := Ops{Tenants: []TenantOps{
+		{Name: "zeta", Reads: 1},
+		{Name: "", Quota: 7},
+		{Name: "alpha", Denied: 2},
+		{Name: "alpha", Recovers: 3}, // duplicate name: its own row survives
+	}}
+	if !o.HasTenants() {
+		t.Fatal("HasTenants missed recorded activity")
+	}
+	tab := o.TenantTable()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d, want 4 (duplicates must not merge)", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "-" {
+		t.Fatalf("unnamed tenant rendered %q, want \"-\"", tab.Rows[0][0])
+	}
+	if tab.Rows[1][0] != "alpha" || tab.Rows[2][0] != "alpha" || tab.Rows[3][0] != "zeta" {
+		t.Fatalf("rows not name-sorted: %v", tab.Rows)
+	}
+	if got := tab.Rows[0][4]; got != "7" {
+		t.Fatalf("unnamed tenant quota cell %q, want 7", got)
+	}
+
+	// A tenant whose only activity is a trailing category still counts.
+	trail := Ops{Tenants: []TenantOps{{Name: "idle"}, {Name: "ck", Recovers: 1}}}
+	if !trail.HasTenants() {
+		t.Fatal("HasTenants missed trailing-category activity")
+	}
+	if (&Ops{Tenants: []TenantOps{{Name: "idle"}}}).HasTenants() {
+		t.Fatal("HasTenants reported activity for an all-zero tenant")
+	}
+}

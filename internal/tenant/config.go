@@ -1,0 +1,298 @@
+// Package tenant carves one shared CXL-expanded memory pool into
+// per-tenant cryptographic domains. Each tenant gets its own
+// address-space slice of the home pool, its own device-frame partition,
+// its own derived key domain (a distinct cryptoeng engine whose AES and
+// MAC keys are bound to the tenant identity, so ciphertext replayed
+// from a sibling slice can never verify), its own op quota, and an
+// independent checkpoint/recover epoch with its own TrustedRoot
+// lineage.
+//
+// The robustness contract is blast-radius isolation: every cross-tenant
+// access — an out-of-slice read or write, a probe of a sibling's
+// evicted or parked pages, a quota-pressure storm — fails with a typed
+// denial (ErrTenantDenied, ErrQuota), never bytes and never a panic;
+// and one tenant's poison quarantine, crash/recover cycle, or
+// writeback-queue overflow during a link outage leaves every sibling's
+// availability and byte-state untouched. internal/check's hostile-
+// tenant campaign (salus-check -tenant) replays exactly those attacks
+// per seed and asserts the contract holds.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/salus-sim/salus/internal/config"
+)
+
+// Typed denial and configuration taxonomy. errors.Is is the supported
+// way to classify an outcome.
+var (
+	// ErrTenantDenied reports an access outside the tenant's address-
+	// space slice: the isolation layer refuses it before any engine or
+	// backing byte is touched.
+	ErrTenantDenied = errors.New("tenant: access outside tenant slice (denied)")
+	// ErrQuota reports an op refused by the tenant's admission quota.
+	ErrQuota = errors.New("tenant: op quota exhausted")
+	// ErrUnknownTenant reports a lookup of a tenant id the pool does not
+	// host.
+	ErrUnknownTenant = errors.New("tenant: unknown tenant id")
+	// ErrSliceConfig reports an invalid slice layout: zero-size or
+	// overlapping slices, duplicate ids, frames exceeding pages, or a
+	// slice that does not fit the pool.
+	ErrSliceConfig = errors.New("tenant: invalid slice configuration")
+)
+
+// AutoBase marks a slice whose home placement the pool chooses
+// (first-fit into the free gaps left by explicitly placed slices).
+const AutoBase = -1
+
+// maxSlicePages bounds a single dimension of a parsed slice so hostile
+// specs cannot request absurd allocations; real pools are far smaller.
+const maxSlicePages = 1 << 24
+
+// Slice describes one tenant's carve-out of the shared pool.
+type Slice struct {
+	// ID names the tenant; it must be non-empty, unique within the
+	// pool, and free of the spec grammar's separators.
+	ID string
+	// BasePage is the slice's first home page in pool space, or
+	// AutoBase to let the pool place it.
+	BasePage int
+	// Pages is the slice's home address-space size in pages.
+	Pages int
+	// Frames is the tenant's device-tier partition in page frames; it
+	// bounds device residency (the page-cache quota) and must not
+	// exceed Pages.
+	Frames int
+	// Shards selects the tenant engine's lock-shard count (0 = engine
+	// default).
+	Shards int
+	// OpRate/OpBurst configure the tenant's deterministic admission
+	// quota: the bucket gains OpRate tokens per attempted op and holds
+	// at most OpBurst. OpRate <= 0 disables the quota.
+	OpRate  float64
+	OpBurst float64
+}
+
+// Config sizes a Pool.
+type Config struct {
+	Geometry config.Geometry
+	Slices   []Slice
+
+	// AESKey/MACKey are the pool master keys; per-tenant keys are
+	// derived from them and the tenant identity (see keys.go). Nil
+	// selects deterministic defaults, like securemem.
+	AESKey []byte
+	MACKey []byte
+
+	// TotalPages fixes the shared home pool size; zero derives it from
+	// the slice layout (every slice must fit either way).
+	TotalPages int
+
+	// QueueCap bounds each tenant's dirty-writeback queue when a link
+	// model is attached (0 = engine default at attach time).
+	QueueCap int
+}
+
+// layout is a validated slice placement: resolved home bases plus the
+// derived pool dimensions.
+type layout struct {
+	bases      []int // resolved BasePage per slice
+	frameBase  []int // first device frame per slice
+	totalPages int
+	frames     int
+}
+
+// Validate checks the configuration and resolves the slice layout.
+// Every violation is typed ErrSliceConfig.
+func (c Config) Validate() (layout, error) {
+	var l layout
+	if err := c.Geometry.Validate(); err != nil {
+		return l, fmt.Errorf("%w: %v", ErrSliceConfig, err)
+	}
+	if len(c.Slices) == 0 {
+		return l, fmt.Errorf("%w: no slices", ErrSliceConfig)
+	}
+	if c.TotalPages < 0 || c.TotalPages > maxSlicePages {
+		return l, fmt.Errorf("%w: TotalPages %d out of range", ErrSliceConfig, c.TotalPages)
+	}
+	seen := map[string]bool{}
+	for i, s := range c.Slices {
+		switch {
+		case s.ID == "" || strings.ContainsAny(s.ID, ",:+/@ \t\n"):
+			return l, fmt.Errorf("%w: slice %d: bad id %q", ErrSliceConfig, i, s.ID)
+		case seen[s.ID]:
+			return l, fmt.Errorf("%w: duplicate tenant id %q", ErrSliceConfig, s.ID)
+		case s.Pages <= 0 || s.Pages > maxSlicePages:
+			return l, fmt.Errorf("%w: tenant %q: %d pages", ErrSliceConfig, s.ID, s.Pages)
+		case s.Frames <= 0 || s.Frames > s.Pages:
+			return l, fmt.Errorf("%w: tenant %q: %d frames for %d pages", ErrSliceConfig, s.ID, s.Frames, s.Pages)
+		case s.BasePage != AutoBase && (s.BasePage < 0 || s.BasePage > maxSlicePages):
+			return l, fmt.Errorf("%w: tenant %q: base page %d", ErrSliceConfig, s.ID, s.BasePage)
+		case s.Shards < 0:
+			return l, fmt.Errorf("%w: tenant %q: negative shards", ErrSliceConfig, s.ID)
+		case s.OpRate < 0 || s.OpBurst < 0:
+			return l, fmt.Errorf("%w: tenant %q: negative quota", ErrSliceConfig, s.ID)
+		case s.OpRate > 0 && s.OpBurst < 1:
+			return l, fmt.Errorf("%w: tenant %q: quota rate without burst capacity", ErrSliceConfig, s.ID)
+		}
+		seen[s.ID] = true
+	}
+
+	// Place explicit slices first and check pairwise overlap, then
+	// first-fit the AutoBase slices into the remaining gaps.
+	type span struct{ base, end int }
+	var placed []span
+	overlaps := func(base, end int) *span {
+		for i := range placed {
+			if base < placed[i].end && placed[i].base < end {
+				return &placed[i]
+			}
+		}
+		return nil
+	}
+	l.bases = make([]int, len(c.Slices))
+	for i, s := range c.Slices {
+		if s.BasePage == AutoBase {
+			l.bases[i] = AutoBase
+			continue
+		}
+		end := s.BasePage + s.Pages
+		if o := overlaps(s.BasePage, end); o != nil {
+			return layout{}, fmt.Errorf("%w: tenant %q slice [%d,%d) overlaps sibling slice [%d,%d)",
+				ErrSliceConfig, s.ID, s.BasePage, end, o.base, o.end)
+		}
+		l.bases[i] = s.BasePage
+		placed = append(placed, span{s.BasePage, end})
+	}
+	for i, s := range c.Slices {
+		if l.bases[i] != AutoBase {
+			continue
+		}
+		base := 0
+		for overlaps(base, base+s.Pages) != nil {
+			// Jump past the earliest placed slice that blocks this base.
+			next := base + 1
+			for _, p := range placed {
+				if base < p.end && p.base < base+s.Pages && p.end > next {
+					next = p.end
+				}
+			}
+			base = next
+			if base > maxSlicePages {
+				return layout{}, fmt.Errorf("%w: tenant %q: no room to auto-place %d pages", ErrSliceConfig, s.ID, s.Pages)
+			}
+		}
+		l.bases[i] = base
+		placed = append(placed, span{base, base + s.Pages})
+	}
+
+	l.frameBase = make([]int, len(c.Slices))
+	for i, s := range c.Slices {
+		if end := l.bases[i] + s.Pages; end > l.totalPages {
+			l.totalPages = end
+		}
+		l.frameBase[i] = l.frames
+		l.frames += s.Frames
+	}
+	if c.TotalPages > 0 {
+		if l.totalPages > c.TotalPages {
+			return layout{}, fmt.Errorf("%w: slice layout needs %d pages, pool has %d", ErrSliceConfig, l.totalPages, c.TotalPages)
+		}
+		l.totalPages = c.TotalPages
+	}
+	return l, nil
+}
+
+// ParseSlices parses a slice-layout spec: a comma-separated list of
+//
+//	id:base+pages/frames[@rate/burst]
+//
+// where base is a page number or "auto". Examples:
+//
+//	a:0+16/4,b:16+16/4
+//	victim:auto+8/2,attacker:auto+8/2@0.5/8
+//
+// Every parse or layout failure is typed ErrSliceConfig; a hostile spec
+// can never panic. The parsed slices still need Config.Validate (NewPool
+// runs it) for overlap/fit checking against a concrete pool.
+func ParseSlices(spec string) ([]Slice, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("%w: empty spec", ErrSliceConfig)
+	}
+	var out []Slice
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		id, rest, ok := strings.Cut(item, ":")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("%w: %q: want id:base+pages/frames", ErrSliceConfig, item)
+		}
+		var quota string
+		rest, quota, _ = strings.Cut(rest, "@")
+		baseStr, rest, ok := strings.Cut(rest, "+")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q: missing base+pages", ErrSliceConfig, item)
+		}
+		pagesStr, framesStr, ok := strings.Cut(rest, "/")
+		if !ok {
+			return nil, fmt.Errorf("%w: %q: missing /frames", ErrSliceConfig, item)
+		}
+		s := Slice{ID: id, BasePage: AutoBase}
+		if baseStr != "auto" {
+			base, err := parseDim(baseStr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %q: base: %v", ErrSliceConfig, item, err)
+			}
+			s.BasePage = base
+		}
+		var err error
+		if s.Pages, err = parseDim(pagesStr); err != nil {
+			return nil, fmt.Errorf("%w: %q: pages: %v", ErrSliceConfig, item, err)
+		}
+		if s.Frames, err = parseDim(framesStr); err != nil {
+			return nil, fmt.Errorf("%w: %q: frames: %v", ErrSliceConfig, item, err)
+		}
+		if quota != "" {
+			rateStr, burstStr, ok := strings.Cut(quota, "/")
+			if !ok {
+				return nil, fmt.Errorf("%w: %q: quota wants @rate/burst", ErrSliceConfig, item)
+			}
+			if s.OpRate, err = parseQuota(rateStr); err != nil {
+				return nil, fmt.Errorf("%w: %q: quota rate: %v", ErrSliceConfig, item, err)
+			}
+			if s.OpBurst, err = parseQuota(burstStr); err != nil {
+				return nil, fmt.Errorf("%w: %q: quota burst: %v", ErrSliceConfig, item, err)
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseDim parses one non-negative slice dimension with an upper bound,
+// so a hostile spec cannot smuggle in an overflowing allocation size.
+func parseDim(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a number", s)
+	}
+	if v < 0 || v > maxSlicePages {
+		return 0, fmt.Errorf("%d out of range [0, %d]", v, maxSlicePages)
+	}
+	return int(v), nil
+}
+
+// parseQuota parses one non-negative, finite quota parameter.
+func parseQuota(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a number", s)
+	}
+	if v < 0 || v != v || v > float64(maxSlicePages) {
+		return 0, fmt.Errorf("%v out of range", v)
+	}
+	return v, nil
+}

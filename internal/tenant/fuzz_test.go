@@ -1,0 +1,61 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzTenantConfig feeds hostile slice-layout specs through the parse +
+// validate + pool-construction path and holds the robustness contract:
+// every rejection is typed ErrSliceConfig, construction never panics,
+// and any accepted layout really is disjoint.
+func FuzzTenantConfig(f *testing.F) {
+	for _, seed := range []string{
+		"a:0+16/4,b:16+16/4",
+		"victim:auto+8/2,attacker:auto+8/2@0.5/8",
+		"a:0+0/0", "a:0+4/1,a:4+4/1", "a:0+4/1,b:2+4/1",
+		"x:auto+16777216/1", "a:0+4/1@1e308/2", "a:0+4/1@0.0001/1",
+		",,,", "a:b:c+d/e@f/g", "a:-1+4/1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		slices, err := ParseSlices(spec)
+		if err != nil {
+			if !errors.Is(err, ErrSliceConfig) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		cfg := Config{Geometry: testGeometry(), Slices: slices}
+		layout, err := cfg.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrSliceConfig) {
+				t.Fatalf("untyped validate error: %v", err)
+			}
+			return
+		}
+		// Accepted layouts must be disjoint and in-bounds.
+		used := map[int]string{}
+		for i, s := range slices {
+			base := layout.bases[i]
+			if base < 0 || base+s.Pages > layout.totalPages {
+				t.Fatalf("slice %q placed out of pool: base %d pages %d pool %d", s.ID, base, s.Pages, layout.totalPages)
+			}
+			for p := base; p < base+s.Pages; p++ {
+				if owner, clash := used[p]; clash {
+					t.Fatalf("page %d owned by both %q and %q", p, owner, s.ID)
+				}
+				used[p] = s.ID
+			}
+		}
+		// Keep real pool construction (which allocates backing) to small
+		// layouts so the fuzzer explores structure, not allocator limits.
+		if layout.totalPages <= 64 && !strings.Contains(spec, "\x00") {
+			if _, err := NewPool(cfg); err != nil {
+				t.Fatalf("validated layout failed pool construction: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/salus-sim/salus/internal/crash"
+	"github.com/salus-sim/salus/internal/fault"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/sim"
+	"github.com/salus-sim/salus/internal/stats"
+)
+
+// Tenant is one cryptographic domain over the shared pool. All
+// addresses are pool-global home addresses; the tenant refuses anything
+// outside its slice with ErrTenantDenied before a single engine or
+// backing byte is touched, then translates in-slice addresses to its
+// private engine, which runs with tenant-derived keys over the tenant's
+// backing window.
+//
+// Lock order: state -> mu -> the engine's internal locks. state guards
+// the engine pointer (held shared across every delegated op, exclusively
+// only while Pool.RecoverTenant swaps in a recovered engine); mu guards
+// the admission bucket and the op counters.
+type Tenant struct {
+	id       string
+	domain   string
+	basePage int
+	pages    int
+	frames   int
+	base     uint64 // slice start, pool-global bytes
+	size     uint64 // slice length in bytes
+	shards   int
+	queueCap int
+	memCfg   securemem.Config
+
+	state sync.RWMutex
+	eng   *securemem.Concurrent
+
+	mu     sync.Mutex
+	bucket quotaBucket
+	ops    stats.TenantOps
+}
+
+// quotaBucket is the tenant's deterministic admission quota: a token
+// bucket clocked by op attempts rather than wall time (the simulation
+// core is wall-clock-free), gaining rate tokens per attempt up to
+// burst. A storm of attempts therefore drains to a fixed duty cycle of
+// rate admitted ops per attempt — deterministic for a given op sequence.
+type quotaBucket struct {
+	enabled     bool
+	rate, burst float64
+	tokens      float64
+}
+
+func newQuotaBucket(rate, burst float64) quotaBucket {
+	return quotaBucket{enabled: rate > 0, rate: rate, burst: burst, tokens: burst}
+}
+
+// take advances the bucket one attempt-tick and reports admission.
+func (b *quotaBucket) take() bool {
+	if !b.enabled {
+		return true
+	}
+	b.tokens += b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// ID returns the tenant identifier.
+func (t *Tenant) ID() string {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.id
+}
+
+// Domain returns a short fingerprint of the tenant's key domain.
+// Distinct tenants always report distinct domains; the underlying key
+// material is never exposed.
+func (t *Tenant) Domain() string {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.domain
+}
+
+// Base returns the slice's first pool-global byte address.
+func (t *Tenant) Base() securemem.HomeAddr {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return securemem.HomeAddr(t.base)
+}
+
+// Size returns the slice length in bytes.
+func (t *Tenant) Size() uint64 {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.size
+}
+
+// Pages returns the slice's home size in pages.
+func (t *Tenant) Pages() int {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.pages
+}
+
+// Frames returns the tenant's device-frame quota.
+func (t *Tenant) Frames() int {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.frames
+}
+
+// admit runs the isolation and quota gates for an n-byte access at
+// pool-global addr and returns the slice-local engine address. Denials
+// are counted and typed; nothing downstream of this gate sees an
+// out-of-slice address. Callers hold state shared (mu nests inside).
+func (t *Tenant) admit(addr securemem.HomeAddr, n int, write bool) (securemem.HomeAddr, error) {
+	a := uint64(addr)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Overflow-safe slice containment: [a, a+n) within [base, base+size).
+	if a < t.base || a-t.base > t.size || uint64(n) > t.size-(a-t.base) {
+		t.ops.Denied++
+		return 0, ErrTenantDenied
+	}
+	if !t.bucket.take() {
+		t.ops.Quota++
+		return 0, ErrQuota
+	}
+	if write {
+		t.ops.Writes++
+	} else {
+		t.ops.Reads++
+	}
+	return securemem.HomeAddr(a - t.base), nil
+}
+
+// note classifies a completed engine op's failure into the tenant
+// counters. Callers hold state shared.
+func (t *Tenant) note(err error) {
+	if err == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case isIntegrity(err):
+		t.ops.Integrity++
+	case isFault(err):
+		t.ops.Faults++
+	}
+}
+
+// Read reads len(buf) bytes at pool-global addr from the tenant's
+// domain. Out-of-slice ranges fail with ErrTenantDenied and leave buf
+// untouched; quota exhaustion fails with ErrQuota.
+func (t *Tenant) Read(addr securemem.HomeAddr, buf []byte) error {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	local, err := t.admit(addr, len(buf), false)
+	if err != nil {
+		return err
+	}
+	err = t.eng.Read(local, buf)
+	t.note(err)
+	return err
+}
+
+// Write writes data at pool-global addr into the tenant's domain, with
+// the same gate as Read.
+func (t *Tenant) Write(addr securemem.HomeAddr, data []byte) error {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	local, err := t.admit(addr, len(data), true)
+	if err != nil {
+		return err
+	}
+	err = t.eng.Write(local, data)
+	t.note(err)
+	return err
+}
+
+// Checkpoint commits the tenant's own epoch to its own journal; sibling
+// epochs are untouched. The checkpoint itself is not quota-gated — an
+// operator durability action must not be starved by a tenant's traffic
+// budget.
+func (t *Tenant) Checkpoint(j *crash.Journal) (securemem.TrustedRoot, error) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	root, err := t.eng.Checkpoint(j)
+	t.mu.Lock()
+	if err == nil {
+		t.ops.Checkpoints++
+	}
+	t.mu.Unlock()
+	t.note(err)
+	return root, err
+}
+
+// Epoch returns the tenant's checkpoint epoch.
+func (t *Tenant) Epoch() uint64 {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.eng.Epoch()
+}
+
+// Flush evicts every resident page in the tenant's domain.
+func (t *Tenant) Flush() error {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	err := t.eng.Flush()
+	t.note(err)
+	return err
+}
+
+// QueuedWritebacks reports the tenant's parked dirty writebacks.
+func (t *Tenant) QueuedWritebacks() int {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.eng.QueuedWritebacks()
+}
+
+// DrainWritebacks drains the tenant's parked writebacks.
+func (t *Tenant) DrainWritebacks() (int, error) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	n, err := t.eng.DrainWritebacks()
+	t.note(err)
+	return n, err
+}
+
+// AttachFaults arms a fault injector on this tenant's engine only.
+func (t *Tenant) AttachFaults(inj fault.Injector, policy securemem.RetryPolicy, clock *sim.Engine) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	t.eng.AttachFaults(inj, policy, clock)
+}
+
+// AttachLink arms a link model on this tenant's engine only, using the
+// pool's per-tenant writeback queue bound.
+func (t *Tenant) AttachLink(l *link.Link, clock *sim.Engine) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	t.eng.AttachLink(l, clock, t.queueCap)
+}
+
+// ForceLinkUp is the operator link reset for this tenant's engine.
+func (t *Tenant) ForceLinkUp() {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	t.eng.ForceLinkUp()
+}
+
+// StateDigest returns the tenant's quiesced state digest — the oracle
+// used to prove a sibling's crash left this tenant byte-identical.
+func (t *Tenant) StateDigest() [32]byte {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.eng.StateDigest()
+}
+
+// Stats returns a snapshot of the tenant's op counters.
+func (t *Tenant) Stats() stats.TenantOps {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ops := t.ops
+	ops.Name = t.id
+	return ops
+}
+
+// isIntegrity reports whether err is a cryptographic verification
+// refusal (tampered, spliced, or replayed data detected).
+func isIntegrity(err error) bool {
+	return errors.Is(err, securemem.ErrIntegrity) || errors.Is(err, securemem.ErrFreshness)
+}
+
+// isFault reports whether err is a typed media/link refusal.
+func isFault(err error) bool {
+	return errors.Is(err, securemem.ErrTransient) ||
+		errors.Is(err, securemem.ErrPoison) ||
+		errors.Is(err, securemem.ErrLinkDown) ||
+		errors.Is(err, securemem.ErrDegraded) ||
+		errors.Is(err, securemem.ErrQueueFull) ||
+		errors.Is(err, securemem.ErrWritebacksPending)
+}
