@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke bench-baseline bench-record bench-compare ci
+.PHONY: all build test lint vet fmt race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke migrate-smoke bench-baseline bench-record bench-compare ci
 
 all: build test
 
@@ -36,7 +36,8 @@ fmt:
 # detector without exercising any extra locking.
 race:
 	$(GO) test -race ./internal/securemem ./internal/sim ./internal/pagecache \
-		./internal/metrics ./internal/trace ./internal/serve ./internal/tenant
+		./internal/metrics ./internal/trace ./internal/serve ./internal/tenant \
+		./internal/migrate
 
 # fuzz-smoke gives the untrusted-input fuzzers a short budget each on top
 # of any checked-in corpora: the trace parser, the two persistence
@@ -49,6 +50,7 @@ fuzz-smoke:
 	$(GO) test ./internal/securemem -run '^FuzzRecover$$' -fuzz '^FuzzRecover$$' -fuzztime 10s
 	$(GO) test ./internal/link -run '^FuzzLinkPlan$$' -fuzz '^FuzzLinkPlan$$' -fuzztime 10s
 	$(GO) test ./internal/tenant -run '^FuzzTenantConfig$$' -fuzz '^FuzzTenantConfig$$' -fuzztime 10s
+	$(GO) test ./internal/migrate -run '^FuzzMigrationFrame$$' -fuzz '^FuzzMigrationFrame$$' -fuzztime 10s
 
 # check-smoke runs the differential model-equivalence checker under the
 # race detector with the CI budget: 25 seeds × 200 randomized ops against
@@ -104,6 +106,16 @@ serve-smoke:
 tenant-smoke:
 	$(GO) run -race ./cmd/salus-check -tenant -seeds 6
 
+# migrate-smoke runs the attested live-migration campaign under the
+# race detector: differential-oracle migrations between pools, a cutover
+# under live serve traffic, man-in-the-middle stream attacks at every
+# record boundary, endpoint crashes at every stream boundary, link-loss
+# park/resume, and source-identity retirement — with bystander tenants
+# on every pool asserted zero-blast-radius. The deeper acceptance
+# campaign is the same command with -seeds 50.
+migrate-smoke:
+	$(GO) run -race ./cmd/salus-check -migrate -seeds 6
+
 # bench-baseline refreshes the checked-in perf baseline: the quick
 # variant of every salus-bench workload, in JSON, written to
 # BENCH_seed.json. Later PRs compare against it to hold the ROADMAP
@@ -131,4 +143,4 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/salus-bench -perf -perf-compare BENCH_perf.json > bench-current.json
 
-ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke bench-compare
+ci: build lint test race fuzz-smoke check-smoke chaos-smoke crash-smoke link-smoke serve-smoke tenant-smoke migrate-smoke bench-compare

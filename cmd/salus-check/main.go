@@ -18,6 +18,8 @@
 //	salus-check -serve -seeds 50 -clients 21 -ops 60
 //	salus-check -tenant                  # hostile-tenant isolation campaign
 //	salus-check -tenant -seeds 50 -workers 3 -ops 70
+//	salus-check -migrate                 # attested live-migration campaign
+//	salus-check -migrate -seeds 50 -v
 //
 // Chaos mode arms every model with a deterministic fault injector. Under a
 // recoverable plan the replay still demands byte-identical plaintext; under
@@ -51,6 +53,21 @@
 // ever moves, that per-tenant differential oracles stay byte-identical,
 // and that the healthy tenants' availability holds the SLO floor even
 // while the attacker's domain is deliberately wrecked.
+//
+// Migrate mode (exclusive with the others, Salus-only) runs the
+// attested live-migration campaign: per seed an honest migration is
+// held to a differential oracle against a no-migration control run, a
+// second migration cuts over under live serve traffic inside a
+// quiesced engine swap, a man-in-the-middle phase replays a recorded
+// stream tape with every mutation class at every record boundary
+// against fresh destinations, endpoint crashes are simulated at every
+// stream boundary, a scripted link outage must park the session typed
+// and resumable and then complete without re-streaming verified
+// chunks, and the migrated-away source identity is destroyed (keys
+// zeroized, frames reclaimed). Every attack must be refused with a
+// typed migrate error while the source keeps serving, the destination
+// is never left half-applied, and bystander tenants on every pool
+// never move a byte.
 //
 // Crash mode (exclusive with -chaos, Salus-only) journals incremental
 // checkpoints of a generated workload onto a write/sync tape, then cuts
@@ -127,6 +144,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	linkMode := flag.Bool("link", false, "CXL link chaos: replay every seed under deterministic flap plans and verify degraded-mode operation (Salus-only, exclusive with -chaos and -crash)")
 	serveMode := flag.Bool("serve", false, "combined-chaos service campaign: concurrent client fleets under faults + link flaps + crash/recover at once (Salus-only, exclusive with the other modes)")
 	tenantMode := flag.Bool("tenant", false, "hostile-tenant isolation campaign: victim/bystander/attacker domains over one pool, cross-tenant probes and chaos on the attacker only (Salus-only, exclusive with the other modes)")
+	migrateMode := flag.Bool("migrate", false, "attested live-migration campaign: differential-oracle migrations, MITM tape attacks at every record boundary, endpoint crashes, link-loss resume, source retirement (Salus-only, exclusive with the other modes)")
 	clients := flag.Int("clients", 0, "with -serve: concurrent client streams per seed (0 = campaign default)")
 	workers := flag.Int("workers", 0, "with -tenant: worker streams per tenant (0 = campaign default)")
 	linkPlan := flag.String("linkplan", "", "with -link: a single link plan spec (see internal/link.ParsePlan) replacing the default plan set")
@@ -151,14 +169,37 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	modes := 0
-	for _, on := range []bool{*crashMode, *linkMode, *serveMode, *tenantMode} {
+	for _, on := range []bool{*crashMode, *linkMode, *serveMode, *tenantMode, *migrateMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(stderr, "salus-check: -crash, -link, -serve, and -tenant are exclusive")
+		fmt.Fprintln(stderr, "salus-check: -crash, -link, -serve, -tenant, and -migrate are exclusive")
 		return 2
+	}
+	if *migrateMode {
+		if *chaos != "" || *linkPlan != "" || *clients != 0 || *workers != 0 {
+			fmt.Fprintln(stderr, "salus-check: -migrate is exclusive with -chaos, -linkplan, -clients, and -workers")
+			return 2
+		}
+		plan := check.DefaultMigratePlan()
+		if set["seeds"] {
+			plan.Seeds = *seeds
+		}
+		if set["seed"] {
+			plan.FirstSeed = *seed
+		}
+		if set["pages"] {
+			plan.PagesPerTenant = *pages
+		}
+		if set["devpages"] {
+			plan.FramesPerTenant = *devPages
+		}
+		if *queueCap > 0 {
+			plan.QueueCap = *queueCap
+		}
+		return migrateMain(plan, *verbose, stdout, stderr)
 	}
 	if *tenantMode {
 		if *chaos != "" || *linkPlan != "" || *clients != 0 {
@@ -418,5 +459,26 @@ func crashMain(seeds, ops int, firstSeed int64, pages, devPages int, verbose boo
 	}
 	fmt.Fprintf(stdout, "salus-check: crash PASS: %d seeds, %d ops, %d epochs committed, %d cuts enumerated: %d recovered byte-identical, %d corruptions detected typed\n",
 		res.SeedsRun, res.OpsRun, res.Epochs, res.Cuts, res.Recoveries, res.Detected)
+	return 0
+}
+
+// migrateMain runs the attested live-migration campaign. The -model
+// flag is ignored: migration streams ModelSalus checkpoint journals.
+func migrateMain(plan check.MigratePlan, verbose bool, stdout, stderr io.Writer) int {
+	if verbose {
+		plan.Verbose = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+	res := check.RunMigrate(plan)
+	if res.Failed() {
+		fmt.Fprintf(stdout, "salus-check: migrate FAIL: %d violations after %d seeds\n", len(res.Violations), res.SeedsRun)
+		for _, v := range res.Violations {
+			fmt.Fprintf(stdout, "  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "salus-check: migrate PASS: %d seeds, %d migrations, %d serve requests; %d/%d attacks refused typed, %d crash cuts clean, %d resumes (%d retries), %d identities retired\n",
+		res.SeedsRun, res.Migrations, res.ServeRequests,
+		res.TypedRejections, res.Attacks, res.CrashCuts, res.Resumes, res.Retries, res.Destroyed)
+	fmt.Fprint(stdout, res.Table())
 	return 0
 }

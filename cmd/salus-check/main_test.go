@@ -115,6 +115,25 @@ func TestTenantRunExitsZero(t *testing.T) {
 	}
 }
 
+func TestMigrateRunExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := appMain([]string{"-migrate", "-seeds", "2", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "migrate PASS") {
+		t.Errorf("missing migrate PASS summary: %q", out.String())
+	}
+	for _, want := range []string{"attacks refused typed", "crash cuts clean", "resumes", "retired", "migrant", "skipped", "attest"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("migrate report missing %q: %q", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "migrations") {
+		t.Errorf("-v produced no per-seed migrate progress: %q", errOut.String())
+	}
+}
+
 func TestBadFlagsExitTwo(t *testing.T) {
 	cases := [][]string{
 		{"-model", "quantum"},
@@ -139,6 +158,13 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-tenant", "-chaos", "recoverable"},
 		{"-tenant", "-linkplan", "down@0..5"},
 		{"-tenant", "-clients", "4"},
+		{"-migrate", "-tenant"},
+		{"-migrate", "-serve"},
+		{"-migrate", "-crash"},
+		{"-migrate", "-chaos", "recoverable"},
+		{"-migrate", "-linkplan", "down@0..5"},
+		{"-migrate", "-clients", "4"},
+		{"-migrate", "-workers", "4"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -75,6 +75,15 @@ type ServePlan struct {
 	// aggregate, after all seeds ran.
 	SLO [stats.NumServeClasses]float64
 
+	// TenantNames, when non-empty, tags the client streams with tenant
+	// identities round-robin, so every request feeds the server's
+	// per-tenant rollup (Report.Tenants) alongside its class counters.
+	TenantNames []string
+	// TenantSLO is the per-tenant availability floor in [0, 1],
+	// asserted on the campaign-aggregate rollup for every named tenant:
+	// (reads+writes-faults)/attempts. Zero reports without asserting.
+	TenantSLO float64
+
 	// Classes overrides the server's per-class tuning; the zero value
 	// selects serve.DefaultClasses via serve.New.
 	Classes [serve.NumClasses]serve.ClassConfig
@@ -121,6 +130,18 @@ func DefaultServePlan() ServePlan {
 
 		SLO:     slo,
 		Classes: classes,
+
+		// Two tenants against three classes keeps the assignments
+		// decorrelated (each tenant holds streams of every class). The
+		// floor is deliberately far below the interactive one: a
+		// tenant's rollup includes its batch and bulk streams, which
+		// the degradation ladder sheds by design under outages, and how
+		// much of those survive moves with real goroutine scheduling
+		// (a race-detector run sheds measurably more). The assertion is
+		// "no tenant is starved outright", not a tuned-to-yesterday
+		// yield.
+		TenantNames: []string{"tenant-a", "tenant-b"},
+		TenantSLO:   0.20,
 	}
 }
 
@@ -176,6 +197,9 @@ func (r *ServeResult) Tables() string {
 	var b strings.Builder
 	b.WriteString(r.Aggregate.OutcomeTable().String())
 	b.WriteString(r.Aggregate.LatencyTable().String())
+	if len(r.Aggregate.Tenants) > 0 {
+		b.WriteString(r.Aggregate.TenantTable().String())
+	}
 	return b.String()
 }
 
@@ -219,6 +243,24 @@ func RunServe(plan ServePlan) ServeResult {
 			if got := res.Aggregate.Availability(c); got < floor {
 				res.Violations = append(res.Violations,
 					fmt.Sprintf("SLO miss: class %v availability %.4f below floor %.4f", c, got, floor))
+			}
+		}
+	}
+	if plan.TenantSLO > 0 && len(plan.TenantNames) > 0 {
+		if len(res.Aggregate.Tenants) == 0 {
+			res.Violations = append(res.Violations,
+				"per-tenant SLO configured but no tenant rollup was recorded")
+		}
+		for i := range res.Aggregate.Tenants {
+			t := &res.Aggregate.Tenants[i]
+			att := t.Attempts()
+			if att == 0 {
+				continue
+			}
+			got := float64(t.Reads+t.Writes-t.Faults) / float64(att)
+			if got < plan.TenantSLO {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"SLO miss: tenant %s availability %.4f below floor %.4f", t.Name, got, plan.TenantSLO))
 			}
 		}
 	}
@@ -275,14 +317,19 @@ func runServeSeed(plan ServePlan, seed int64) serveSeedResult {
 	region := plan.size() / plan.Clients
 	clients := make([]*serve.Client, plan.Clients)
 	for i := range clients {
+		tenantID := ""
+		if len(plan.TenantNames) > 0 {
+			tenantID = plan.TenantNames[i%len(plan.TenantNames)]
+		}
 		c, err := serve.NewClient(serve.ClientConfig{
-			ID:    i,
-			Class: serve.Class(i % int(serve.NumClasses)),
-			Base:  securemem.HomeAddr(i * region),
-			Len:   region,
-			Ops:   plan.OpsPerClient,
-			Seed:  seed<<16 + int64(i),
-			Pace:  pace,
+			ID:     i,
+			Class:  serve.Class(i % int(serve.NumClasses)),
+			Tenant: tenantID,
+			Base:   securemem.HomeAddr(i * region),
+			Len:    region,
+			Ops:    plan.OpsPerClient,
+			Seed:   seed<<16 + int64(i),
+			Pace:   pace,
 		})
 		if err != nil {
 			fail("session setup: %v", err)

@@ -48,6 +48,11 @@ var simCorePackages = map[string]bool{
 	// Tenant op quotas refill per attempt, never per wall-clock tick, so
 	// cross-tenant denial counts stay a pure function of the seed.
 	"tenant": true,
+	// Migration sessions must replay bit-identically from a seed: the
+	// handshake nonce is caller-provided and retry backoff is charged
+	// to the sim clock, so neither wall time nor ambient randomness may
+	// leak into the stream schedule.
+	"migrate": true,
 }
 
 // simClockCorePkg reports whether a package name is in the deterministic

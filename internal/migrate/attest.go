@@ -1,0 +1,119 @@
+package migrate
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/tenant"
+)
+
+// Measurement is what each endpoint attests to before a single data
+// byte moves: the tenant identity, its key-domain fingerprint, the pool
+// geometry, the slice dimensions, and the endpoint's checkpoint epoch.
+// The two measurements must agree on everything but the epoch — a
+// destination with the wrong geometry would misparse the journal, a
+// wrong key domain could never decrypt the ciphertext, and a wrong
+// slice shape could not hold it. The epochs are compared directionally
+// instead: the destination's epoch is the freshness floor the source's
+// first commit must clear, which is what turns a replay of an older
+// migration session into a typed ErrFreshness at the handshake.
+type Measurement struct {
+	TenantID string
+	Domain   string
+	Geometry config.Geometry
+	Pages    int
+	Frames   int
+	Epoch    uint64
+}
+
+// Measure builds the attestation measurement of one tenant on one pool.
+func Measure(p *tenant.Pool, t *tenant.Tenant) Measurement {
+	return Measurement{
+		TenantID: t.ID(),
+		Domain:   t.Domain(),
+		Geometry: p.Geometry(),
+		Pages:    t.Pages(),
+		Frames:   t.Frames(),
+		Epoch:    t.Epoch(),
+	}
+}
+
+// encode serialises the measurement deterministically for the
+// handshake transcript hash. Length-prefixed strings keep distinct
+// measurements from colliding under concatenation.
+func (m Measurement) encode() []byte {
+	var b []byte
+	var tmp [8]byte
+	str := func(s string) {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(s)))
+		b = append(b, tmp[:]...)
+		b = append(b, s...)
+	}
+	num := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		b = append(b, tmp[:]...)
+	}
+	str(m.TenantID)
+	str(m.Domain)
+	num(uint64(m.Geometry.SectorSize))
+	num(uint64(m.Geometry.BlockSize))
+	num(uint64(m.Geometry.ChunkSize))
+	num(uint64(m.Geometry.PageSize))
+	num(uint64(m.Pages))
+	num(uint64(m.Frames))
+	num(m.Epoch)
+	return b
+}
+
+// Offer is the source's half of the handshake.
+type Offer struct {
+	Measurement Measurement
+}
+
+// Accept is the destination's half: its own measurement plus the
+// session nonce that makes this session's MAC chain unique. The nonce
+// is caller-seeded (deterministic-core discipline: no ambient
+// randomness), typically derived from the campaign seed.
+type Accept struct {
+	Measurement Measurement
+	Nonce       [32]byte
+}
+
+// checkMeasurements verifies the structural half of attestation: the
+// two endpoints describe the same tenant, key domain, geometry, and
+// slice shape. Every mismatch is typed ErrAttestation. The epoch
+// direction is checked separately (freshness, not attestation).
+func checkMeasurements(src, dst Measurement) error {
+	switch {
+	case src.TenantID != dst.TenantID:
+		return fmt.Errorf("%w: tenant id %q vs %q", ErrAttestation, src.TenantID, dst.TenantID)
+	case src.Domain != dst.Domain:
+		return fmt.Errorf("%w: key domain %s vs %s", ErrAttestation, src.Domain, dst.Domain)
+	case src.Geometry != dst.Geometry:
+		return fmt.Errorf("%w: geometry %+v vs %+v", ErrAttestation, src.Geometry, dst.Geometry)
+	case src.Pages != dst.Pages || src.Frames != dst.Frames:
+		return fmt.Errorf("%w: slice %d pages/%d frames vs %d/%d",
+			ErrAttestation, src.Pages, src.Frames, dst.Pages, dst.Frames)
+	}
+	return nil
+}
+
+// chainSeed derives the session MAC chain's starting value from the
+// full handshake transcript under the tenant's migration key. Both
+// endpoints compute it independently; an endpoint that saw a tampered
+// offer, accept, or nonce seeds a divergent chain and every subsequent
+// frame it checks fails ErrAttestation — handshake integrity is
+// enforced retroactively by the stream itself.
+func chainSeed(key []byte, offer Offer, accept Accept) [32]byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte("salus-migrate-v1"))
+	mac.Write(offer.Measurement.encode())
+	mac.Write(accept.Measurement.encode())
+	mac.Write(accept.Nonce[:])
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}

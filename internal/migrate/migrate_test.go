@@ -1,0 +1,426 @@
+package migrate
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"github.com/salus-sim/salus/internal/config"
+	"github.com/salus-sim/salus/internal/link"
+	"github.com/salus-sim/salus/internal/securemem"
+	"github.com/salus-sim/salus/internal/tenant"
+)
+
+func testGeometry() config.Geometry {
+	return config.Geometry{SectorSize: 32, BlockSize: 128, ChunkSize: 256, PageSize: 4096}
+}
+
+// newPool builds a two-tenant pool: the migrating tenant m and a
+// bystander peer, with optional distinct master keys.
+func newPool(t *testing.T, masterMAC []byte) *tenant.Pool {
+	t.Helper()
+	p, err := tenant.NewPool(tenant.Config{
+		Geometry: testGeometry(),
+		Slices: []tenant.Slice{
+			{ID: "m", BasePage: 0, Pages: 8, Frames: 2},
+			{ID: "peer", BasePage: 8, Pages: 8, Frames: 2},
+		},
+		MACKey: masterMAC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustTenant(t *testing.T, p *tenant.Pool, id string) *tenant.Tenant {
+	t.Helper()
+	ten, err := p.Tenant(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
+
+// seedTenant writes a recognisable pattern across the slice.
+func seedTenant(t *testing.T, ten *tenant.Tenant) map[securemem.HomeAddr][]byte {
+	t.Helper()
+	want := map[securemem.HomeAddr][]byte{}
+	for page := 0; page < 8; page += 2 {
+		addr := securemem.HomeAddr(page*4096 + 17*page)
+		data := bytes.Repeat([]byte{byte('a' + page)}, 96)
+		if err := ten.Write(addr, data); err != nil {
+			t.Fatal(err)
+		}
+		want[addr] = data
+	}
+	return want
+}
+
+func checkTenant(t *testing.T, ten *tenant.Tenant, want map[securemem.HomeAddr][]byte) {
+	t.Helper()
+	for addr, data := range want {
+		got := make([]byte, len(data))
+		if err := ten.Read(addr, got); err != nil {
+			t.Fatalf("read @%d: %v", addr, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("read @%d diverged", addr)
+		}
+	}
+}
+
+func baseConfig(src, dst *tenant.Pool, t *testing.T) Config {
+	return Config{
+		SourcePool: src,
+		Source:     mustTenant(t, src, "m"),
+		DestPool:   dst,
+		Nonce:      [32]byte{1, 2, 3},
+	}
+}
+
+func TestMigrateRoundTrip(t *testing.T) {
+	src, dst := newPool(t, nil), newPool(t, nil)
+	m := mustTenant(t, src, "m")
+	want := seedTenant(t, m)
+	peerDigest := mustTenant(t, dst, "peer").StateDigest()
+
+	ops, err := Run(baseConfig(src, dst, t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := mustTenant(t, dst, "m")
+	checkTenant(t, dm, want)
+	if sd, dd := m.StateDigest(), dm.StateDigest(); sd != dd {
+		t.Fatal("source and destination digests diverge after cutover")
+	}
+	if ops.Rounds < 2 || ops.ChunksSent == 0 || ops.BytesStreamed == 0 {
+		t.Fatalf("implausible counters: %+v", ops)
+	}
+	if ops.Torn+ops.Replay+ops.Attest+ops.Fresh != 0 {
+		t.Fatalf("honest run recorded rejections: %+v", ops)
+	}
+	if got := mustTenant(t, dst, "peer").StateDigest(); got != peerDigest {
+		t.Fatal("bystander digest changed on destination pool")
+	}
+	if int(ops.Rounds) > 4 {
+		t.Fatalf("rounds %d exceed default budget", ops.Rounds)
+	}
+}
+
+// TestMigrateTamperTaxonomy drives the in-line man-in-the-middle hook:
+// a bit flip fails ErrTornStream at the CRC; a flip with a patched CRC
+// survives to the MAC and fails ErrAttestation. Either way the source
+// keeps serving and the destination tenant is untouched.
+func TestMigrateTamperTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"bit-flip", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			g[frameHeaderLen] ^= 0x40
+			return g
+		}, ErrTornStream},
+		{"forge-with-valid-crc", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			g[frameHeaderLen] ^= 0x40
+			plen := len(g) - frameOverhead
+			crc := crc32.ChecksumIEEE(g[2 : frameHeaderLen+plen])
+			putU32(g[frameHeaderLen+plen:], crc)
+			return g
+		}, ErrAttestation},
+		{"truncate", func(f []byte) []byte {
+			return append([]byte(nil), f[:len(f)-7]...)
+		}, ErrTornStream},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, dst := newPool(t, nil), newPool(t, nil)
+			m := mustTenant(t, src, "m")
+			want := seedTenant(t, m)
+			destDigest := mustTenant(t, dst, "m").StateDigest()
+
+			cfg := baseConfig(src, dst, t)
+			cfg.Tap = func(i int, f []byte) []byte {
+				if i == 2 { // a mid-round chunk record
+					return tc.mutate(f)
+				}
+				return nil
+			}
+			ops, err := Run(cfg)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			if ops.Torn+ops.Replay+ops.Attest+ops.Fresh == 0 {
+				t.Fatalf("rejection not counted: %+v", ops)
+			}
+			checkTenant(t, m, want) // source intact and serving
+			if got := mustTenant(t, dst, "m").StateDigest(); got != destDigest {
+				t.Fatal("tampered stream modified the destination tenant")
+			}
+		})
+	}
+}
+
+// TestMigrateTapeReplayAttacks records an honest session's frames and
+// replays mutated tapes into fresh receivers: reorder and duplication
+// fail ErrReplay, cross-feeding a later frame early fails before any
+// byte applies, and replaying a whole stale session onto a destination
+// that has moved on fails ErrFreshness at the handshake.
+func TestMigrateTapeReplayAttacks(t *testing.T) {
+	src, dst := newPool(t, nil), newPool(t, nil)
+	m := mustTenant(t, src, "m")
+	seedTenant(t, m)
+	staleOffer := Offer{Measurement: Measure(src, m)} // epoch 0, pre-session
+
+	var tape [][]byte
+	cfg := baseConfig(src, dst, t)
+	cfg.Tap = func(i int, f []byte) []byte {
+		tape = append(tape, append([]byte(nil), f...))
+		return nil
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(tape) < 4 {
+		t.Fatalf("tape too short: %d records", len(tape))
+	}
+
+	freshReceiver := func(t *testing.T) *Receiver {
+		pool := newPool(t, nil)
+		r, err := NewReceiver(pool, "m", cfg.Nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Accept(staleOffer); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	t.Run("verbatim-prefix-verifies", func(t *testing.T) {
+		r := freshReceiver(t)
+		for _, f := range tape[:3] {
+			if err := r.Feed(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Run("reorder", func(t *testing.T) {
+		r := freshReceiver(t)
+		if err := r.Feed(tape[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Feed(tape[2]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("got %v, want ErrReplay", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		r := freshReceiver(t)
+		if err := r.Feed(tape[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Feed(tape[0]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("got %v, want ErrReplay", err)
+		}
+	})
+	t.Run("fail-stop-latches", func(t *testing.T) {
+		r := freshReceiver(t)
+		if err := r.Feed(tape[1]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("got %v, want ErrReplay", err)
+		}
+		// Even the honest frame is refused after the poison.
+		if err := r.Feed(tape[0]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("post-poison feed: got %v, want latched ErrReplay", err)
+		}
+	})
+	t.Run("rollback-to-older-epoch", func(t *testing.T) {
+		// dst already holds the migrated state; a stale session offer
+		// (source epoch 0) must be refused at the handshake.
+		r, err := NewReceiver(dst, "m", cfg.Nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Accept(staleOffer); !errors.Is(err, ErrFreshness) {
+			t.Fatalf("got %v, want ErrFreshness", err)
+		}
+	})
+}
+
+// TestMigrateAttestationRefusals pins the handshake gate: a destination
+// in a different key domain (different masters) and a destination with
+// the wrong slice shape are both refused typed before any byte moves.
+func TestMigrateAttestationRefusals(t *testing.T) {
+	src := newPool(t, nil)
+	seedTenant(t, mustTenant(t, src, "m"))
+
+	wrongKeys := newPool(t, []byte("a-different-master-mac-key"))
+	if _, err := Run(baseConfig(src, wrongKeys, t)); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("wrong key domain: got %v, want ErrAttestation", err)
+	}
+
+	wrongShape, err := tenant.NewPool(tenant.Config{
+		Geometry: testGeometry(),
+		Slices:   []tenant.Slice{{ID: "m", BasePage: 0, Pages: 16, Frames: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(src, wrongShape, t)
+	if _, err := Run(cfg); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("wrong slice shape: got %v, want ErrAttestation", err)
+	}
+}
+
+// TestMigrateLinkFlapAbsorbed proves a short outage is absorbed by the
+// capped-backoff retry loop without failing the session.
+func TestMigrateLinkFlapAbsorbed(t *testing.T) {
+	src, dst := newPool(t, nil), newPool(t, nil)
+	m := mustTenant(t, src, "m")
+	want := seedTenant(t, m)
+
+	cfg := baseConfig(src, dst, t)
+	cfg.Link = link.New(&link.ScriptPlan{Windows: []link.Window{
+		{From: 3, To: 6, State: link.StateDown},
+	}}, link.Config{})
+	cfg.Retry = RetryPolicy{MaxRetries: 64, BaseBackoff: 1, MaxBackoff: 8}
+	ops, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops.Retries == 0 {
+		t.Fatal("outage did not exercise the retry loop")
+	}
+	if ops.Resumes != 0 {
+		t.Fatalf("absorbed flap recorded %d resumes", ops.Resumes)
+	}
+	checkTenant(t, mustTenant(t, dst, "m"), want)
+}
+
+// TestMigrateLinkLossResume proves record-level resume: a long outage
+// exhausts the retry budget mid-stream, the session parks typed and
+// resumable, and a later Run completes without re-sending the chunks
+// the destination already verified.
+func TestMigrateLinkLossResume(t *testing.T) {
+	src, dst := newPool(t, nil), newPool(t, nil)
+	m := mustTenant(t, src, "m")
+	want := seedTenant(t, m)
+
+	cfg := baseConfig(src, dst, t)
+	cfg.Link = link.New(&link.ScriptPlan{Windows: []link.Window{
+		{From: 4, To: 9, State: link.StateDown},
+	}}, link.Config{Threshold: 1, Cooldown: 1})
+	cfg.Retry = RetryPolicy{MaxRetries: 2, BaseBackoff: 1, MaxBackoff: 2}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run()
+	if !errors.Is(err, ErrLinkLost) {
+		t.Fatalf("got %v, want ErrLinkLost", err)
+	}
+	if !s.Resumable() {
+		t.Fatal("link loss must leave the session resumable")
+	}
+	checkTenant(t, m, want) // source intact while parked
+	if mustTenant(t, dst, "m").Epoch() != 0 {
+		t.Fatal("destination advanced before cutover")
+	}
+
+	sentBefore := s.Ops().ChunksSent
+	if sentBefore == 0 {
+		t.Fatal("outage window missed the chunk stream")
+	}
+	for tries := 0; !s.done; tries++ {
+		if tries > 10 {
+			t.Fatal("session did not complete after repeated resumes")
+		}
+		if err := s.Run(); err != nil && !errors.Is(err, ErrLinkLost) {
+			t.Fatal(err)
+		}
+	}
+	ops := s.Ops()
+	if ops.Resumes == 0 || ops.ChunksSkipped < sentBefore {
+		t.Fatalf("resume accounting: %+v (want skipped >= %d)", ops, sentBefore)
+	}
+	checkTenant(t, mustTenant(t, dst, "m"), want)
+}
+
+// fakeSwap satisfies Swapper: it hands the held engine to the callback
+// and installs the returned one, mirroring serve.Server's contract.
+type fakeSwap struct {
+	eng     *securemem.Concurrent
+	swapped bool
+}
+
+func (f *fakeSwap) WithQuiescedSwap(fn func(old *securemem.Concurrent) (*securemem.Concurrent, error)) error {
+	ne, err := fn(f.eng)
+	if err != nil {
+		return err
+	}
+	f.eng = ne
+	f.swapped = true
+	return nil
+}
+
+func TestMigrateQuiescedSwapCutover(t *testing.T) {
+	src, dst := newPool(t, nil), newPool(t, nil)
+	m := mustTenant(t, src, "m")
+	want := seedTenant(t, m)
+
+	sw := &fakeSwap{eng: m.Engine()}
+	cfg := baseConfig(src, dst, t)
+	cfg.Swap = sw
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.swapped {
+		t.Fatal("cutover did not run through the quiesced swap")
+	}
+	dm := mustTenant(t, dst, "m")
+	if sw.eng != dm.Engine() {
+		t.Fatal("swap did not install the destination engine")
+	}
+	checkTenant(t, dm, want)
+}
+
+// TestMigrateChainPositionBinding pins the chain property directly: the
+// same payload sealed at two stream positions produces different MACs,
+// so a frame cannot be transplanted even with a patched seq.
+func TestMigrateChainPositionBinding(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	a := newChain(key, [32]byte{1})
+	f0 := a.seal(frameChunk, []byte("payload"))
+	f1 := a.seal(frameChunk, []byte("payload"))
+
+	b := newChain(key, [32]byte{1})
+	if _, _, err := b.open(f0); err != nil {
+		t.Fatal(err)
+	}
+	// Patch f0's seq to 1 and replay it in f1's position: the CRC can
+	// be fixed, but the MAC was bound to chain position 0.
+	g := append([]byte(nil), f0...)
+	putU32(g[3:7], 1)
+	plen := len(g) - frameOverhead
+	putU32(g[frameHeaderLen+plen:], crc32.ChecksumIEEE(g[2:frameHeaderLen+plen]))
+	if _, _, err := b.open(g); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("transplanted frame: got %v, want ErrAttestation", err)
+	}
+
+	c := newChain(key, [32]byte{1})
+	if _, _, err := c.open(f0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.open(f1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different session seed refuses the whole tape.
+	d := newChain(key, [32]byte{2})
+	if _, _, err := d.open(f0); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("cross-session frame: got %v, want ErrAttestation", err)
+	}
+}

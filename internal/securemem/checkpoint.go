@@ -139,6 +139,24 @@ func (s *System) Checkpoint(j *crash.Journal) (TrustedRoot, error) {
 	return root, nil
 }
 
+// FullCheckpoint marks every home page checkpoint-dirty and commits one
+// epoch carrying the whole home tier. Where Checkpoint ships only the
+// incremental delta since the previous epoch, a full checkpoint makes
+// the journal self-contained from this epoch on: a Recover (or a
+// migration destination) replaying it needs no earlier journal to
+// reconstruct the complete state. This is the bootstrap record set of a
+// live migration's first sync round — later delta rounds ride ordinary
+// Checkpoint epochs on the same journal.
+func (s *System) FullCheckpoint(j *crash.Journal) (TrustedRoot, error) {
+	if s.cfg.Model != ModelSalus {
+		return TrustedRoot{}, errors.New("securemem: FullCheckpoint requires ModelSalus")
+	}
+	for p := range s.ckptDirty {
+		s.ckptDirty[p] = true
+	}
+	return s.Checkpoint(j)
+}
+
 // checkpointWriteback collapses the dirty resident chunks of a page home
 // in place, so the home tier holds the page's current state before it is
 // journaled. Unlike salusEvict the page stays resident with its device

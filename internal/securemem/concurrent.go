@@ -207,6 +207,15 @@ func (c *Concurrent) Checkpoint(j *crash.Journal) (TrustedRoot, error) {
 	return c.sys.Checkpoint(j)
 }
 
+// FullCheckpoint is a goroutine-safe System.FullCheckpoint: every home
+// page rides the committed epoch, making the journal self-contained
+// from this epoch on (the migration bootstrap round).
+func (c *Concurrent) FullCheckpoint(j *crash.Journal) (TrustedRoot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.FullCheckpoint(j)
+}
+
 // Suspend is a goroutine-safe System.Suspend.
 func (c *Concurrent) Suspend() ([]byte, TrustedRoot, error) {
 	c.mu.Lock()

@@ -181,6 +181,66 @@ func (o *Ops) TenantTable() *Table {
 	return t
 }
 
+// MigrateOps counts one attested live migration's activity
+// (internal/migrate). The sent/skipped split is the resume contract
+// made measurable: chunks the destination already verified are skipped,
+// never re-streamed. The four rejection counters are the typed-failure
+// taxonomy observed at the receiving endpoint — in an honest run all
+// four stay zero. Like TenantOps, every field is monotone and the
+// column set is part of the stable-output contract.
+type MigrateOps struct {
+	Tenant string // migrated tenant id ("" renders as "-")
+
+	Rounds        uint64 // delta rounds streamed, including the full bootstrap round
+	ChunksSent    uint64 // stream chunks transferred and verified
+	ChunksSkipped uint64 // verified chunks not re-sent across resumes
+	BytesStreamed uint64 // framed stream bytes delivered
+	Retries       uint64 // link-transfer retries (flaps absorbed by backoff)
+	Resumes       uint64 // record-level resumes after a lost link came back
+
+	Torn   uint64 // records rejected ErrTornStream (truncation, bit flips)
+	Replay uint64 // records rejected ErrReplay (reorder, duplication)
+	Attest uint64 // records rejected ErrAttestation (MAC/handshake forgery)
+	Fresh  uint64 // records rejected ErrFreshness (epoch/lineage rollback)
+}
+
+// HasMigrates reports whether any migration activity was recorded.
+// Every field participates, mirroring HasTenants' discipline.
+func (o *Ops) HasMigrates() bool {
+	for i := range o.Migrates {
+		m := &o.Migrates[i]
+		if m.Rounds != 0 || m.ChunksSent != 0 || m.ChunksSkipped != 0 ||
+			m.BytesStreamed != 0 || m.Retries != 0 || m.Resumes != 0 ||
+			m.Torn != 0 || m.Replay != 0 || m.Attest != 0 || m.Fresh != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MigrateTable renders the migration rollup with the same stable-column
+// discipline as TenantTable: every column every time, rows sorted by
+// tenant name, ragged input tolerated (empty list renders header-only,
+// unnamed rows render as "-", duplicates keep their own rows).
+func (o *Ops) MigrateTable() *Table {
+	t := &Table{Header: []string{"tenant", "rounds", "sent", "skipped", "bytes", "retries", "resumes", "torn", "replay", "attest", "fresh"}}
+	for i := range o.Migrates {
+		row := &o.Migrates[i]
+		name := row.Tenant
+		if name == "" {
+			name = "-"
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", row.Rounds), fmt.Sprintf("%d", row.ChunksSent),
+			fmt.Sprintf("%d", row.ChunksSkipped), fmt.Sprintf("%d", row.BytesStreamed),
+			fmt.Sprintf("%d", row.Retries), fmt.Sprintf("%d", row.Resumes),
+			fmt.Sprintf("%d", row.Torn), fmt.Sprintf("%d", row.Replay),
+			fmt.Sprintf("%d", row.Attest), fmt.Sprintf("%d", row.Fresh))
+	}
+	t.SortRowsByFirstColumn()
+	return t
+}
+
 // SecurityClasses lists the classes counted as security traffic. Mapping
 // traffic is bookkeeping for the DRAM cache, present in all models, and is
 // not security metadata.
@@ -282,6 +342,10 @@ type Ops struct {
 	// Per-tenant pool activity (internal/tenant); empty when no tenant
 	// pool ran.
 	Tenants []TenantOps
+
+	// Live-migration activity (internal/migrate); empty when no tenant
+	// migrated.
+	Migrates []MigrateOps
 }
 
 // HasFaults reports whether any fault-model activity was recorded. Every
@@ -420,6 +484,20 @@ func (r *Run) String() string {
 			}
 			fmt.Fprintf(&b, "  tenant id=%s reads=%d writes=%d denied=%d quota=%d integrity=%d faults=%d ckpts=%d recovers=%d\n",
 				name, tn.Reads, tn.Writes, tn.Denied, tn.Quota, tn.Integrity, tn.Faults, tn.Checkpoints, tn.Recovers)
+		}
+	}
+	if r.Ops.HasMigrates() {
+		// One line per migration, every column every time, like the
+		// tenant lines.
+		for i := range r.Ops.Migrates {
+			m := &r.Ops.Migrates[i]
+			name := m.Tenant
+			if name == "" {
+				name = "-"
+			}
+			fmt.Fprintf(&b, "  migrate tenant=%s rounds=%d sent=%d skipped=%d bytes=%d retries=%d resumes=%d torn=%d replay=%d attest=%d fresh=%d\n",
+				name, m.Rounds, m.ChunksSent, m.ChunksSkipped, m.BytesStreamed,
+				m.Retries, m.Resumes, m.Torn, m.Replay, m.Attest, m.Fresh)
 		}
 	}
 	if len(r.CacheHitRates) > 0 {

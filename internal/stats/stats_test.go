@@ -361,3 +361,58 @@ func TestTenantTableRaggedInput(t *testing.T) {
 		t.Fatal("HasTenants reported activity for an all-zero tenant")
 	}
 }
+
+// TestMigrateTableRaggedInput pins the ragged-input contract of the
+// migration rollup, mirroring the TenantTable convention: an empty
+// migration list renders header-only, unnamed rows render as "-",
+// duplicate names keep their own rows, map-fed input comes out sorted,
+// and trailing-category-only activity still counts.
+func TestMigrateTableRaggedInput(t *testing.T) {
+	empty := (&Ops{}).MigrateTable().String()
+	for _, col := range []string{"tenant", "rounds", "sent", "skipped", "bytes", "retries", "resumes", "torn", "replay", "attest", "fresh"} {
+		if !strings.Contains(empty, col) {
+			t.Fatalf("empty table missing column %q:\n%s", col, empty)
+		}
+	}
+	if rows := (&Ops{}).MigrateTable().Rows; len(rows) != 0 {
+		t.Fatalf("empty migration list must render header-only, got %d rows", len(rows))
+	}
+
+	o := Ops{Migrates: []MigrateOps{
+		{Tenant: "zeta", Rounds: 2},
+		{Tenant: "", Retries: 5},
+		{Tenant: "alpha", ChunksSent: 9},
+		{Tenant: "alpha", Fresh: 1}, // duplicate name: its own row survives
+	}}
+	if !o.HasMigrates() {
+		t.Fatal("HasMigrates missed recorded activity")
+	}
+	tab := o.MigrateTable()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d, want 4 (duplicates must not merge)", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "-" {
+		t.Fatalf("unnamed migration rendered %q, want \"-\"", tab.Rows[0][0])
+	}
+	if tab.Rows[1][0] != "alpha" || tab.Rows[2][0] != "alpha" || tab.Rows[3][0] != "zeta" {
+		t.Fatalf("rows not name-sorted: %v", tab.Rows)
+	}
+	if got := tab.Rows[0][5]; got != "5" {
+		t.Fatalf("unnamed migration retries cell %q, want 5", got)
+	}
+
+	// A migration whose only activity is the trailing rejection
+	// category still counts; an all-zero row does not.
+	if !(&Ops{Migrates: []MigrateOps{{Tenant: "x", Fresh: 1}}}).HasMigrates() {
+		t.Fatal("HasMigrates missed trailing-category activity")
+	}
+	if (&Ops{Migrates: []MigrateOps{{Tenant: "idle"}}}).HasMigrates() {
+		t.Fatal("HasMigrates reported activity for an all-zero row")
+	}
+
+	// The Run summary renders one migrate line per entry.
+	r := Run{Ops: Ops{Migrates: []MigrateOps{{Tenant: "m", Rounds: 3, BytesStreamed: 77}}}}
+	if s := r.String(); !strings.Contains(s, "migrate tenant=m rounds=3 sent=0 skipped=0 bytes=77") {
+		t.Fatalf("Run summary missing migrate line:\n%s", s)
+	}
+}

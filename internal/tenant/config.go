@@ -39,6 +39,11 @@ var (
 	// ErrUnknownTenant reports a lookup of a tenant id the pool does not
 	// host.
 	ErrUnknownTenant = errors.New("tenant: unknown tenant id")
+	// ErrTenantClosed reports an operation on a destroyed tenant: its
+	// key material was zeroized and its slice scrubbed and reclaimed by
+	// Pool.DestroyTenant, so nothing can be read, written, checkpointed,
+	// or recovered under its identity again.
+	ErrTenantClosed = errors.New("tenant: tenant destroyed (closed)")
 	// ErrSliceConfig reports an invalid slice layout: zero-size or
 	// overlapping slices, duplicate ids, frames exceeding pages, or a
 	// slice that does not fit the pool.

@@ -41,6 +41,20 @@ func deriveKeys(masterAES, masterMAC []byte, id string) (aesKey, macKey []byte) 
 	return aesKey, macKey
 }
 
+// migrationKey binds the migration transport secret to the tenant's
+// MAC key domain: H(macKey || 0x02 || id). The 0x02 label keeps it
+// disjoint from the 0x00/0x01 derivations above, so the stream MAC key
+// can never collide with storage key material, and two pools built from
+// the same masters derive the same transport secret for the same
+// tenant — the attestation precondition for moving ciphertext verbatim.
+func migrationKey(macKey []byte, id string) []byte {
+	h := sha256.New()
+	h.Write(macKey)
+	h.Write([]byte{0x02})
+	h.Write([]byte(id))
+	return h.Sum(nil)
+}
+
 // domainTag is a short stable fingerprint of a tenant's key domain,
 // exposed via Tenant.Domain so tests and operators can confirm two
 // tenants really hold distinct key material without ever seeing it.

@@ -2,6 +2,7 @@ package tenant
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/salus-sim/salus/internal/config"
 	"github.com/salus-sim/salus/internal/securemem"
@@ -22,6 +23,29 @@ type Pool struct {
 	order      []*Tenant
 	totalPages int
 	frames     int
+
+	// reclaimed is the only pool-level mutable state: the running count
+	// of device frames handed back by DestroyTenant, locked inside its
+	// own type so the immutable topology fields above stay lock-free.
+	reclaimed reclaimCounter
+}
+
+// reclaimCounter is a mutex-carrying counter of reclaimed device frames.
+type reclaimCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *reclaimCounter) add(n int) {
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+func (c *reclaimCounter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
 }
 
 // NewPool validates the slice layout, allocates the shared backing, and
@@ -123,6 +147,9 @@ func (p *Pool) RecoverTenant(id string, journal []byte, root securemem.TrustedRo
 	}
 	t.state.Lock()
 	defer t.state.Unlock()
+	if t.eng == nil {
+		return fmt.Errorf("%w: cannot recover %q", ErrTenantClosed, id)
+	}
 	sys, err := securemem.Recover(t.memCfg, journal, root)
 	if err != nil {
 		return err
@@ -132,6 +159,51 @@ func (p *Pool) RecoverTenant(id string, journal []byte, root securemem.TrustedRo
 	t.ops.Recovers++
 	t.mu.Unlock()
 	return nil
+}
+
+// DestroyTenant retires one tenant: under the tenant's exclusive lock
+// it zeroizes the derived key material, scrubs the tenant's home and
+// device backing windows (the frame partition returns to the pool with
+// no ciphertext residue), and drops the engine, so every later
+// operation under that identity — reads, writes, checkpoints, even
+// RecoverTenant with a valid journal — fails typed ErrTenantClosed.
+// This is the retirement step after a tenant migrates away: the source
+// copy must become cryptographically unreachable, not merely idle.
+// Destroying an already-destroyed tenant fails ErrTenantClosed;
+// siblings are untouched throughout.
+func (p *Pool) DestroyTenant(id string) error {
+	t, err := p.Tenant(id)
+	if err != nil {
+		return err
+	}
+	t.state.Lock()
+	defer t.state.Unlock()
+	if t.eng == nil {
+		return fmt.Errorf("%w: %q already destroyed", ErrTenantClosed, id)
+	}
+	for i := range t.memCfg.AESKey {
+		t.memCfg.AESKey[i] = 0
+	}
+	for i := range t.memCfg.MACKey {
+		t.memCfg.MACKey[i] = 0
+	}
+	if b := t.memCfg.Backing; b != nil {
+		for i := range b.Home {
+			b.Home[i] = 0
+		}
+		for i := range b.Device {
+			b.Device[i] = 0
+		}
+	}
+	t.eng = nil
+	p.reclaimed.add(t.frames)
+	return nil
+}
+
+// ReclaimedFrames reports how many device frames DestroyTenant has
+// handed back to the pool so far.
+func (p *Pool) ReclaimedFrames() int {
+	return p.reclaimed.get()
 }
 
 // SpliceHome copies n raw bytes of home-tier ciphertext from src to dst

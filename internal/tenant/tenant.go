@@ -159,12 +159,23 @@ func (t *Tenant) note(err error) {
 	}
 }
 
+// Closed reports whether the tenant was retired by Pool.DestroyTenant.
+func (t *Tenant) Closed() bool {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.eng == nil
+}
+
 // Read reads len(buf) bytes at pool-global addr from the tenant's
 // domain. Out-of-slice ranges fail with ErrTenantDenied and leave buf
-// untouched; quota exhaustion fails with ErrQuota.
+// untouched; quota exhaustion fails with ErrQuota; a destroyed tenant
+// fails with ErrTenantClosed.
 func (t *Tenant) Read(addr securemem.HomeAddr, buf []byte) error {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return ErrTenantClosed
+	}
 	local, err := t.admit(addr, len(buf), false)
 	if err != nil {
 		return err
@@ -179,6 +190,9 @@ func (t *Tenant) Read(addr securemem.HomeAddr, buf []byte) error {
 func (t *Tenant) Write(addr securemem.HomeAddr, data []byte) error {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return ErrTenantClosed
+	}
 	local, err := t.admit(addr, len(data), true)
 	if err != nil {
 		return err
@@ -195,6 +209,9 @@ func (t *Tenant) Write(addr securemem.HomeAddr, data []byte) error {
 func (t *Tenant) Checkpoint(j *crash.Journal) (securemem.TrustedRoot, error) {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return securemem.TrustedRoot{}, ErrTenantClosed
+	}
 	root, err := t.eng.Checkpoint(j)
 	t.mu.Lock()
 	if err == nil {
@@ -205,10 +222,32 @@ func (t *Tenant) Checkpoint(j *crash.Journal) (securemem.TrustedRoot, error) {
 	return root, err
 }
 
-// Epoch returns the tenant's checkpoint epoch.
+// FullCheckpoint commits one epoch carrying the tenant's whole home
+// slice, making the journal self-contained from that epoch on — the
+// bootstrap round of a live migration's sync stream.
+func (t *Tenant) FullCheckpoint(j *crash.Journal) (securemem.TrustedRoot, error) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	if t.eng == nil {
+		return securemem.TrustedRoot{}, ErrTenantClosed
+	}
+	root, err := t.eng.FullCheckpoint(j)
+	t.mu.Lock()
+	if err == nil {
+		t.ops.Checkpoints++
+	}
+	t.mu.Unlock()
+	t.note(err)
+	return root, err
+}
+
+// Epoch returns the tenant's checkpoint epoch (0 once destroyed).
 func (t *Tenant) Epoch() uint64 {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return 0
+	}
 	return t.eng.Epoch()
 }
 
@@ -216,6 +255,9 @@ func (t *Tenant) Epoch() uint64 {
 func (t *Tenant) Flush() error {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return ErrTenantClosed
+	}
 	err := t.eng.Flush()
 	t.note(err)
 	return err
@@ -225,6 +267,9 @@ func (t *Tenant) Flush() error {
 func (t *Tenant) QueuedWritebacks() int {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return 0
+	}
 	return t.eng.QueuedWritebacks()
 }
 
@@ -232,15 +277,22 @@ func (t *Tenant) QueuedWritebacks() int {
 func (t *Tenant) DrainWritebacks() (int, error) {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return 0, ErrTenantClosed
+	}
 	n, err := t.eng.DrainWritebacks()
 	t.note(err)
 	return n, err
 }
 
-// AttachFaults arms a fault injector on this tenant's engine only.
+// AttachFaults arms a fault injector on this tenant's engine only; a
+// destroyed tenant has no engine to arm and ignores the call.
 func (t *Tenant) AttachFaults(inj fault.Injector, policy securemem.RetryPolicy, clock *sim.Engine) {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return
+	}
 	t.eng.AttachFaults(inj, policy, clock)
 }
 
@@ -249,6 +301,9 @@ func (t *Tenant) AttachFaults(inj fault.Injector, policy securemem.RetryPolicy, 
 func (t *Tenant) AttachLink(l *link.Link, clock *sim.Engine) {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return
+	}
 	t.eng.AttachLink(l, clock, t.queueCap)
 }
 
@@ -256,15 +311,50 @@ func (t *Tenant) AttachLink(l *link.Link, clock *sim.Engine) {
 func (t *Tenant) ForceLinkUp() {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return
+	}
 	t.eng.ForceLinkUp()
 }
 
 // StateDigest returns the tenant's quiesced state digest — the oracle
-// used to prove a sibling's crash left this tenant byte-identical.
+// used to prove a sibling's crash left this tenant byte-identical. A
+// destroyed tenant digests to all-zero.
 func (t *Tenant) StateDigest() [32]byte {
 	t.state.RLock()
 	defer t.state.RUnlock()
+	if t.eng == nil {
+		return [32]byte{}
+	}
 	return t.eng.StateDigest()
+}
+
+// Engine returns the tenant's engine (nil once destroyed). The engine
+// speaks slice-local addresses and bypasses the tenant's containment
+// and quota gates, so it must only front trusted surfaces — a
+// serve.Server multiplexing this tenant's own traffic, or a migration
+// cutover swapping service from a source engine to a destination
+// engine. Hostile-facing paths go through Read/Write.
+func (t *Tenant) Engine() *securemem.Concurrent {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	return t.eng
+}
+
+// MigrationKey derives the tenant's migration transport key: a secret
+// bound to the tenant's MAC key domain, equal on any pool that derives
+// the same tenant from the same masters — which is exactly the
+// precondition for moving its ciphertext verbatim. The attested
+// migration stream MACs every record under this key, so a transport
+// endpoint that cannot produce it can neither impersonate a source nor
+// accept as a destination.
+func (t *Tenant) MigrationKey() ([]byte, error) {
+	t.state.RLock()
+	defer t.state.RUnlock()
+	if t.eng == nil {
+		return nil, ErrTenantClosed
+	}
+	return migrationKey(t.memCfg.MACKey, t.id), nil
 }
 
 // Stats returns a snapshot of the tenant's op counters.
